@@ -1,0 +1,156 @@
+// Command gapbench regenerates the evaluation tables of the LAGraph paper
+// (Tables III and IV) on scaled-down synthetic analogues of the GAP
+// benchmark graphs.
+//
+// Usage:
+//
+//	gapbench -table3 -scale 14 -trials 3
+//	gapbench -table4 -scale 14
+//	gapbench -table3 -algos BFS,PR -graphs Kron,Road
+//
+// Table III prints the run time (seconds) of the GAP-style baselines
+// ("GAP") and the LAGraph-on-GraphBLAS implementations ("SS", following
+// the paper's label for LAGraph+SS:GrB) for six kernels on five graphs,
+// plus the SS/GAP ratio so the "shape" — who wins where — is explicit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"lagraph/internal/bench"
+	"lagraph/internal/lagraph"
+)
+
+func main() {
+	var (
+		table3 = flag.Bool("table3", false, "regenerate paper Table III (run times)")
+		table4 = flag.Bool("table4", false, "regenerate paper Table IV (graph statistics)")
+		scale  = flag.Int("scale", 12, "log2 of the vertex count for synthetic classes")
+		ef     = flag.Int("ef", 8, "edges per vertex before deduplication")
+		trials = flag.Int("trials", 3, "trials per source-based kernel")
+		seed   = flag.Uint64("seed", 1, "generator seed")
+		algos  = flag.String("algos", strings.Join(bench.AlgNames, ","), "comma-separated kernels")
+		graphs = flag.String("graphs", strings.Join(bench.GraphNames, ","), "comma-separated graph classes")
+	)
+	flag.Parse()
+	if !*table3 && !*table4 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	graphList := splitList(*graphs)
+	algoList := splitList(*algos)
+
+	fmt.Printf("# lagraph-go GAP benchmark harness\n")
+	fmt.Printf("# scale=%d edgefactor=%d trials=%d seed=%d GOMAXPROCS=%d\n\n",
+		*scale, *ef, *trials, *seed, runtime.GOMAXPROCS(0))
+
+	workloads := map[string]*bench.Workload{}
+	for _, gName := range graphList {
+		w, err := bench.Load(gName, *scale, *ef, *seed)
+		if err != nil {
+			fatal("loading %s: %v", gName, err)
+		}
+		workloads[gName] = w
+	}
+
+	if *table4 {
+		printTable4(graphList, workloads)
+	}
+	if *table3 {
+		printTable3(graphList, algoList, workloads, *trials)
+	}
+}
+
+func printTable4(graphList []string, workloads map[string]*bench.Workload) {
+	fmt.Println("TABLE IV: Benchmark matrices")
+	fmt.Printf("%-10s %12s %14s %12s\n", "graph", "nodes", "entries in A", "graph kind")
+	for _, gName := range graphList {
+		w := workloads[gName]
+		kind := "undirected"
+		if w.Edges.Directed {
+			kind = "directed"
+		}
+		fmt.Printf("%-10s %12d %14d %12s\n", gName, w.Edges.N, w.LG.A.NVals(), kind)
+	}
+	fmt.Println()
+}
+
+func printTable3(graphList, algoList []string, workloads map[string]*bench.Workload, trials int) {
+	fmt.Println("TABLE III: Run time of GAP and LAGraph+GrB (seconds)")
+	fmt.Printf("%-12s", "package")
+	for _, gName := range graphList {
+		fmt.Printf(" %10s", gName)
+	}
+	fmt.Println()
+	type row struct {
+		label string
+		vals  map[string]float64
+	}
+	ratios := map[string][2]map[string]float64{}
+	for _, alg := range algoList {
+		perImpl := [2]map[string]float64{{}, {}}
+		for i, impl := range []string{"GAP", "SS"} {
+			fmt.Printf("%-12s", alg+" : "+impl)
+			for _, gName := range graphList {
+				w := workloads[gName]
+				if alg == "TC" {
+					w = bench.TCWorkload(w)
+				}
+				t := trials
+				if alg == "TC" || alg == "CC" || alg == "PR" {
+					t = 1 // whole-graph kernels: GAP times these once
+				}
+				res, err := bench.RunCell(alg, impl, w, t)
+				if err != nil && !lagraph.IsWarning(err) {
+					fatal("%s/%s on %s: %v", alg, impl, gName, err)
+				}
+				perImpl[i][gName] = res.Seconds
+				fmt.Printf(" %10.3f", res.Seconds)
+			}
+			fmt.Println()
+		}
+		ratios[alg] = perImpl
+	}
+	fmt.Println()
+	fmt.Println("SS / GAP ratio (>1: GAP faster, <1: LAGraph faster)")
+	fmt.Printf("%-12s", "")
+	for _, gName := range graphList {
+		fmt.Printf(" %10s", gName)
+	}
+	fmt.Println()
+	for _, alg := range algoList {
+		fmt.Printf("%-12s", alg)
+		for _, gName := range graphList {
+			gapT := ratios[alg][0][gName]
+			ssT := ratios[alg][1][gName]
+			if gapT > 0 {
+				fmt.Printf(" %10.2f", ssT/gapT)
+			} else {
+				fmt.Printf(" %10s", "-")
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func splitList(s string) []string {
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "gapbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command graphgen generates one of the benchmark graph classes and saves
+// it as a Matrix Market or binary file, so experiments can run on frozen
+// inputs.
+//
+// Usage:
+//
+//	graphgen -class Kron -scale 14 -o kron14.mtx
+//	graphgen -class Road -scale 14 -weights -format bin -o road.grb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+)
+
+func main() {
+	var (
+		class   = flag.String("class", "Kron", "graph class: Kron, Urand, Twitter, Web, Road")
+		scale   = flag.Int("scale", 12, "log2 vertex count (Road: grid dim 2^(scale/2))")
+		ef      = flag.Int("ef", 8, "edges per vertex before dedup")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		weights = flag.Bool("weights", false, "attach uniform [1,255] weights")
+		format  = flag.String("format", "mm", "output format: mm or bin")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	var e *gen.EdgeList
+	switch *class {
+	case "Kron":
+		e = gen.Kron(*scale, *ef, *seed)
+	case "Urand":
+		e = gen.Urand(*scale, *ef, *seed)
+	case "Twitter":
+		e = gen.Twitter(*scale, *ef, *seed)
+	case "Web":
+		e = gen.Web(*scale, *ef, *seed)
+	case "Road":
+		e = gen.Road(1<<(*scale/2), *seed)
+	default:
+		fatal("unknown class %q", *class)
+	}
+	if *weights {
+		e.AddUniformWeights(*seed+17, 1, 255)
+	}
+	ptr, idx, vals := e.CSR()
+	A, err := grb.ImportCSR(e.N, e.N, ptr, idx, vals, false)
+	if err != nil {
+		fatal("building matrix: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal("creating %s: %v", *out, err)
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "mm":
+		err = lagraph.MMWrite(w, A)
+	case "bin":
+		err = lagraph.BinWrite(w, A)
+	default:
+		fatal("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal("writing: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %d nodes, %d entries, directed=%v\n",
+		*class, e.N, A.NVals(), e.Directed)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "graphgen: "+format+"\n", args...)
+	os.Exit(1)
+}

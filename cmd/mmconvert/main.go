@@ -1,0 +1,80 @@
+// Command mmconvert converts matrices between Matrix Market text form and
+// the library's binary container (paper §V's BinRead/BinWrite pair), and
+// prints a summary.
+//
+// Usage:
+//
+//	mmconvert -in graph.mtx -out graph.grb          # mm -> bin
+//	mmconvert -in graph.grb -out graph.mtx -from bin -to mm
+//	mmconvert -in graph.mtx -info                   # just summarise
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "input file")
+		out  = flag.String("out", "", "output file (omit with -info)")
+		from = flag.String("from", "mm", "input format: mm or bin")
+		to   = flag.String("to", "bin", "output format: mm or bin")
+		info = flag.Bool("info", false, "print matrix summary only")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer f.Close()
+
+	var m *grb.Matrix[float64]
+	switch *from {
+	case "mm":
+		m, err = lagraph.MMRead(f)
+	case "bin":
+		m, err = lagraph.BinRead(f)
+	default:
+		fatal("unknown input format %q", *from)
+	}
+	if err != nil {
+		fatal("reading %s: %v", *in, err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %dx%d, %d entries\n", *in, m.NRows(), m.NCols(), m.NVals())
+	if *info {
+		return
+	}
+	if *out == "" {
+		fatal("missing -out")
+	}
+	g, err := os.Create(*out)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer g.Close()
+	switch *to {
+	case "mm":
+		err = lagraph.MMWrite(g, m)
+	case "bin":
+		err = lagraph.BinWrite(g, m)
+	default:
+		fatal("unknown output format %q", *to)
+	}
+	if err != nil {
+		fatal("writing %s: %v", *out, err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mmconvert: "+format+"\n", args...)
+	os.Exit(1)
+}

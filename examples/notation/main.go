@@ -1,0 +1,171 @@
+// Notation walk-through: paper Tables I and II executed. Every operation
+// row of Table I is run on a small example graph with the notation printed
+// next to the observed result, and every semiring of Table II is exercised
+// — the "concise notation" contribution of the paper, in runnable form.
+// Run with:
+//
+//	go run ./examples/notation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lagraph/internal/grb"
+)
+
+func main() {
+	// The example digraph:  0 -> 1 -> 2 -> 3, plus 0 -> 2 and 3 -> 0.
+	A, err := grb.MatrixFromTuples(4, 4,
+		[]int{0, 0, 1, 2, 3},
+		[]int{1, 2, 2, 3, 0},
+		[]float64{1, 2, 3, 4, 5}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	u, _ := grb.VectorFromTuples(4, []int{0, 3}, []float64{10, 20}, nil)
+
+	fmt.Println("TABLE I — GraphBLAS operations in the paper's notation")
+	fmt.Println("graph A (weights = edge ids):")
+	fmt.Print(A.Sprint())
+	fmt.Println("vector u:")
+	fmt.Print(u.Sprint())
+
+	section := func(notation, meaning string) {
+		fmt.Printf("\n◆ %-32s %s\n", notation, meaning)
+	}
+
+	// --- mxm ---
+	section("C = A ⊕.⊗ A", "mxm: two-hop paths (plus.times)")
+	C := grb.MustMatrix[float64](4, 4)
+	check(grb.MxM(C, grb.NoMask, nil, grb.PlusTimes[float64](), A, A, nil))
+	fmt.Print(C.Sprint())
+
+	// --- vxm / mxv ---
+	section("wᵀ = uᵀ ⊕.⊗ A", "vxm: navigate out-edges from u's vertices")
+	w := grb.MustVector[float64](4)
+	check(grb.VxM(w, grb.NoVMask, nil, grb.PlusTimes[float64](), u, A, nil))
+	fmt.Print(w.Sprint())
+
+	section("w = A ⊕.⊗ u", "mxv: navigate in-edges (the reverse)")
+	check(grb.MxV(w, grb.NoVMask, nil, grb.PlusTimes[float64](), A, u, nil))
+	fmt.Print(w.Sprint())
+
+	// --- eWiseAdd / eWiseMult ---
+	section("C = A op∪ Aᵀ", "eWiseAdd: union of structures")
+	AT := grb.NewTranspose(A)
+	check(grb.EWiseAdd(C, grb.NoMask, nil, grb.AddOp(grb.PlusOp[float64]()), A, AT, nil))
+	fmt.Printf("  %d entries (A has %d; union adds the reversed edges)\n", C.NVals(), A.NVals())
+
+	section("C = A op∩ Aᵀ", "eWiseMult: intersection of structures")
+	check(grb.EWiseMult(C, grb.NoMask, nil, grb.TimesOp[float64](), A, AT, nil))
+	fmt.Printf("  %d entries (only mutual edges survive: none here except via 0↔3? -> %v)\n",
+		C.NVals(), C.NVals() > 0)
+
+	// --- extract ---
+	section("C = A(i, j)", "extract: induced subgraph on {0,1,2}")
+	sub := grb.MustMatrix[float64](3, 3)
+	check(grb.ExtractSubmatrix(sub, grb.NoMask, nil, A, []int{0, 1, 2}, []int{0, 1, 2}, nil))
+	fmt.Printf("  induced subgraph has %d of %d edges\n", sub.NVals(), A.NVals())
+
+	section("w = A(:, j)", "extract: column 2 = in-neighbours of vertex 2")
+	col := grb.MustVector[float64](4)
+	check(grb.ExtractColumn(col, grb.NoVMask, nil, A, grb.All, 2, nil))
+	fmt.Print(col.Sprint())
+
+	section("w = u(i)", "extract subvector (gather)")
+	sv := grb.MustVector[float64](2)
+	check(grb.ExtractSubvector(sv, grb.NoVMask, nil, u, []int{3, 0}, nil))
+	fmt.Print(sv.Sprint())
+
+	// --- assign ---
+	section("w⟨m⟩(i) = s", "assign: scalar into a masked subvector")
+	target := grb.DenseVector(4, 0.0)
+	mask, _ := grb.VectorFromTuples(4, []int{1, 2}, []bool{true, true}, nil)
+	check(grb.AssignVectorScalar(target, grb.VMaskOf(mask), nil, 9, grb.All, nil))
+	fmt.Print(target.Sprint())
+
+	// --- apply / select ---
+	section("C = f(A, k)", "apply: negate every entry")
+	check(grb.Apply(C, grb.NoMask, nil, grb.AInvOp[float64](), A, nil))
+	fmt.Printf("  A(0,1) applied: %v\n", firstVal(C))
+
+	section("C = A⟨f(A, k)⟩", "select: keep entries > 2 (thunk k = 2)")
+	check(grb.Select(C, grb.NoMask, nil, grb.ValueGT[float64](), A, 2, nil))
+	fmt.Printf("  %d of %d entries survive\n", C.NVals(), A.NVals())
+
+	section("L = tril(A)", "select: lower triangle (triangle counting)")
+	check(grb.Select(C, grb.NoMask, nil, grb.Tril[float64](), A, 0, nil))
+	fmt.Printf("  %d entries in tril\n", C.NVals())
+
+	// --- reduce ---
+	section("w = [⊕_j A(:, j)]", "reduce: row-wise sums (out-weight per vertex)")
+	check(grb.ReduceMatrixToVector(w, grb.NoVMask, nil, grb.PlusMonoid[float64](), A, nil))
+	fmt.Print(w.Sprint())
+
+	section("s = [⊕_ij A(i, j)]", "reduce matrix to scalar")
+	fmt.Printf("  total edge weight: %v\n", grb.ReduceMatrixToScalar(grb.PlusMonoid[float64](), A))
+
+	// --- transpose / dup / build / extractTuples ---
+	section("C = Aᵀ", "transpose")
+	T := grb.MustMatrix[float64](4, 4)
+	check(grb.Transpose(T, grb.NoMask, nil, A, nil))
+	fmt.Printf("  Aᵀ(1,0) = A(0,1): %v\n", firstVal(T))
+
+	section("C ↤ A", "dup")
+	fmt.Printf("  duplicate has %d entries\n", A.Dup().NVals())
+
+	section("{i, j, x} ↤ A", "extractTuples")
+	r, c, _ := A.ExtractTuples()
+	fmt.Printf("  %d tuples, first (%d,%d)\n", len(r), r[0], c[0])
+
+	// --- masks (paper §III-C) ---
+	fmt.Println("\nMASK VARIANTS on w⟨...⟩ = A ⊕.⊗ u")
+	p, _ := grb.VectorFromTuples(4, []int{0, 1}, []float64{1, 0}, nil) // note explicit 0 at 1
+	for _, mc := range []struct {
+		notation string
+		mask     grb.VMask
+	}{
+		{"⟨m⟩     (valued)", grb.VMaskOf(p)},
+		{"⟨¬m⟩    (complemented)", grb.VMaskOf(p).Not()},
+		{"⟨s(m)⟩  (structural)", grb.StructVMaskOf(p)},
+		{"⟨¬s(m)⟩ (comp+structural)", grb.StructVMaskOf(p).Not()},
+	} {
+		out := grb.MustVector[float64](4)
+		check(grb.MxV(out, mc.mask, nil, grb.PlusTimes[float64](), A, u, nil))
+		fmt.Printf("  %-28s -> %d entries\n", mc.notation, out.NVals())
+	}
+
+	// --- Table II semirings ---
+	fmt.Println("\nTABLE II — semirings")
+	fmt.Printf("  %-14s ⊕=%-6s ⊗=%-8s D=%-7s zero=%v\n", "conventional", "plus", "times", "UINT64", 0)
+	demoSemiring("any.secondi", grb.AnySecondI[float64, float64, int64](), A, u)
+	fmt.Printf("  %-14s ⊕=%-6s ⊗=%-8s D=%-7s zero=+∞ (min identity)\n", "min.plus", "min", "plus", "FP64")
+	fmt.Printf("  %-14s ⊕=%-6s ⊗=%-8s\n", "plus.first", "plus", "first")
+	fmt.Printf("  %-14s ⊕=%-6s ⊗=%-8s\n", "plus.second", "plus", "second")
+	fmt.Printf("  %-14s ⊕=%-6s ⊗=%-8s (pair(x,y)=1: structural count)\n", "plus.pair", "plus", "pair")
+}
+
+func demoSemiring(name string, s grb.Semiring[float64, float64, int64], A *grb.Matrix[float64], u *grb.Vector[float64]) {
+	w := grb.MustVector[int64](4)
+	if err := grb.VxM(w, grb.NoVMask, nil, s, u, A, nil); err != nil {
+		log.Fatal(err)
+	}
+	idx, vals := w.ExtractTuples()
+	fmt.Printf("  %-14s ⊕=%-6s ⊗=%-8s e.g. uᵀ⊕.⊗A gives parents %v at %v\n",
+		name, "any", "secondi", vals, idx)
+}
+
+func firstVal(m *grb.Matrix[float64]) float64 {
+	_, _, v := m.ExtractTuples()
+	if len(v) == 0 {
+		return 0
+	}
+	return v[0]
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

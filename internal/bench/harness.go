@@ -1,0 +1,326 @@
+// Package bench is the shared harness behind cmd/gapbench and the
+// top-level testing.B benchmarks: it generates the five benchmark-graph
+// classes of paper Table IV at a configurable scale, builds both the
+// LAGraph (GraphBLAS) and GAP-style representations, and times the six GAP
+// kernels on each — regenerating the rows of paper Table III.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lagraph/internal/gap"
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+)
+
+// GraphNames lists the five benchmark matrices in Table III/IV order.
+var GraphNames = []string{"Kron", "Urand", "Twitter", "Web", "Road"}
+
+// AlgNames lists the six kernels in Table III order.
+var AlgNames = []string{"BC", "BFS", "PR", "CC", "SSSP", "TC"}
+
+// Workload bundles one benchmark graph in every representation the
+// harness needs.
+type Workload struct {
+	Name  string
+	Edges *gen.EdgeList // weighted (uniform [1,255], the GAP convention)
+
+	LG *lagraph.Graph[float64] // LAGraph graph, weights attached
+	GG *gap.Graph              // GAP CSR, weights attached
+
+	Sources []int // deterministic non-isolated source vertices
+}
+
+// Load generates one graph class at the given scale (2^scale vertices for
+// the synthetic classes; Road uses a 2^(scale/2) grid so its vertex count
+// matches) and prepares both representations.
+func Load(name string, scale, edgeFactor int, seed uint64) (*Workload, error) {
+	var e *gen.EdgeList
+	switch name {
+	case "Kron":
+		e = gen.Kron(scale, edgeFactor, seed)
+	case "Urand":
+		e = gen.Urand(scale, edgeFactor, seed)
+	case "Twitter":
+		e = gen.Twitter(scale, edgeFactor, seed)
+	case "Web":
+		e = gen.Web(scale, edgeFactor, seed)
+	case "Road":
+		e = gen.Road(1<<(scale/2), seed)
+	default:
+		return nil, fmt.Errorf("unknown graph class %q", name)
+	}
+	e.AddUniformWeights(seed+17, 1, 255)
+
+	ptr, idx, vals := e.CSR()
+	A, err := grb.ImportCSR(e.N, e.N, ptr, idx, vals, false)
+	if err != nil {
+		return nil, err
+	}
+	kind := lagraph.AdjacencyUndirected
+	if e.Directed {
+		kind = lagraph.AdjacencyDirected
+	}
+	lg, err := lagraph.New(&A, kind)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-compute the cached properties outside the timed region, exactly
+	// as the GAP benchmark builds its graph (and its transpose for pull)
+	// before timing.
+	if err := lg.PropertyAT(); err != nil && !lagraph.IsWarning(err) {
+		return nil, err
+	}
+	if err := lg.PropertyRowDegree(); err != nil && !lagraph.IsWarning(err) {
+		return nil, err
+	}
+	gg := gap.Build(e.N, e.Src, e.Dst, e.W, e.Directed)
+
+	w := &Workload{Name: name, Edges: e, LG: lg, GG: gg}
+	w.Sources = pickSources(e, 64)
+	return w, nil
+}
+
+// pickSources deterministically samples vertices with out-degree > 0, the
+// way the GAP runner samples sources.
+func pickSources(e *gen.EdgeList, count int) []int {
+	deg := make([]int, e.N)
+	for _, s := range e.Src {
+		deg[s]++
+	}
+	var sources []int
+	rng := uint64(12345)
+	for len(sources) < count {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		v := int(rng % uint64(e.N))
+		if deg[v] > 0 {
+			sources = append(sources, v)
+		}
+	}
+	return sources
+}
+
+// Result is one timed cell of Table III.
+type Result struct {
+	Alg, Impl, Graph string
+	Seconds          float64
+	Check            string // brief correctness note (e.g. triangle count)
+}
+
+// timeIt runs f once and returns elapsed seconds.
+func timeIt(f func() error) (float64, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start).Seconds(), err
+}
+
+// RunCell times one (algorithm, implementation) cell on a workload,
+// averaging `trials` runs from the workload's source list (source-based
+// kernels rotate sources, as the GAP runner does).
+func RunCell(alg, impl string, w *Workload, trials int) (Result, error) {
+	if trials < 1 {
+		trials = 1
+	}
+	res := Result{Alg: alg, Impl: impl, Graph: w.Name}
+	total := 0.0
+	for trial := 0; trial < trials; trial++ {
+		src := w.Sources[trial%len(w.Sources)]
+		secs, err := runOnce(alg, impl, w, src, trial, &res)
+		if err != nil {
+			return res, err
+		}
+		total += secs
+	}
+	res.Seconds = total / float64(trials)
+	return res, nil
+}
+
+func runOnce(alg, impl string, w *Workload, src, trial int, res *Result) (float64, error) {
+	switch alg + "/" + impl {
+	case "BFS/GAP":
+		return timeIt(func() error {
+			gap.BFSParents(w.GG, int32(src))
+			return nil
+		})
+	case "BFS/SS":
+		return timeIt(func() error {
+			_, err := lagraph.BFSParent(w.LG, src)
+			return err
+		})
+	case "BC/GAP":
+		return timeIt(func() error {
+			gap.BC(w.GG, toInt32(bcBatch(w, trial)))
+			return nil
+		})
+	case "BC/SS":
+		return timeIt(func() error {
+			_, err := lagraph.BetweennessCentralityAdvanced(w.LG, bcBatch(w, trial))
+			return err
+		})
+	case "PR/GAP":
+		return timeIt(func() error {
+			_, iters := gap.PageRank(w.GG, 0.85, 1e-4, 20)
+			res.Check = fmt.Sprintf("%d iters", iters)
+			return nil
+		})
+	case "PR/SS":
+		return timeIt(func() error {
+			_, iters, err := lagraph.PageRankGAP(w.LG, 0.85, 1e-4, 20)
+			res.Check = fmt.Sprintf("%d iters", iters)
+			return err
+		})
+	case "CC/GAP":
+		return timeIt(func() error {
+			comp := gap.ConnectedComponents(w.GG)
+			res.Check = fmt.Sprintf("%d comps", countDistinct32(comp))
+			return nil
+		})
+	case "CC/SS":
+		return timeIt(func() error {
+			f, err := lagraph.ConnectedComponents(w.LG)
+			if err != nil {
+				return err
+			}
+			res.Check = fmt.Sprintf("%d comps", countDistinctVec(f))
+			return nil
+		})
+	case "SSSP/GAP":
+		return timeIt(func() error {
+			gap.SSSPDelta(w.GG, int32(src), 64)
+			return nil
+		})
+	case "SSSP/SS":
+		return timeIt(func() error {
+			_, err := lagraph.SSSPDeltaStepping(w.LG, src, 64)
+			return err
+		})
+	case "TC/GAP":
+		return timeIt(func() error {
+			t := gap.TriangleCount(w.GG)
+			res.Check = fmt.Sprintf("%d triangles", t)
+			return nil
+		})
+	case "TC/SS":
+		return timeIt(func() error {
+			t, err := lagraph.TriangleCount(w.LG)
+			if err != nil && !lagraph.IsWarning(err) {
+				return err
+			}
+			res.Check = fmt.Sprintf("%d triangles", t)
+			return nil
+		})
+	default:
+		return 0, fmt.Errorf("unknown cell %s/%s", alg, impl)
+	}
+}
+
+// bcBatch returns the 4-source batch for a trial (ns = 4 is the typical
+// batch size, paper §IV-B).
+func bcBatch(w *Workload, trial int) []int {
+	batch := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		batch = append(batch, w.Sources[(4*trial+i)%len(w.Sources)])
+	}
+	return batch
+}
+
+func toInt32(xs []int) []int32 {
+	out := make([]int32, len(xs))
+	for i, x := range xs {
+		out[i] = int32(x)
+	}
+	return out
+}
+
+func countDistinct32(xs []int32) int {
+	seen := map[int32]bool{}
+	for _, x := range xs {
+		seen[x] = true
+	}
+	return len(seen)
+}
+
+func countDistinctVec(v *grb.Vector[int64]) int {
+	seen := map[int64]bool{}
+	v.Iterate(func(_ int, x int64) { seen[x] = true })
+	return len(seen)
+}
+
+// TCNote: TC on undirected classes only makes sense (directed Twitter/Web
+// are symmetrised in the real GAP runner; we do the same).
+func TCWorkload(w *Workload) *Workload {
+	if !w.Edges.Directed {
+		return w
+	}
+	// Symmetrise: append reversed edges, dedupe via the generator helper.
+	sym := &gen.EdgeList{N: w.Edges.N, Name: w.Edges.Name, Directed: false}
+	sym.Src = append(append([]int32{}, w.Edges.Src...), w.Edges.Dst...)
+	sym.Dst = append(append([]int32{}, w.Edges.Dst...), w.Edges.Src...)
+	symW, err := Load2(sym)
+	if err != nil {
+		return w
+	}
+	return symW
+}
+
+// Load2 builds a Workload from an existing edge list (used for the
+// symmetrised TC inputs).
+func Load2(e *gen.EdgeList) (*Workload, error) {
+	dedupe(e)
+	e.AddUniformWeights(99, 1, 255)
+	ptr, idx, vals := e.CSR()
+	A, err := grb.ImportCSR(e.N, e.N, ptr, idx, vals, false)
+	if err != nil {
+		return nil, err
+	}
+	kind := lagraph.AdjacencyUndirected
+	if e.Directed {
+		kind = lagraph.AdjacencyDirected
+	}
+	lg, err := lagraph.New(&A, kind)
+	if err != nil {
+		return nil, err
+	}
+	if err := lg.PropertyAT(); err != nil && !lagraph.IsWarning(err) {
+		return nil, err
+	}
+	if err := lg.PropertyRowDegree(); err != nil && !lagraph.IsWarning(err) {
+		return nil, err
+	}
+	gg := gap.Build(e.N, e.Src, e.Dst, e.W, e.Directed)
+	w := &Workload{Name: e.Name, Edges: e, LG: lg, GG: gg}
+	w.Sources = pickSources(e, 64)
+	return w, nil
+}
+
+// dedupe removes duplicate directed edges and self loops in place.
+func dedupe(e *gen.EdgeList) {
+	type pair struct{ u, v int32 }
+	idx := make([]int, len(e.Src))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if e.Src[idx[a]] != e.Src[idx[b]] {
+			return e.Src[idx[a]] < e.Src[idx[b]]
+		}
+		return e.Dst[idx[a]] < e.Dst[idx[b]]
+	})
+	var outS, outD []int32
+	for _, i := range idx {
+		u, v := e.Src[i], e.Dst[i]
+		if u == v {
+			continue
+		}
+		if len(outS) > 0 && outS[len(outS)-1] == u && outD[len(outD)-1] == v {
+			continue
+		}
+		outS = append(outS, u)
+		outD = append(outD, v)
+	}
+	e.Src, e.Dst = outS, outD
+	e.W = nil
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"lagraph/internal/lagraph"
+)
+
+func TestLoadAllClasses(t *testing.T) {
+	for _, name := range GraphNames {
+		w, err := Load(name, 8, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if w.LG == nil || w.GG == nil || w.Edges == nil {
+			t.Fatalf("%s: missing representation", name)
+		}
+		if w.LG.AT == nil || w.LG.RowDegree == nil {
+			t.Fatalf("%s: properties not pre-cached", name)
+		}
+		if len(w.Sources) != 64 {
+			t.Fatalf("%s: %d sources", name, len(w.Sources))
+		}
+		// Both representations agree on size.
+		if int(w.GG.N) != w.Edges.N || w.LG.NumNodes() != w.Edges.N {
+			t.Fatalf("%s: node count mismatch", name)
+		}
+		if int(w.GG.NumEdges()) != w.LG.A.NVals() {
+			t.Fatalf("%s: edge count mismatch gap=%d lagraph=%d",
+				name, w.GG.NumEdges(), w.LG.A.NVals())
+		}
+	}
+	if _, err := Load("NoSuch", 8, 4, 1); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestRunCellAllAlgorithmsBothImpls(t *testing.T) {
+	w, err := Load("Urand", 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := TCWorkload(w)
+	for _, alg := range AlgNames {
+		for _, impl := range []string{"GAP", "SS"} {
+			ww := w
+			if alg == "TC" {
+				ww = tc
+			}
+			res, err := RunCell(alg, impl, ww, 1)
+			if err != nil && !lagraph.IsWarning(err) {
+				t.Fatalf("%s/%s: %v", alg, impl, err)
+			}
+			if res.Seconds < 0 {
+				t.Fatalf("%s/%s: negative time", alg, impl)
+			}
+		}
+	}
+	if _, err := RunCell("XX", "GAP", w, 1); err == nil {
+		t.Fatal("unknown cell accepted")
+	}
+}
+
+func TestRunCellChecksAgree(t *testing.T) {
+	// The harness's correctness notes (triangle count, component count)
+	// must agree across implementations — a coarse end-to-end guard.
+	w, err := Load("Kron", 8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"TC", "CC"} {
+		ww := w
+		if alg == "TC" {
+			ww = TCWorkload(w)
+		}
+		gapRes, err := RunCell(alg, "GAP", ww, 1)
+		if err != nil && !lagraph.IsWarning(err) {
+			t.Fatal(err)
+		}
+		ssRes, err := RunCell(alg, "SS", ww, 1)
+		if err != nil && !lagraph.IsWarning(err) {
+			t.Fatal(err)
+		}
+		if gapRes.Check == "" || gapRes.Check != ssRes.Check {
+			t.Fatalf("%s: checks differ: GAP=%q SS=%q", alg, gapRes.Check, ssRes.Check)
+		}
+	}
+}
+
+func TestTCWorkloadSymmetrises(t *testing.T) {
+	w, err := Load("Twitter", 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw := TCWorkload(w)
+	if tw.Edges.Directed {
+		t.Fatal("TC workload still directed")
+	}
+	if tw.LG.Kind != lagraph.AdjacencyUndirected {
+		t.Fatal("TC graph kind not undirected")
+	}
+	if err := tw.LG.CheckGraph(); err != nil {
+		t.Fatalf("symmetrised graph invalid: %v", err)
+	}
+	// Undirected classes pass through untouched.
+	u, _ := Load("Kron", 8, 4, 1)
+	if TCWorkload(u) != u {
+		t.Fatal("undirected workload should pass through")
+	}
+}
+
+func TestPickSourcesHaveOutDegree(t *testing.T) {
+	w, err := Load("Road", 8, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range w.Sources {
+		if w.GG.OutDegree(int32(s)) == 0 {
+			t.Fatalf("source %d has no out-edges", s)
+		}
+	}
+}
+
+func TestTableIVShapes(t *testing.T) {
+	// The class properties Table IV's graphs stand for: sizes match the
+	// requested scale, kinds match the paper's table, and the degree
+	// structure orders as expected (Kron most skewed, Road least).
+	scale := 9
+	stats := map[string]struct {
+		directed bool
+		maxDeg   int64
+	}{}
+	for _, name := range GraphNames {
+		w, err := Load(name, scale, 8, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w.Edges.N != 1<<scale && name != "Road" {
+			t.Fatalf("%s: %d nodes, want %d", name, w.Edges.N, 1<<scale)
+		}
+		var maxDeg int64
+		for v := int32(0); v < w.GG.N; v++ {
+			if d := w.GG.OutDegree(v); d > maxDeg {
+				maxDeg = d
+			}
+		}
+		stats[name] = struct {
+			directed bool
+			maxDeg   int64
+		}{w.Edges.Directed, maxDeg}
+	}
+	wantKind := map[string]bool{
+		"Kron": false, "Urand": false, "Twitter": true, "Web": true, "Road": true,
+	}
+	for name, directed := range wantKind {
+		if stats[name].directed != directed {
+			t.Fatalf("%s: directed=%v, want %v (Table IV kind)", name, stats[name].directed, directed)
+		}
+	}
+	if stats["Kron"].maxDeg <= stats["Urand"].maxDeg {
+		t.Fatalf("Kron max degree (%d) should exceed Urand's (%d)",
+			stats["Kron"].maxDeg, stats["Urand"].maxDeg)
+	}
+	if stats["Road"].maxDeg > 8 {
+		t.Fatalf("Road max degree %d too large for a grid", stats["Road"].maxDeg)
+	}
+}
+
+func TestResultLabels(t *testing.T) {
+	w, _ := Load("Urand", 8, 4, 1)
+	res, err := RunCell("PR", "SS", w, 1)
+	if err != nil && !lagraph.IsWarning(err) {
+		t.Fatal(err)
+	}
+	if res.Alg != "PR" || res.Impl != "SS" || res.Graph != "Urand" {
+		t.Fatalf("labels: %+v", res)
+	}
+	if !strings.Contains(res.Check, "iters") {
+		t.Fatalf("PR check note missing: %q", res.Check)
+	}
+}

@@ -1,0 +1,363 @@
+package gap
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+
+	"lagraph/internal/gen"
+)
+
+func buildFrom(e *gen.EdgeList) *Graph {
+	return Build(e.N, e.Src, e.Dst, e.W, e.Directed)
+}
+
+func randomEdges(rng *rand.Rand, n int, m int, directed bool) *gen.EdgeList {
+	seen := map[[2]int32]bool{}
+	e := &gen.EdgeList{N: n, Directed: directed}
+	for len(e.Src) < m {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		if u == v || seen[[2]int32{u, v}] {
+			continue
+		}
+		seen[[2]int32{u, v}] = true
+		e.Src = append(e.Src, u)
+		e.Dst = append(e.Dst, v)
+		if !directed && !seen[[2]int32{v, u}] {
+			seen[[2]int32{v, u}] = true
+			e.Src = append(e.Src, v)
+			e.Dst = append(e.Dst, u)
+		}
+	}
+	return e
+}
+
+func refLevels(g *Graph, src int32) []int32 {
+	lev := make([]int32, g.N)
+	for i := range lev {
+		lev[i] = -1
+	}
+	lev[src] = 0
+	q := []int32{src}
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range g.OutNeighbors(u) {
+			if lev[v] < 0 {
+				lev[v] = lev[u] + 1
+				q = append(q, v)
+			}
+		}
+	}
+	return lev
+}
+
+func TestBuildGraphStructure(t *testing.T) {
+	e := &gen.EdgeList{N: 4, Src: []int32{0, 0, 2}, Dst: []int32{1, 3, 1}, Directed: true}
+	g := buildFrom(e)
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 || g.InDegree(1) != 2 || g.OutDegree(1) != 0 {
+		t.Fatal("degrees wrong")
+	}
+	out := g.OutNeighbors(0)
+	if len(out) != 2 || out[0] != 1 || out[1] != 3 {
+		t.Fatalf("adjacency not sorted: %v", out)
+	}
+	in := g.InNeighbors(1)
+	if len(in) != 2 || in[0] != 0 || in[1] != 2 {
+		t.Fatalf("in-adjacency: %v", in)
+	}
+}
+
+func TestBFSParentsValidOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 10 + rng.Intn(80)
+		e := randomEdges(rng, n, 3*n, trial%2 == 0)
+		g := buildFrom(e)
+		src := int32(rng.Intn(n))
+		parent := BFSParents(g, src)
+		lev := refLevels(g, src)
+		for i := int32(0); i < g.N; i++ {
+			switch {
+			case lev[i] < 0:
+				if parent[i] >= 0 {
+					t.Fatalf("unreached %d has parent %d", i, parent[i])
+				}
+			case i == src:
+				if parent[i] != src {
+					t.Fatalf("source parent %d", parent[i])
+				}
+			default:
+				p := parent[i]
+				if p < 0 || lev[p] != lev[i]-1 {
+					t.Fatalf("vertex %d (level %d): parent %d (level %d)", i, lev[i], p, lev[p])
+				}
+			}
+		}
+	}
+}
+
+func TestBFSForcedBottomUp(t *testing.T) {
+	// A dense graph hits the bottom-up switch immediately.
+	rng := rand.New(rand.NewSource(2))
+	e := randomEdges(rng, 60, 60*30, false)
+	g := buildFrom(e)
+	parent := BFSParents(g, 0)
+	lev := refLevels(g, 0)
+	for i := int32(0); i < g.N; i++ {
+		if (lev[i] >= 0) != (parent[i] >= 0) {
+			t.Fatalf("reachability mismatch at %d", i)
+		}
+	}
+}
+
+func TestBFSLevelsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := randomEdges(rng, 50, 150, true)
+	g := buildFrom(e)
+	lev := BFSLevels(g, 0)
+	want := refLevels(g, 0)
+	for i := range lev {
+		if lev[i] != want[i] {
+			t.Fatalf("level(%d) = %d want %d", i, lev[i], want[i])
+		}
+	}
+}
+
+func TestPageRankUniformOnRegularGraph(t *testing.T) {
+	// A directed cycle is 1-regular: PageRank must be uniform.
+	n := 20
+	e := &gen.EdgeList{N: n, Directed: true}
+	for i := 0; i < n; i++ {
+		e.Src = append(e.Src, int32(i))
+		e.Dst = append(e.Dst, int32((i+1)%n))
+	}
+	g := buildFrom(e)
+	scores, _ := PageRank(g, 0.85, 1e-12, 200)
+	for i, s := range scores {
+		if math.Abs(s-1.0/float64(n)) > 1e-9 {
+			t.Fatalf("score(%d) = %v, want uniform", i, s)
+		}
+	}
+}
+
+func TestPageRankIterationCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	e := randomEdges(rng, 40, 160, true)
+	g := buildFrom(e)
+	_, it1 := PageRank(g, 0.85, 1e-2, 100)
+	_, it2 := PageRank(g, 0.85, 1e-10, 100)
+	if it1 > it2 {
+		t.Fatalf("looser tolerance took more iterations (%d > %d)", it1, it2)
+	}
+}
+
+func TestPageRankLeaksRankAtSinks(t *testing.T) {
+	// The paper notes the GAP PR spec "does not properly handle dangling
+	// vertices": with a sink the scores no longer sum to 1. The baseline
+	// must reproduce that defect faithfully.
+	e := &gen.EdgeList{N: 3, Directed: true,
+		Src: []int32{0, 1}, Dst: []int32{1, 2}}
+	g := buildFrom(e)
+	scores, _ := PageRank(g, 0.85, 1e-10, 200)
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	if sum >= 0.999 {
+		t.Fatalf("GAP PR should leak rank at sinks, sum=%v", sum)
+	}
+}
+
+func refTriangleCount(g *Graph) int64 {
+	var count int64
+	for u := int32(0); u < g.N; u++ {
+		for _, v := range g.OutNeighbors(u) {
+			if v <= u {
+				continue
+			}
+			count += func() int64 {
+				var c int64
+				for _, w := range g.OutNeighbors(v) {
+					if w <= v {
+						continue
+					}
+					// u-w edge?
+					for _, x := range g.OutNeighbors(u) {
+						if x == w {
+							c++
+							break
+						}
+					}
+				}
+				return c
+			}()
+		}
+	}
+	return count
+}
+
+func TestTriangleCountMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 8 + rng.Intn(40)
+		e := randomEdges(rng, n, 4*n, false)
+		g := buildFrom(e)
+		want := refTriangleCount(g)
+		if got := TriangleCount(g); got != want {
+			t.Fatalf("TC = %d want %d", got, want)
+		}
+	}
+	// Skewed graph exercises the relabelling path.
+	k := gen.Kron(8, 8, 3)
+	g := buildFrom(k)
+	want := refTriangleCount(g)
+	if got := TriangleCount(g); got != want {
+		t.Fatalf("Kron TC = %d want %d", got, want)
+	}
+}
+
+func TestConnectedComponentsAgainstUnionFind(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(100)
+		e := randomEdges(rng, n, n+rng.Intn(n), trial%2 == 0)
+		g := buildFrom(e)
+		got := ConnectedComponents(g)
+		// union-find reference (undirected view)
+		parent := make([]int, n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for k := range e.Src {
+			a, b := find(int(e.Src[k])), find(int(e.Dst[k]))
+			if a != b {
+				parent[a] = b
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (find(i) == find(j)) != (got[i] == got[j]) {
+					t.Fatalf("partition mismatch (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+}
+
+// Dijkstra reference for SSSP.
+type pqItem struct {
+	v int32
+	d float32
+}
+type pq []pqItem
+
+func (h pq) Len() int            { return len(h) }
+func (h pq) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h pq) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pq) Push(x interface{}) { *h = append(*h, x.(pqItem)) }
+func (h *pq) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+func refDijkstra(g *Graph, src int32) []float32 {
+	dist := make([]float32, g.N)
+	inf := float32(math.Inf(1))
+	for i := range dist {
+		dist[i] = inf
+	}
+	dist[src] = 0
+	h := &pq{{src, 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for k := g.OutPtr[it.v]; k < g.OutPtr[it.v+1]; k++ {
+			w := float32(1)
+			if g.OutW != nil {
+				w = g.OutW[k]
+			}
+			v := g.OutAdj[k]
+			if nd := it.d + w; nd < dist[v] {
+				dist[v] = nd
+				heap.Push(h, pqItem{v, nd})
+			}
+		}
+	}
+	return dist
+}
+
+func TestSSSPDeltaMatchesDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 10 + rng.Intn(60)
+		e := randomEdges(rng, n, 4*n, trial%2 == 0)
+		e.AddUniformWeights(uint64(trial), 1, 20)
+		g := buildFrom(e)
+		src := int32(rng.Intn(n))
+		for _, delta := range []float32{1, 5, 1000} {
+			got := SSSPDelta(g, src, delta)
+			want := refDijkstra(g, src)
+			for i := range got {
+				if math.IsInf(float64(want[i]), 1) {
+					if !math.IsInf(float64(got[i]), 1) {
+						t.Fatalf("delta %v: unreachable %d got %v", delta, i, got[i])
+					}
+					continue
+				}
+				if math.Abs(float64(got[i]-want[i])) > 1e-4 {
+					t.Fatalf("delta %v: dist(%d) = %v want %v", delta, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestBCPathGraph(t *testing.T) {
+	// Path 0-1-2-3 from source 0: bc(1)=2, bc(2)=1.
+	e := &gen.EdgeList{N: 4,
+		Src: []int32{0, 1, 1, 2, 2, 3},
+		Dst: []int32{1, 0, 2, 1, 3, 2}}
+	g := buildFrom(e)
+	bc := BC(g, []int32{0})
+	if bc[1] != 2 || bc[2] != 1 || bc[0] != 0 || bc[3] != 0 {
+		t.Fatalf("path BC = %v", bc)
+	}
+}
+
+func TestBCSymmetricStar(t *testing.T) {
+	// Star: hub 0, leaves 1..5. From a leaf source, the hub carries all
+	// pair paths to the other leaves.
+	e := &gen.EdgeList{N: 6}
+	for i := int32(1); i < 6; i++ {
+		e.Src = append(e.Src, 0, i)
+		e.Dst = append(e.Dst, i, 0)
+	}
+	g := buildFrom(e)
+	bc := BC(g, []int32{1})
+	if bc[0] != 4 { // paths from 1 to {2,3,4,5} all cross the hub
+		t.Fatalf("hub BC = %v", bc[0])
+	}
+	for i := 1; i < 6; i++ {
+		if bc[i] != 0 {
+			t.Fatalf("leaf %d BC = %v", i, bc[i])
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package gap contains direct (non-linear-algebra) reference
+// implementations of the six GAP-benchmark kernels, in the style of the
+// GAP suite's C++ codes: direction-optimizing BFS with a bitmap frontier,
+// Brandes betweenness centrality, PageRank power iteration, delta-stepping
+// SSSP with buckets, triangle counting by sorted-adjacency intersection,
+// and a Shiloach–Vishkin-style connected components.
+//
+// Vertex ids are int32 throughout, deliberately reproducing the GAP
+// assumption the paper discusses in §VI-B ("GAP assumes that the graph has
+// fewer than 2^32 nodes and edges, and thus uses 32-bit integers
+// throughout", whereas GraphBLAS uses 64-bit indices). This is part of the
+// baseline's performance profile, not an accident.
+package gap
+
+import (
+	"sort"
+
+	"lagraph/internal/parallel"
+)
+
+// Graph is the GAP-style CSR graph: out-edges, and for directed graphs the
+// incoming lists needed by pull-direction kernels. For undirected graphs
+// the in-arrays alias the out-arrays.
+type Graph struct {
+	N        int32
+	Directed bool
+
+	OutPtr []int64
+	OutAdj []int32
+	OutW   []float32 // nil if unweighted
+
+	InPtr []int64
+	InAdj []int32
+	InW   []float32
+}
+
+// Build constructs a Graph from a directed edge list (undirected inputs
+// must contain both orientations, as the generators produce).
+func Build(n int, src, dst []int32, w []float64, directed bool) *Graph {
+	g := &Graph{N: int32(n), Directed: directed}
+	g.OutPtr, g.OutAdj, g.OutW = buildCSR(n, src, dst, w)
+	if directed {
+		g.InPtr, g.InAdj, g.InW = buildCSR(n, dst, src, w)
+	} else {
+		g.InPtr, g.InAdj, g.InW = g.OutPtr, g.OutAdj, g.OutW
+	}
+	return g
+}
+
+func buildCSR(n int, src, dst []int32, w []float64) ([]int64, []int32, []float32) {
+	ptr := make([]int64, n+1)
+	for _, s := range src {
+		ptr[s+1]++
+	}
+	for i := 0; i < n; i++ {
+		ptr[i+1] += ptr[i]
+	}
+	adj := make([]int32, len(src))
+	var wts []float32
+	if w != nil {
+		wts = make([]float32, len(src))
+	}
+	next := make([]int64, n)
+	copy(next, ptr[:n])
+	for k := range src {
+		p := next[src[k]]
+		next[src[k]]++
+		adj[p] = dst[k]
+		if w != nil {
+			wts[p] = float32(w[k])
+		}
+	}
+	// Sort each adjacency list (GAP builds sorted CSR; TC requires it).
+	parallel.Guided(n, 64, func(i int) {
+		lo, hi := ptr[i], ptr[i+1]
+		if wts == nil {
+			s := adj[lo:hi]
+			sort.Slice(s, func(a, b int) bool { return s[a] < s[b] })
+			return
+		}
+		type ew struct {
+			v int32
+			w float32
+		}
+		tmp := make([]ew, hi-lo)
+		for k := range tmp {
+			tmp[k] = ew{adj[lo+int64(k)], wts[lo+int64(k)]}
+		}
+		sort.Slice(tmp, func(a, b int) bool { return tmp[a].v < tmp[b].v })
+		for k := range tmp {
+			adj[lo+int64(k)] = tmp[k].v
+			wts[lo+int64(k)] = tmp[k].w
+		}
+	})
+	return ptr, adj, wts
+}
+
+// NumEdges returns the directed edge count.
+func (g *Graph) NumEdges() int64 { return g.OutPtr[g.N] }
+
+// OutDegree returns the out-degree of u.
+func (g *Graph) OutDegree(u int32) int64 { return g.OutPtr[u+1] - g.OutPtr[u] }
+
+// InDegree returns the in-degree of u.
+func (g *Graph) InDegree(u int32) int64 { return g.InPtr[u+1] - g.InPtr[u] }
+
+// OutNeighbors returns u's out-adjacency slice (sorted, read-only).
+func (g *Graph) OutNeighbors(u int32) []int32 {
+	return g.OutAdj[g.OutPtr[u]:g.OutPtr[u+1]]
+}
+
+// InNeighbors returns u's in-adjacency slice (sorted, read-only).
+func (g *Graph) InNeighbors(u int32) []int32 {
+	return g.InAdj[g.InPtr[u]:g.InPtr[u+1]]
+}
+
+// bitmap is the GAP-style dense visited/frontier set.
+type bitmap struct{ words []uint64 }
+
+func newBitmap(n int32) *bitmap { return &bitmap{words: make([]uint64, (n+63)/64)} }
+
+func (b *bitmap) set(i int32)      { b.words[i>>6] |= 1 << (uint(i) & 63) }
+func (b *bitmap) get(i int32) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+func (b *bitmap) reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}

@@ -1,0 +1,235 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+)
+
+func degrees(e *EdgeList) []int {
+	d := make([]int, e.N)
+	for _, s := range e.Src {
+		d[s]++
+	}
+	return d
+}
+
+func checkValid(t *testing.T, e *EdgeList) {
+	t.Helper()
+	if e.N <= 0 {
+		t.Fatal("empty graph")
+	}
+	seen := map[[2]int32]bool{}
+	for k := range e.Src {
+		if e.Src[k] < 0 || int(e.Src[k]) >= e.N || e.Dst[k] < 0 || int(e.Dst[k]) >= e.N {
+			t.Fatalf("edge %d out of range: %d->%d", k, e.Src[k], e.Dst[k])
+		}
+		if e.Src[k] == e.Dst[k] {
+			t.Fatalf("self loop at %d", e.Src[k])
+		}
+		key := [2]int32{e.Src[k], e.Dst[k]}
+		if seen[key] {
+			t.Fatalf("duplicate edge %v", key)
+		}
+		seen[key] = true
+	}
+}
+
+func checkSymmetric(t *testing.T, e *EdgeList) {
+	t.Helper()
+	seen := map[[2]int32]bool{}
+	for k := range e.Src {
+		seen[[2]int32{e.Src[k], e.Dst[k]}] = true
+	}
+	for k := range e.Src {
+		if !seen[[2]int32{e.Dst[k], e.Src[k]}] {
+			t.Fatalf("missing reverse edge %d->%d", e.Dst[k], e.Src[k])
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := Kron(8, 8, 42)
+	b := Kron(8, 8, 42)
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("Kron not deterministic")
+	}
+	for k := range a.Src {
+		if a.Src[k] != b.Src[k] || a.Dst[k] != b.Dst[k] {
+			t.Fatal("Kron edge lists differ")
+		}
+	}
+	c := Kron(8, 8, 43)
+	if c.NumEdges() == a.NumEdges() {
+		same := true
+		for k := range a.Src {
+			if a.Src[k] != c.Src[k] || a.Dst[k] != c.Dst[k] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestKronClassProperties(t *testing.T) {
+	e := Kron(10, 8, 1)
+	checkValid(t, e)
+	checkSymmetric(t, e)
+	if e.Directed {
+		t.Fatal("Kron must be undirected")
+	}
+	// Power-law-ish: max degree far above mean.
+	d := degrees(e)
+	sort.Ints(d)
+	maxd := d[len(d)-1]
+	mean := float64(e.NumEdges()) / float64(e.N)
+	if float64(maxd) < 5*mean {
+		t.Fatalf("Kron degree skew too small: max %d, mean %.1f", maxd, mean)
+	}
+}
+
+func TestUrandClassProperties(t *testing.T) {
+	e := Urand(10, 8, 1)
+	checkValid(t, e)
+	checkSymmetric(t, e)
+	d := degrees(e)
+	sort.Ints(d)
+	maxd := d[len(d)-1]
+	mean := float64(e.NumEdges()) / float64(e.N)
+	// Uniform: max degree within a small factor of the mean.
+	if float64(maxd) > 4*mean {
+		t.Fatalf("Urand too skewed: max %d, mean %.1f", maxd, mean)
+	}
+	// Urand must be notably less skewed than Kron at the same scale.
+	k := Kron(10, 8, 1)
+	dk := degrees(k)
+	sort.Ints(dk)
+	if dk[len(dk)-1] <= maxd {
+		t.Fatal("Kron should have higher max degree than Urand")
+	}
+}
+
+func TestTwitterDirectedSkew(t *testing.T) {
+	e := Twitter(10, 8, 1)
+	checkValid(t, e)
+	if !e.Directed {
+		t.Fatal("Twitter must be directed")
+	}
+	// In-degree skew: celebrities collect followers.
+	in := make([]int, e.N)
+	for _, dv := range e.Dst {
+		in[dv]++
+	}
+	sort.Ints(in)
+	mean := float64(e.NumEdges()) / float64(e.N)
+	if float64(in[len(in)-1]) < 8*mean {
+		t.Fatalf("Twitter in-degree skew too small: max %d, mean %.1f", in[len(in)-1], mean)
+	}
+}
+
+func TestWebDirected(t *testing.T) {
+	e := Web(10, 8, 1)
+	checkValid(t, e)
+	if !e.Directed {
+		t.Fatal("Web must be directed")
+	}
+}
+
+// bfsDiameterLB runs BFS from vertex 0 and returns the eccentricity — a
+// lower bound on diameter.
+func bfsEccentricity(e *EdgeList) int {
+	adj := make([][]int32, e.N)
+	for k := range e.Src {
+		adj[e.Src[k]] = append(adj[e.Src[k]], e.Dst[k])
+		adj[e.Dst[k]] = append(adj[e.Dst[k]], e.Src[k])
+	}
+	dist := make([]int, e.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[0] = 0
+	q := []int32{0}
+	maxd := 0
+	for len(q) > 0 {
+		u := q[0]
+		q = q[1:]
+		for _, v := range adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				if dist[v] > maxd {
+					maxd = dist[v]
+				}
+				q = append(q, v)
+			}
+		}
+	}
+	return maxd
+}
+
+func TestRoadHighDiameter(t *testing.T) {
+	road := Road(32, 1) // 1024 vertices
+	checkValid(t, road)
+	kron := Kron(10, 8, 1) // 1024 vertices
+	dr := bfsEccentricity(road)
+	dk := bfsEccentricity(kron)
+	if dr < 5*dk {
+		t.Fatalf("Road diameter (%d) should dwarf Kron's (%d)", dr, dk)
+	}
+	if dr < 31 {
+		t.Fatalf("Road eccentricity %d too small for a 32x32 grid", dr)
+	}
+}
+
+func TestAddUniformWeights(t *testing.T) {
+	e := Kron(8, 4, 9)
+	e.AddUniformWeights(7, 1, 255)
+	if len(e.W) != e.NumEdges() {
+		t.Fatal("weight count mismatch")
+	}
+	w := map[[2]int32]float64{}
+	for k := range e.Src {
+		if e.W[k] < 1 || e.W[k] > 255 {
+			t.Fatalf("weight %v outside [1,255]", e.W[k])
+		}
+		w[[2]int32{e.Src[k], e.Dst[k]}] = e.W[k]
+	}
+	// Undirected symmetry: w(u,v) == w(v,u).
+	for k := range e.Src {
+		if w[[2]int32{e.Dst[k], e.Src[k]}] != e.W[k] {
+			t.Fatalf("asymmetric weights on undirected edge %d-%d", e.Src[k], e.Dst[k])
+		}
+	}
+	// Directed graphs get per-edge weights.
+	d := Twitter(8, 4, 9)
+	d.AddUniformWeights(7, 1, 255)
+	if len(d.W) != d.NumEdges() {
+		t.Fatal("directed weight count mismatch")
+	}
+}
+
+func TestCSRConversion(t *testing.T) {
+	e := Urand(8, 4, 3)
+	ptr, idx, vals := e.CSR()
+	if len(ptr) != e.N+1 || ptr[e.N] != e.NumEdges() || len(idx) != e.NumEdges() {
+		t.Fatal("CSR shape wrong")
+	}
+	for i := 0; i < e.N; i++ {
+		if ptr[i] > ptr[i+1] {
+			t.Fatal("ptr not monotone")
+		}
+	}
+	for _, v := range vals {
+		if v != 1 {
+			t.Fatal("unweighted CSR should carry unit values")
+		}
+	}
+	// Edge count per source must match.
+	d := degrees(e)
+	for i := 0; i < e.N; i++ {
+		if ptr[i+1]-ptr[i] != d[i] {
+			t.Fatalf("row %d count %d, degree %d", i, ptr[i+1]-ptr[i], d[i])
+		}
+	}
+}

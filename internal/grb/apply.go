@@ -1,0 +1,152 @@
+package grb
+
+// Apply and select (paper Table I): apply evaluates a unary operator on
+// every entry; select keeps only entries whose predicate holds, using the
+// entry's value and position plus a scalar thunk.
+
+// Apply computes C⟨M⟩⊙= f(A, k).
+func Apply[TIn, TOut Value](C *Matrix[TOut], mask Mask, accum func(TOut, TOut) TOut,
+	f UnaryOp[TIn, TOut], A *Matrix[TIn], desc *Descriptor) error {
+
+	d := descOf(desc)
+	if d.TranA {
+		A2 := transposeWork(waited(A))
+		d2 := d
+		d2.TranA = false
+		return Apply(C, mask, accum, f, A2, &d2)
+	}
+	ar, ac := A.Dims()
+	cr, cc := C.Dims()
+	if cr != ar || cc != ac {
+		return dimErr("Apply", "C "+itoa(cr)+"x"+itoa(cc), itoa(ar)+"x"+itoa(ac))
+	}
+	if err := mask.check(cr, cc, "Apply"); err != nil {
+		return err
+	}
+	A.Wait()
+	denseMaskSrc := !mask.Exists() || mask.src.maskIsDense()
+	t := buildCSRParallelScoped(ar, ac, func(scope *rowAllowScope) func(i int, emit func(j int, x TOut)) {
+		return func(i int, emit func(j int, x TOut)) {
+			scope.load(mask, i, ac, denseMaskSrc)
+			aRowIter(A, i, func(j int, x TIn) {
+				if !scope.ok(mask, i, j) {
+					return
+				}
+				if f.PosF != nil {
+					emit(j, f.PosF(x, i, j))
+				} else {
+					emit(j, f.F(x))
+				}
+			})
+		}
+	})
+	maskAccumMatrix(C, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+// Select computes C⟨M⟩⊙= A⟨f(A, k)⟩: entries failing the predicate are
+// dropped.
+func Select[T Value](C *Matrix[T], mask Mask, accum func(T, T) T,
+	f IndexUnaryOp[T], A *Matrix[T], thunk T, desc *Descriptor) error {
+
+	d := descOf(desc)
+	if d.TranA {
+		A2 := transposeWork(waited(A))
+		d2 := d
+		d2.TranA = false
+		return Select(C, mask, accum, f, A2, thunk, &d2)
+	}
+	ar, ac := A.Dims()
+	cr, cc := C.Dims()
+	if cr != ar || cc != ac {
+		return dimErr("Select", "C "+itoa(cr)+"x"+itoa(cc), itoa(ar)+"x"+itoa(ac))
+	}
+	if err := mask.check(cr, cc, "Select"); err != nil {
+		return err
+	}
+	A.Wait()
+	denseMaskSrc := !mask.Exists() || mask.src.maskIsDense()
+	t := buildCSRParallelScoped(ar, ac, func(scope *rowAllowScope) func(i int, emit func(j int, x T)) {
+		return func(i int, emit func(j int, x T)) {
+			scope.load(mask, i, ac, denseMaskSrc)
+			aRowIter(A, i, func(j int, x T) {
+				if scope.ok(mask, i, j) && f.F(x, i, j, thunk) {
+					emit(j, x)
+				}
+			})
+		}
+	})
+	maskAccumMatrix(C, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+// ApplyV computes w⟨m⟩⊙= f(u, k).
+func ApplyV[TIn, TOut Value](w *Vector[TOut], mask VMask, accum func(TOut, TOut) TOut,
+	f UnaryOp[TIn, TOut], u *Vector[TIn], desc *Descriptor) error {
+
+	if w.Size() != u.Size() {
+		return dimErr("ApplyV", "w length "+itoa(w.Size()), "u length "+itoa(u.Size()))
+	}
+	if err := mask.check(w.Size(), "ApplyV"); err != nil {
+		return err
+	}
+	d := descOf(desc)
+	u.Wait()
+	allow := mask.denseAllow(u.Size())
+	t := MustVector[TOut](u.Size())
+	if u.format == FormatFull && allow == nil {
+		t.format = FormatFull
+		t.val = make([]TOut, u.n)
+		for i := 0; i < u.n; i++ {
+			if f.PosF != nil {
+				t.val[i] = f.PosF(u.val[i], i, 0)
+			} else {
+				t.val[i] = f.F(u.val[i])
+			}
+		}
+	} else {
+		u.Iterate(func(i int, x TIn) {
+			if allow != nil && allow[i] == 0 {
+				return
+			}
+			if f.PosF != nil {
+				t.idx = append(t.idx, i)
+				t.val = append(t.val, f.PosF(x, i, 0))
+			} else {
+				t.idx = append(t.idx, i)
+				t.val = append(t.val, f.F(x))
+			}
+		})
+		t.conform()
+	}
+	maskAccumVector(w, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+// SelectV computes w⟨m⟩⊙= u⟨f(u, k)⟩.
+func SelectV[T Value](w *Vector[T], mask VMask, accum func(T, T) T,
+	f IndexUnaryOp[T], u *Vector[T], thunk T, desc *Descriptor) error {
+
+	if w.Size() != u.Size() {
+		return dimErr("SelectV", "w length "+itoa(w.Size()), "u length "+itoa(u.Size()))
+	}
+	if err := mask.check(w.Size(), "SelectV"); err != nil {
+		return err
+	}
+	d := descOf(desc)
+	u.Wait()
+	allow := mask.denseAllow(u.Size())
+	t := MustVector[T](u.Size())
+	u.Iterate(func(i int, x T) {
+		if allow != nil && allow[i] == 0 {
+			return
+		}
+		if f.F(x, i, 0, thunk) {
+			t.idx = append(t.idx, i)
+			t.val = append(t.val, x)
+		}
+	})
+	t.conform()
+	maskAccumVector(w, mask, accum, t, d.Replace, true)
+	return nil
+}

@@ -1,0 +1,126 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Transpose-descriptor coverage for the element-wise and unary operations
+// (the mxm/vxm/mxv descriptors are covered in kernels_test.go).
+
+func TestEWiseAddTransposeDescriptors(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	n := 10
+	A := randMatrix(rng, n, n, 0.3)
+	B := randMatrix(rng, n, n, 0.3)
+	AT := NewTranspose(A)
+	BT := NewTranspose(B)
+
+	ref := MustMatrix[float64](n, n)
+	if err := EWiseAdd(ref, NoMask, nil, AddOp(PlusOp[float64]()), AT, B, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := MustMatrix[float64](n, n)
+	if err := EWiseAdd(got, NoMask, nil, AddOp(PlusOp[float64]()), A, B, DescT0); err != nil {
+		t.Fatal(err)
+	}
+	matricesEqual(t, got, denseOf(ref), "eWiseAdd T0")
+
+	ref2 := MustMatrix[float64](n, n)
+	if err := EWiseMult(ref2, NoMask, nil, TimesOp[float64](), A, BT, nil); err != nil {
+		t.Fatal(err)
+	}
+	got2 := MustMatrix[float64](n, n)
+	if err := EWiseMult(got2, NoMask, nil, TimesOp[float64](), A, B, DescT1); err != nil {
+		t.Fatal(err)
+	}
+	matricesEqual(t, got2, denseOf(ref2), "eWiseMult T1")
+}
+
+func TestApplySelectTransposeDescriptor(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	A := randMatrix(rng, 6, 9, 0.3)
+	AT := NewTranspose(A)
+
+	ref := MustMatrix[float64](9, 6)
+	if err := Apply(ref, NoMask, nil, AInvOp[float64](), AT, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := MustMatrix[float64](9, 6)
+	if err := Apply(got, NoMask, nil, AInvOp[float64](), A, DescT0); err != nil {
+		t.Fatal(err)
+	}
+	matricesEqual(t, got, denseOf(ref), "apply T0")
+
+	refS := MustMatrix[float64](9, 6)
+	if err := Select(refS, NoMask, nil, ValueGT[float64](), AT, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+	gotS := MustMatrix[float64](9, 6)
+	if err := Select(gotS, NoMask, nil, ValueGT[float64](), A, 3, DescT0); err != nil {
+		t.Fatal(err)
+	}
+	matricesEqual(t, gotS, denseOf(refS), "select T0")
+}
+
+func TestExtractSubmatrixTransposeDescriptor(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	A := randMatrix(rng, 7, 5, 0.4)
+	AT := NewTranspose(A)
+	rowsSel := []int{0, 2, 4}
+	colsSel := []int{1, 3}
+	ref := MustMatrix[float64](3, 2)
+	if err := ExtractSubmatrix(ref, NoMask, nil, AT, rowsSel, colsSel, nil); err != nil {
+		t.Fatal(err)
+	}
+	got := MustMatrix[float64](3, 2)
+	if err := ExtractSubmatrix(got, NoMask, nil, A, rowsSel, colsSel, DescT0); err != nil {
+		t.Fatal(err)
+	}
+	matricesEqual(t, got, denseOf(ref), "extract T0")
+}
+
+func TestExtractColumnWithRowList(t *testing.T) {
+	A := mustFromTuples(t, 4, 3,
+		[]int{0, 1, 2, 3}, []int{1, 1, 1, 1}, []int64{10, 20, 30, 40})
+	w := MustVector[int64](3)
+	// Gather rows {3, 0, 3} of column 1.
+	if err := ExtractColumn(w, NoVMask, nil, A, []int{3, 0, 3}, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	vectorsEqual(t, w, map[int]int64{0: 40, 1: 10, 2: 40}, "column gather")
+}
+
+func TestAssignVectorPlainIndices(t *testing.T) {
+	// No accumulator, specific indices: values land at the targets, the
+	// rest of w is untouched.
+	w, _ := VectorFromTuples(5, []int{0, 4}, []float64{1, 5}, nil)
+	u, _ := VectorFromTuples(2, []int{0, 1}, []float64{70, 80}, nil)
+	if err := AssignVector(w, NoVMask, nil, u, []int{2, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	vectorsEqual(t, w, map[int]float64{0: 80, 2: 70, 4: 5}, "indexed assign")
+}
+
+func TestAssignVectorEmptySourceDeletesRegion(t *testing.T) {
+	// Assigning an empty u over a region with no accumulator deletes the
+	// region's entries (GrB_assign semantics).
+	w, _ := VectorFromTuples(4, []int{0, 1, 2}, []float64{1, 2, 3}, nil)
+	empty := MustVector[float64](2)
+	if err := AssignVector(w, NoVMask, nil, empty, []int{0, 2}, nil); err != nil {
+		t.Fatal(err)
+	}
+	vectorsEqual(t, w, map[int]float64{1: 2}, "region deletion")
+}
+
+func TestDescriptorNilAndPrebuilt(t *testing.T) {
+	if d := descOf(nil); d.Replace || d.TranA || d.TranB {
+		t.Fatal("nil descriptor not zero")
+	}
+	if !DescRT0.Replace || !DescRT0.TranA || DescRT0.TranB {
+		t.Fatal("DescRT0 wrong")
+	}
+	if !DescT0T1.TranA || !DescT0T1.TranB || DescT0T1.Replace {
+		t.Fatal("DescT0T1 wrong")
+	}
+}

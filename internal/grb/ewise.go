@@ -1,0 +1,343 @@
+package grb
+
+// Element-wise operations (paper Table I): eWiseAdd applies op on the set
+// union of the input structures; eWiseMult on the set intersection.
+
+// EWiseAdd computes C⟨M⟩⊙= A op∪ B. Where only one operand has an entry,
+// that entry passes through unchanged (the "add" structure semantics).
+func EWiseAdd[TA, TB, TC Value](C *Matrix[TC], mask Mask, accum func(TC, TC) TC,
+	op addOpPair[TA, TB, TC], A *Matrix[TA], B *Matrix[TB], desc *Descriptor) error {
+
+	d := descOf(desc)
+	if d.TranA {
+		A2 := transposeWork(waited(A))
+		d2 := d
+		d2.TranA = false
+		return EWiseAdd(C, mask, accum, op, A2, B, &d2)
+	}
+	if d.TranB {
+		B2 := transposeWork(waited(B))
+		d2 := d
+		d2.TranB = false
+		return EWiseAdd(C, mask, accum, op, A, B2, &d2)
+	}
+	ar, ac := A.Dims()
+	br, bc := B.Dims()
+	if ar != br || ac != bc {
+		return dimErr("EWiseAdd", "A "+itoa(ar)+"x"+itoa(ac), "B "+itoa(br)+"x"+itoa(bc))
+	}
+	cr, cc := C.Dims()
+	if cr != ar || cc != ac {
+		return dimErr("EWiseAdd", "C "+itoa(cr)+"x"+itoa(cc), itoa(ar)+"x"+itoa(ac))
+	}
+	if err := mask.check(cr, cc, "EWiseAdd"); err != nil {
+		return err
+	}
+	A.Wait()
+	B.Wait()
+	t := ewiseMatrix(op.both, op.left, op.right, A, B, mask, true)
+	maskAccumMatrix(C, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+// EWiseMult computes C⟨M⟩⊙= A op∩ B: entries present in both inputs.
+func EWiseMult[TA, TB, TC Value](C *Matrix[TC], mask Mask, accum func(TC, TC) TC,
+	op BinaryOp[TA, TB, TC], A *Matrix[TA], B *Matrix[TB], desc *Descriptor) error {
+
+	d := descOf(desc)
+	if d.TranA {
+		A2 := transposeWork(waited(A))
+		d2 := d
+		d2.TranA = false
+		return EWiseMult(C, mask, accum, op, A2, B, &d2)
+	}
+	if d.TranB {
+		B2 := transposeWork(waited(B))
+		d2 := d
+		d2.TranB = false
+		return EWiseMult(C, mask, accum, op, A, B2, &d2)
+	}
+	ar, ac := A.Dims()
+	br, bc := B.Dims()
+	if ar != br || ac != bc {
+		return dimErr("EWiseMult", "A "+itoa(ar)+"x"+itoa(ac), "B "+itoa(br)+"x"+itoa(bc))
+	}
+	cr, cc := C.Dims()
+	if cr != ar || cc != ac {
+		return dimErr("EWiseMult", "C "+itoa(cr)+"x"+itoa(cc), itoa(ar)+"x"+itoa(ac))
+	}
+	if err := mask.check(cr, cc, "EWiseMult"); err != nil {
+		return err
+	}
+	A.Wait()
+	B.Wait()
+	bothF := func(i, j int, ax TA, bx TB) (TC, bool) {
+		if op.PosF != nil {
+			return op.PosF(i, 0, j), true
+		}
+		return op.F(ax, bx), true
+	}
+	t := ewiseMatrix(bothF, nil, nil, A, B, mask, true)
+	maskAccumMatrix(C, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+// addOpPair wraps a same-domain binary op for eWiseAdd, where pass-through
+// of single-sided entries requires TA, TB and TC to be inter-assignable.
+// AddOp builds it for the common TA=TB=TC case of the C API.
+type addOpPair[TA, TB, TC Value] struct {
+	both  func(i, j int, ax TA, bx TB) (TC, bool)
+	left  func(i, j int, ax TA) (TC, bool)
+	right func(i, j int, bx TB) (TC, bool)
+}
+
+// AddOp adapts a same-typed binary operator for use with EWiseAdd.
+func AddOp[T Value](op BinaryOp[T, T, T]) addOpPair[T, T, T] {
+	return addOpPair[T, T, T]{
+		both: func(i, j int, a, b T) (T, bool) {
+			if op.PosF != nil {
+				return op.PosF(i, 0, j), true
+			}
+			return op.F(a, b), true
+		},
+		left:  func(_, _ int, a T) (T, bool) { return a, true },
+		right: func(_, _ int, b T) (T, bool) { return b, true },
+	}
+}
+
+// ewiseMatrix merges A and B row-by-row. When left/right are nil the merge
+// is an intersection; otherwise a union with pass-through. Positions the
+// mask disallows are skipped (mask pre-restriction).
+func ewiseMatrix[TA, TB, TC Value](
+	both func(i, j int, ax TA, bx TB) (TC, bool),
+	left func(i, j int, ax TA) (TC, bool),
+	right func(i, j int, bx TB) (TC, bool),
+	A *Matrix[TA], B *Matrix[TB], mask Mask, useMask bool) *Matrix[TC] {
+
+	nr, nc := A.Dims()
+	denseMaskSrc := !mask.Exists() || mask.src.maskIsDense()
+	return buildCSRParallelScoped(nr, nc, func(scope *rowAllowScope) func(i int, emit func(j int, x TC)) {
+		// Dense row scratch for non-sparse operands.
+		var aHas []int8
+		var aVal []TA
+		var bHas []int8
+		var bVal []TB
+		return func(i int, emit func(j int, x TC)) {
+			if useMask {
+				scope.load(mask, i, nc, denseMaskSrc)
+			}
+			ok := func(j int) bool { return !useMask || scope.ok(mask, i, j) }
+			// Obtain row views as sorted streams.
+			aIdx, aValS := rowView(A, i, &aHas, &aVal)
+			bIdx, bValS := rowView(B, i, &bHas, &bVal)
+			p, q := 0, 0
+			for p < len(aIdx) || q < len(bIdx) {
+				switch {
+				case p < len(aIdx) && (q >= len(bIdx) || aIdx[p] < bIdx[q]):
+					j := aIdx[p]
+					if left != nil && ok(j) {
+						if x, keep := left(i, j, aValS[p]); keep {
+							emit(j, x)
+						}
+					}
+					p++
+				case q < len(bIdx) && (p >= len(aIdx) || bIdx[q] < aIdx[p]):
+					j := bIdx[q]
+					if right != nil && ok(j) {
+						if x, keep := right(i, j, bValS[q]); keep {
+							emit(j, x)
+						}
+					}
+					q++
+				default:
+					j := aIdx[p]
+					if ok(j) {
+						if x, keep := both(i, j, aValS[p], bValS[q]); keep {
+							emit(j, x)
+						}
+					}
+					p++
+					q++
+				}
+			}
+		}
+	})
+}
+
+// rowView returns row i of m as sorted parallel index/value slices. Dense
+// formats are expanded into the caller-provided scratch buffers.
+func rowView[T Value](m *Matrix[T], i int, scratchIdxBuf *[]int8, scratchValBuf *[]T) ([]int, []T) {
+	if m.format == FormatSparse {
+		lo, hi := m.ptr[i], m.ptr[i+1]
+		return m.idx[lo:hi], m.val[lo:hi]
+	}
+	_ = scratchIdxBuf
+	// Expand the dense row into fresh slices; rows are short-lived and this
+	// path is not on the benchmarks' hot loops.
+	idx := make([]int, 0, m.nc)
+	val := make([]T, 0, m.nc)
+	base := i * m.nc
+	for j := 0; j < m.nc; j++ {
+		if m.format == FormatFull || m.b[base+j] != 0 {
+			idx = append(idx, j)
+			val = append(val, m.val[base+j])
+		}
+	}
+	*scratchValBuf = val
+	return idx, val
+}
+
+// waited returns m after finishing its pending work (helper for call
+// chains).
+func waited[T Value](m *Matrix[T]) *Matrix[T] {
+	m.Wait()
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// vector element-wise operations
+
+// EWiseAddV computes w⟨m⟩⊙= u op∪ v.
+func EWiseAddV[T Value](w *Vector[T], mask VMask, accum func(T, T) T,
+	op BinaryOp[T, T, T], u, v *Vector[T], desc *Descriptor) error {
+
+	if u.Size() != v.Size() || w.Size() != u.Size() {
+		return dimErr("EWiseAddV", "lengths "+itoa(w.Size())+","+itoa(u.Size())+","+itoa(v.Size()), "equal lengths")
+	}
+	if err := mask.check(w.Size(), "EWiseAddV"); err != nil {
+		return err
+	}
+	d := descOf(desc)
+	u.Wait()
+	v.Wait()
+	t := ewiseVector(op, u, v, mask, true)
+	maskAccumVector(w, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+// EWiseMultV computes w⟨m⟩⊙= u op∩ v.
+func EWiseMultV[TA, TB, TC Value](w *Vector[TC], mask VMask, accum func(TC, TC) TC,
+	op BinaryOp[TA, TB, TC], u *Vector[TA], v *Vector[TB], desc *Descriptor) error {
+
+	if u.Size() != v.Size() || w.Size() != u.Size() {
+		return dimErr("EWiseMultV", "lengths "+itoa(w.Size())+","+itoa(u.Size())+","+itoa(v.Size()), "equal lengths")
+	}
+	if err := mask.check(w.Size(), "EWiseMultV"); err != nil {
+		return err
+	}
+	d := descOf(desc)
+	u.Wait()
+	v.Wait()
+	t := ewiseMultVector(op, u, v, mask)
+	maskAccumVector(w, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+func ewiseVector[T Value](op BinaryOp[T, T, T], u, v *Vector[T], mask VMask, union bool) *Vector[T] {
+	n := u.Size()
+	allow := mask.denseAllow(n)
+	ok := func(i int) bool { return allow == nil || allow[i] != 0 }
+	t := MustVector[T](n)
+	// Dense fast path: both operands full and everything allowed.
+	if u.format == FormatFull && v.format == FormatFull && allow == nil && op.PosF == nil {
+		t.format = FormatFull
+		t.val = make([]T, n)
+		for i := 0; i < n; i++ {
+			t.val[i] = op.F(u.val[i], v.val[i])
+		}
+		return t
+	}
+	uIdx, uVal := vecView(u)
+	vIdx, vVal := vecView(v)
+	apply := func(i int, a, b T) T {
+		if op.PosF != nil {
+			return op.PosF(i, 0, 0)
+		}
+		return op.F(a, b)
+	}
+	p, q := 0, 0
+	for p < len(uIdx) || q < len(vIdx) {
+		switch {
+		case p < len(uIdx) && (q >= len(vIdx) || uIdx[p] < vIdx[q]):
+			if union && ok(uIdx[p]) {
+				t.idx = append(t.idx, uIdx[p])
+				t.val = append(t.val, uVal[p])
+			}
+			p++
+		case q < len(vIdx) && (p >= len(uIdx) || vIdx[q] < uIdx[p]):
+			if union && ok(vIdx[q]) {
+				t.idx = append(t.idx, vIdx[q])
+				t.val = append(t.val, vVal[q])
+			}
+			q++
+		default:
+			if ok(uIdx[p]) {
+				t.idx = append(t.idx, uIdx[p])
+				t.val = append(t.val, apply(uIdx[p], uVal[p], vVal[q]))
+			}
+			p++
+			q++
+		}
+	}
+	t.conform()
+	return t
+}
+
+func ewiseMultVector[TA, TB, TC Value](op BinaryOp[TA, TB, TC], u *Vector[TA], v *Vector[TB], mask VMask) *Vector[TC] {
+	n := u.Size()
+	allow := mask.denseAllow(n)
+	ok := func(i int) bool { return allow == nil || allow[i] != 0 }
+	t := MustVector[TC](n)
+	uIdx, uVal := vecView(u)
+	vIdx, vVal := vecView(v)
+	apply := func(i int, a TA, b TB) TC {
+		if op.PosF != nil {
+			return op.PosF(i, 0, 0)
+		}
+		return op.F(a, b)
+	}
+	p, q := 0, 0
+	for p < len(uIdx) && q < len(vIdx) {
+		switch {
+		case uIdx[p] < vIdx[q]:
+			p++
+		case vIdx[q] < uIdx[p]:
+			q++
+		default:
+			if ok(uIdx[p]) {
+				t.idx = append(t.idx, uIdx[p])
+				t.val = append(t.val, apply(uIdx[p], uVal[p], vVal[q]))
+			}
+			p++
+			q++
+		}
+	}
+	t.conform()
+	return t
+}
+
+// vecView returns the finished vector as sorted (indices, values) slices;
+// dense formats are expanded.
+func vecView[T Value](v *Vector[T]) ([]int, []T) {
+	v.Wait()
+	switch v.format {
+	case FormatSparse:
+		return v.idx, v.val
+	case FormatFull:
+		idx := make([]int, v.n)
+		for i := range idx {
+			idx[i] = i
+		}
+		return idx, v.val
+	default:
+		idx := make([]int, 0, v.nvalsB)
+		val := make([]T, 0, v.nvalsB)
+		for i := 0; i < v.n; i++ {
+			if v.b[i] != 0 {
+				idx = append(idx, i)
+				val = append(val, v.val[i])
+			}
+		}
+		return idx, val
+	}
+}

@@ -1,0 +1,340 @@
+package grb
+
+import "lagraph/internal/parallel"
+
+// finalize implements the common tail of every GraphBLAS operation:
+// C⟨M⟩⊙= T (and the vector analogue), where T is the freshly computed
+// result. The semantics (C API §"mask and accumulator"):
+//
+//	position allowed by mask:
+//	    T and C present  -> accum==nil ? T : accum(C, T)
+//	    only T present   -> T
+//	    only C present   -> accum==nil ? deleted : C kept
+//	position not allowed:
+//	    replace          -> deleted
+//	    merge            -> C kept
+//
+// tMasked declares that T was already restricted to allowed positions by
+// the kernel, enabling the move fast paths; correctness does not depend on
+// it because the general path re-checks the mask.
+
+func maskAccumVector[T Value](w *Vector[T], mk VMask, accum func(T, T) T, t *Vector[T], replace, tMasked bool) {
+	n := w.n
+	// Fast path 1: no mask, no accumulator — w becomes t.
+	if !mk.Exists() && accum == nil {
+		*w = *t
+		w.conform()
+		return
+	}
+	// Fast path 2: masked replace with no accumulator and a pre-masked t.
+	if mk.Exists() && replace && accum == nil && tMasked {
+		*w = *t
+		w.conform()
+		return
+	}
+	// Fast path 3: dense += dense with no mask.
+	if !mk.Exists() && accum != nil && w.format == FormatFull && t.format == FormatFull {
+		parallel.For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				w.val[i] = accum(w.val[i], t.val[i])
+			}
+		})
+		return
+	}
+	// General path.
+	w.Wait()
+	t.Wait()
+	allow := mk.denseAllow(n)
+	if w.format != FormatSparse || t.format != FormatSparse {
+		// Dense-ish: produce a bitmap result.
+		outB := make([]int8, n)
+		outV := make([]T, n)
+		nvals := 0
+		for i := 0; i < n; i++ {
+			al := allow == nil || allow[i] != 0
+			wx, wok := w.get(i)
+			tx, tok := t.get(i)
+			var x T
+			keep := false
+			if al {
+				switch {
+				case tok && wok:
+					if accum != nil {
+						x, keep = accum(wx, tx), true
+					} else {
+						x, keep = tx, true
+					}
+				case tok:
+					x, keep = tx, true
+				case wok && accum != nil:
+					x, keep = wx, true
+				}
+			} else if !replace && wok {
+				x, keep = wx, true
+			}
+			if keep {
+				outB[i] = 1
+				outV[i] = x
+				nvals++
+			}
+		}
+		w.idx = nil
+		w.b, w.val = outB, outV
+		w.nvalsB = nvals
+		w.format = FormatBitmap
+		w.conform()
+		return
+	}
+	// Sparse two-pointer merge.
+	widx, wval := w.idx, w.val
+	tidx, tval := t.idx, t.val
+	outI := make([]int, 0, len(widx)+len(tidx))
+	outV := make([]T, 0, len(widx)+len(tidx))
+	p, q := 0, 0
+	emit := func(i int, x T) { outI = append(outI, i); outV = append(outV, x) }
+	for p < len(widx) || q < len(tidx) {
+		var i int
+		wok, tok := false, false
+		switch {
+		case p < len(widx) && (q >= len(tidx) || widx[p] < tidx[q]):
+			i, wok = widx[p], true
+		case q < len(tidx) && (p >= len(widx) || tidx[q] < widx[p]):
+			i, tok = tidx[q], true
+		default:
+			i, wok, tok = widx[p], true, true
+		}
+		al := allow == nil || allow[i] != 0
+		switch {
+		case al && wok && tok:
+			if accum != nil {
+				emit(i, accum(wval[p], tval[q]))
+			} else {
+				emit(i, tval[q])
+			}
+		case al && tok:
+			emit(i, tval[q])
+		case al && wok:
+			if accum != nil {
+				emit(i, wval[p])
+			}
+		case !al && wok && !replace:
+			emit(i, wval[p])
+		}
+		if wok {
+			p++
+		}
+		if tok {
+			q++
+		}
+	}
+	w.idx, w.val = outI, outV
+	w.conform()
+}
+
+func maskAccumMatrix[T Value](C *Matrix[T], mk Mask, accum func(T, T) T, t *Matrix[T], replace, tMasked bool) {
+	// Fast path 1: no mask, no accumulator — C becomes t.
+	if !mk.Exists() && accum == nil {
+		*C = *t
+		C.conform()
+		return
+	}
+	// Fast path 2: masked replace, no accumulator, pre-masked t.
+	if mk.Exists() && replace && accum == nil && tMasked {
+		*C = *t
+		C.conform()
+		return
+	}
+	// Fast path 3: dense += dense with no mask.
+	if !mk.Exists() && accum != nil && C.format == FormatFull && t.format == FormatFull {
+		parallel.For(len(C.val), func(lo, hi int) {
+			for p := lo; p < hi; p++ {
+				C.val[p] = accum(C.val[p], t.val[p])
+			}
+		})
+		return
+	}
+	// General path: row-parallel merge in sparse form.
+	C.Wait()
+	t.Wait()
+	if C.format != FormatSparse {
+		C.ConvertTo(FormatSparse)
+	}
+	if t.format != FormatSparse {
+		t.ConvertTo(FormatSparse)
+	}
+	nr, nc := C.nr, C.nc
+	cPtr, cIdx, cVal := C.ptr, C.idx, C.val
+	tPtr, tIdx, tVal := t.ptr, t.idx, t.val
+	denseMaskSrc := !mk.Exists() || mk.src.maskIsDense()
+	out := buildCSRParallelScoped(nr, nc, func(scope *rowAllowScope) func(i int, emit func(j int, x T)) {
+		return func(i int, emit func(j int, x T)) {
+			scope.load(mk, i, nc, denseMaskSrc)
+			p, pe := cPtr[i], cPtr[i+1]
+			q, qe := tPtr[i], tPtr[i+1]
+			for p < pe || q < qe {
+				var j int
+				wok, tok := false, false
+				switch {
+				case p < pe && (q >= qe || cIdx[p] < tIdx[q]):
+					j, wok = cIdx[p], true
+				case q < qe && (p >= pe || tIdx[q] < cIdx[p]):
+					j, tok = tIdx[q], true
+				default:
+					j, wok, tok = cIdx[p], true, true
+				}
+				al := scope.ok(mk, i, j)
+				switch {
+				case al && wok && tok:
+					if accum != nil {
+						emit(j, accum(cVal[p], tVal[q]))
+					} else {
+						emit(j, tVal[q])
+					}
+				case al && tok:
+					emit(j, tVal[q])
+				case al && wok:
+					if accum != nil {
+						emit(j, cVal[p])
+					}
+				case !al && wok && !replace:
+					emit(j, cVal[p])
+				}
+				if wok {
+					p++
+				}
+				if tok {
+					q++
+				}
+			}
+		}
+	})
+	*C = *out
+	C.conform()
+}
+
+// rowAllowScope caches one mask row scattered into a dense scratch, so
+// sparse-mask lookups during a row merge are O(1). Each parallel worker
+// owns one scope.
+type rowAllowScope struct {
+	scratch []int8
+	touched []int
+	row     int
+	direct  bool // dense mask source (or no mask): query mk.allowed directly
+}
+
+func (s *rowAllowScope) load(mk Mask, i, nc int, denseSrc bool) {
+	s.row = i
+	if !mk.Exists() || denseSrc {
+		s.direct = true
+		return
+	}
+	s.direct = false
+	if s.scratch == nil {
+		s.scratch = make([]int8, nc)
+	}
+	for _, j := range s.touched {
+		s.scratch[j] = 0
+	}
+	s.touched = s.touched[:0]
+	mk.src.maskRowIter(i, func(j int, tv bool) {
+		if mk.selects(tv) {
+			s.scratch[j] = 1
+			s.touched = append(s.touched, j)
+		}
+	})
+}
+
+func (s *rowAllowScope) ok(mk Mask, i, j int) bool {
+	if s.direct {
+		return mk.allowed(i, j)
+	}
+	sel := s.scratch[j] != 0
+	if mk.Comp {
+		return !sel
+	}
+	return sel
+}
+
+// buildCSRParallelScoped is buildCSRParallel where every worker goroutine
+// gets a private rowAllowScope (dense per-row mask scratch).
+func buildCSRParallelScoped[T Value](nr, nc int, makeRowFn func(*rowAllowScope) func(i int, emit func(j int, x T))) *Matrix[T] {
+	return buildCSRParallelPerWorker(nr, nc, func() func(i int, emit func(j int, x T)) {
+		return makeRowFn(&rowAllowScope{row: -1})
+	})
+}
+
+// buildCSRParallelPerWorker is buildCSRParallel with a worker-local rowFn
+// factory, so kernels can keep scratch state per goroutine.
+func buildCSRParallelPerWorker[T Value](nr, nc int, makeRowFn func() func(i int, emit func(j int, x T))) *Matrix[T] {
+	m := MustMatrix[T](nr, nc)
+	if nr == 0 {
+		return m
+	}
+	nblocks := parallel.Threads(nr)
+	type block struct {
+		idx     []int
+		val     []T
+		jumbled bool
+	}
+	blocks := make([]block, nblocks)
+	rowLen := make([]int, nr+1)
+	chunk := (nr + nblocks - 1) / nblocks
+	done := make(chan struct{}, nblocks)
+	launched := 0
+	for bIdx := 0; bIdx < nblocks; bIdx++ {
+		lo := bIdx * chunk
+		hi := lo + chunk
+		if hi > nr {
+			hi = nr
+		}
+		if lo >= hi {
+			continue
+		}
+		launched++
+		go func(b, lo, hi int) {
+			defer func() { done <- struct{}{} }()
+			rowFn := makeRowFn()
+			blk := &blocks[b]
+			for i := lo; i < hi; i++ {
+				start := len(blk.idx)
+				last := -1
+				rowSorted := true
+				rowFn(i, func(j int, x T) {
+					blk.idx = append(blk.idx, j)
+					blk.val = append(blk.val, x)
+					if j < last {
+						rowSorted = false
+					}
+					last = j
+				})
+				rowLen[i] = len(blk.idx) - start
+				if !rowSorted {
+					blk.jumbled = true
+				}
+			}
+		}(bIdx, lo, hi)
+	}
+	for k := 0; k < launched; k++ {
+		<-done
+	}
+	nnz := parallel.ExclusiveScan(rowLen)
+	m.ptr = rowLen
+	m.idx = make([]int, nnz)
+	m.val = make([]T, nnz)
+	jumbled := false
+	for bIdx := 0; bIdx < nblocks; bIdx++ {
+		lo := bIdx * chunk
+		if lo >= nr {
+			continue
+		}
+		if blocks[bIdx].jumbled {
+			jumbled = true
+		}
+		copy(m.idx[m.ptr[lo]:], blocks[bIdx].idx)
+		copy(m.val[m.ptr[lo]:], blocks[bIdx].val)
+	}
+	if jumbled {
+		m.markJumbled()
+	}
+	return m
+}

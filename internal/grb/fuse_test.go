@@ -1,0 +1,307 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFusedBFSPushStepEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(25)
+		A := randMatrix(rng, n, n, 0.15)
+		src := rng.Intn(n)
+
+		// Unfused reference: one push step + parent assign.
+		pRef := MustVector[int64](n)
+		qRef := MustVector[int64](n)
+		pRef.SetElement(int64(src), src)
+		qRef.SetElement(int64(src), src)
+		s := AnySecondI[int64, float64, int64]()
+		if err := VxM(qRef, StructVMaskOf(pRef).Not(), nil, s, qRef, A, DescR); err != nil {
+			return false
+		}
+		if err := AssignVector(pRef, StructVMaskOf(qRef), nil, qRef, All, nil); err != nil {
+			return false
+		}
+
+		// Fused step.
+		p := MustVector[int64](n)
+		q := MustVector[int64](n)
+		p.SetElement(int64(src), src)
+		q.SetElement(int64(src), src)
+		if err := FusedBFSPushStep(p, q, A); err != nil {
+			return false
+		}
+
+		// Same frontier support and same visited set (parent values may
+		// differ under any semantics, but with a single-source frontier
+		// they cannot here).
+		if q.NVals() != qRef.NVals() || p.NVals() != pRef.NVals() {
+			return false
+		}
+		ok := true
+		qRef.Iterate(func(i int, _ int64) {
+			if _, err := q.ExtractElement(i); err != nil {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFusedBFSFullTraversal(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 40
+	A := randMatrix(rng, n, n, 0.1)
+	p := MustVector[int64](n)
+	q := MustVector[int64](n)
+	p.SetElement(0, 0)
+	q.SetElement(0, 0)
+	for q.NVals() > 0 {
+		if err := FusedBFSPushStep(p, q, A); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every parent must be a real edge.
+	p.Iterate(func(i int, par int64) {
+		if i == 0 {
+			return
+		}
+		if _, err := A.ExtractElement(int(par), i); err != nil {
+			t.Fatalf("parent %d->%d not an edge", par, i)
+		}
+	})
+}
+
+func TestFusedBFSValidation(t *testing.T) {
+	A := MustMatrix[float64](3, 4)
+	p := MustVector[int64](3)
+	q := MustVector[int64](3)
+	if err := FusedBFSPushStep(p, q, A); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+	B := MustMatrix[float64](3, 3)
+	short := MustVector[int64](2)
+	if err := FusedBFSPushStep(short, q, B); err == nil {
+		t.Fatal("short vector accepted")
+	}
+}
+
+func TestKroneckerSmall(t *testing.T) {
+	// A = [[1,2],[0,3]] (sparse), B = [[0,5],[6,0]] patterns.
+	A := mustFromTuples(t, 2, 2, []int{0, 0, 1}, []int{0, 1, 1}, []float64{1, 2, 3})
+	B := mustFromTuples(t, 2, 2, []int{0, 1}, []int{1, 0}, []float64{5, 6})
+	C := MustMatrix[float64](4, 4)
+	if err := Kronecker(C, NoMask, nil, TimesOp[float64](), A, B, nil); err != nil {
+		t.Fatal(err)
+	}
+	want := map[coord]float64{
+		{0, 1}: 5, {1, 0}: 6, // A(0,0)=1 times B
+		{0, 3}: 10, {1, 2}: 12, // A(0,1)=2
+		{2, 3}: 15, {3, 2}: 18, // A(1,1)=3
+	}
+	matricesEqual(t, C, want, "kronecker")
+}
+
+func TestKroneckerDimsAndErrors(t *testing.T) {
+	A := MustMatrix[float64](2, 3)
+	B := MustMatrix[float64](4, 5)
+	C := MustMatrix[float64](8, 15)
+	if err := Kronecker(C, NoMask, nil, TimesOp[float64](), A, B, nil); err != nil {
+		t.Fatal(err)
+	}
+	bad := MustMatrix[float64](7, 15)
+	if err := Kronecker(bad, NoMask, nil, TimesOp[float64](), A, B, nil); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+	pos := SecondIOp[float64, float64, float64]()
+	if err := Kronecker(C, NoMask, nil, BinaryOp[float64, float64, float64]{Name: "secondi", PosF: pos.PosF}, A, B, nil); err == nil {
+		t.Fatal("positional op accepted")
+	}
+}
+
+func TestKroneckerSelfProductGrowsRMATStyle(t *testing.T) {
+	// kron(G, G) of a 2-vertex seed graph gives the Graph500 recursion
+	// shape: nvals squares.
+	G := mustFromTuples(t, 2, 2, []int{0, 0, 1}, []int{0, 1, 1}, []float64{1, 1, 1})
+	K := MustMatrix[float64](4, 4)
+	if err := Kronecker(K, NoMask, nil, TimesOp[float64](), G, G, nil); err != nil {
+		t.Fatal(err)
+	}
+	if K.NVals() != 9 {
+		t.Fatalf("kron nvals = %d, want 3^2", K.NVals())
+	}
+}
+
+func TestMatrixDiagAndVectorDiag(t *testing.T) {
+	v, _ := VectorFromTuples(3, []int{0, 2}, []float64{5, 7}, nil)
+	D, err := MatrixDiag(v, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if D.NRows() != 3 || D.NVals() != 2 {
+		t.Fatalf("diag shape %dx%d nvals %d", D.NRows(), D.NCols(), D.NVals())
+	}
+	if x, _ := D.ExtractElement(2, 2); x != 7 {
+		t.Fatalf("D(2,2)=%v", x)
+	}
+	// Superdiagonal placement.
+	U, err := MatrixDiag(v, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if U.NRows() != 4 {
+		t.Fatalf("k=1 diag size %d", U.NRows())
+	}
+	if x, _ := U.ExtractElement(0, 1); x != 5 {
+		t.Fatalf("U(0,1)=%v", x)
+	}
+	// Round trip through VectorDiag.
+	back, err := VectorDiag(U, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NVals() != 2 {
+		t.Fatalf("extracted diag nvals %d", back.NVals())
+	}
+	if x, _ := back.ExtractElement(2); x != 7 {
+		t.Fatalf("back(2)=%v", x)
+	}
+	// Subdiagonal.
+	L, err := MatrixDiag(v, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := L.ExtractElement(1, 0); x != 5 {
+		t.Fatalf("L(1,0)=%v", x)
+	}
+	lv, err := VectorDiag(L, -1)
+	if err != nil || lv.NVals() != 2 {
+		t.Fatalf("subdiag extract: %v %d", err, lv.NVals())
+	}
+}
+
+func TestPoolReuseKeepsResultsCorrect(t *testing.T) {
+	prev := SetPoolEnabled(true)
+	defer SetPoolEnabled(prev)
+	rng := rand.New(rand.NewSource(10))
+	// Interleave many vxm calls of different types; pooled accumulators
+	// must never leak state across calls.
+	for trial := 0; trial < 30; trial++ {
+		n := 3 + rng.Intn(20)
+		A := randMatrix(rng, n, n, 0.3)
+		u := randVector(rng, n, 0.5)
+		w1 := MustVector[float64](n)
+		if err := VxM(w1, NoVMask, nil, PlusTimes[float64](), u, A, nil); err != nil {
+			t.Fatal(err)
+		}
+		SetPoolEnabled(false)
+		w2 := MustVector[float64](n)
+		if err := VxM(w2, NoVMask, nil, PlusTimes[float64](), u, A, nil); err != nil {
+			t.Fatal(err)
+		}
+		SetPoolEnabled(true)
+		g1, g2 := vdenseOf(w1), vdenseOf(w2)
+		if len(g1) != len(g2) {
+			t.Fatalf("pooled vs unpooled nvals differ: %d vs %d", len(g1), len(g2))
+		}
+		for i, x := range g1 {
+			if g2[i] != x {
+				t.Fatalf("pooled vs unpooled value at %d: %v vs %v", i, x, g2[i])
+			}
+		}
+	}
+}
+
+func TestFastPathMatchesGenericPull(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(30)
+		A := randMatrix(rng, n, n, 0.3)
+		// Full u triggers the fast path; a sparse copy forces the generic
+		// kernel.
+		uFull := DenseVector(n, 0.0)
+		for i := 0; i < n; i++ {
+			uFull.SetElement(float64(rng.Intn(10)), i)
+		}
+		uSparse := MustVector[float64](n)
+		uFull.Iterate(func(i int, x float64) { uSparse.SetElement(x, i) })
+		uSparse.Wait()
+		// Keep it genuinely sparse-format.
+		uSparse.ConvertTo(FormatSparse)
+
+		for _, s := range []Semiring[float64, float64, float64]{
+			PlusSecond[float64, float64](), PlusTimes[float64](),
+		} {
+			w1 := MustVector[float64](n)
+			if err := MxV(w1, NoVMask, nil, s, A, uFull, nil); err != nil {
+				t.Fatal(err)
+			}
+			w2 := MustVector[float64](n)
+			if err := MxV(w2, NoVMask, nil, s, A, uSparse, nil); err != nil {
+				t.Fatal(err)
+			}
+			g1, g2 := vdenseOf(w1), vdenseOf(w2)
+			if len(g1) != len(g2) {
+				t.Fatalf("%s: fast vs generic nvals %d vs %d", s.Name, len(g1), len(g2))
+			}
+			for i, x := range g1 {
+				if g2[i] != x {
+					t.Fatalf("%s: at %d fast %v generic %v", s.Name, i, x, g2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMinSecondFastPathMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(30)
+		var rows, cols []int
+		var vals []bool
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if rng.Float64() < 0.3 {
+					rows = append(rows, i)
+					cols = append(cols, j)
+					vals = append(vals, true)
+				}
+			}
+		}
+		A, err := MatrixFromTuples(n, n, rows, cols, vals, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := DenseVector(n, int64(0))
+		for i := 0; i < n; i++ {
+			u.SetElement(int64(rng.Intn(100)), i)
+		}
+		s := MinSecond[bool, int64]()
+		w1 := MustVector[int64](n)
+		if err := MxV(w1, NoVMask, nil, s, A, u, nil); err != nil {
+			t.Fatal(err)
+		}
+		// Generic path via a sparse-format u.
+		us := u.Dup()
+		us.ConvertTo(FormatSparse)
+		w2 := MustVector[int64](n)
+		if err := MxV(w2, NoVMask, nil, s, A, us, nil); err != nil {
+			t.Fatal(err)
+		}
+		g1, g2 := vdenseOf(w1), vdenseOf(w2)
+		if len(g1) != len(g2) {
+			t.Fatalf("nvals %d vs %d", len(g1), len(g2))
+		}
+		for i, x := range g1 {
+			if g2[i] != x {
+				t.Fatalf("at %d fast %v generic %v", i, x, g2[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package grb
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Info is the GraphBLAS return status, mirroring GrB_Info from the C API
+// specification. In Go the non-success values are carried inside an error
+// rather than returned as bare ints; use InfoOf to recover the code.
+type Info int
+
+// Info values. Success and NoValue are the two non-error informational
+// codes; the remainder are API or execution errors.
+const (
+	Success Info = 0
+	// NoValue reports that an extractElement found no stored entry.
+	NoValue Info = 1
+
+	UninitializedObject Info = -1
+	NullPointer         Info = -2
+	InvalidValue        Info = -3
+	InvalidIndex        Info = -4
+	DomainMismatch      Info = -5
+	DimensionMismatch   Info = -6
+	OutputNotEmpty      Info = -7
+	NotImplemented      Info = -8
+	Panic               Info = -101
+	OutOfMemory         Info = -102
+	InsufficientSpace   Info = -103
+	InvalidObject       Info = -104
+	IndexOutOfBounds    Info = -105
+	EmptyObject         Info = -106
+)
+
+// String returns the spec-style name of the code.
+func (i Info) String() string {
+	switch i {
+	case Success:
+		return "GrB_SUCCESS"
+	case NoValue:
+		return "GrB_NO_VALUE"
+	case UninitializedObject:
+		return "GrB_UNINITIALIZED_OBJECT"
+	case NullPointer:
+		return "GrB_NULL_POINTER"
+	case InvalidValue:
+		return "GrB_INVALID_VALUE"
+	case InvalidIndex:
+		return "GrB_INVALID_INDEX"
+	case DomainMismatch:
+		return "GrB_DOMAIN_MISMATCH"
+	case DimensionMismatch:
+		return "GrB_DIMENSION_MISMATCH"
+	case OutputNotEmpty:
+		return "GrB_OUTPUT_NOT_EMPTY"
+	case NotImplemented:
+		return "GrB_NOT_IMPLEMENTED"
+	case Panic:
+		return "GrB_PANIC"
+	case OutOfMemory:
+		return "GrB_OUT_OF_MEMORY"
+	case InsufficientSpace:
+		return "GrB_INSUFFICIENT_SPACE"
+	case InvalidObject:
+		return "GrB_INVALID_OBJECT"
+	case IndexOutOfBounds:
+		return "GrB_INDEX_OUT_OF_BOUNDS"
+	case EmptyObject:
+		return "GrB_EMPTY_OBJECT"
+	default:
+		return fmt.Sprintf("GrB_Info(%d)", int(i))
+	}
+}
+
+// Error carries an Info code plus a human-readable message.
+type Error struct {
+	Info Info
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	if e.Msg == "" {
+		return e.Info.String()
+	}
+	return e.Info.String() + ": " + e.Msg
+}
+
+// errf builds a *Error with a formatted message.
+func errf(info Info, format string, args ...any) error {
+	return &Error{Info: info, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrNoValue is returned by element extraction when no entry is stored at
+// the requested position. It corresponds to GrB_NO_VALUE, which the C API
+// treats as informational rather than an error.
+var ErrNoValue = &Error{Info: NoValue}
+
+// IsNoValue reports whether err is the missing-entry condition.
+func IsNoValue(err error) bool {
+	var ge *Error
+	return errors.As(err, &ge) && ge.Info == NoValue
+}
+
+// InfoOf extracts the Info code from an error produced by this package.
+// A nil error maps to Success; a foreign error maps to Panic.
+func InfoOf(err error) Info {
+	if err == nil {
+		return Success
+	}
+	var ge *Error
+	if errors.As(err, &ge) {
+		return ge.Info
+	}
+	return Panic
+}
+
+// dimErr reports a dimension mismatch with the offending shapes.
+func dimErr(op string, got, want string) error {
+	return errf(DimensionMismatch, "%s: %s does not match %s", op, got, want)
+}

@@ -1,0 +1,292 @@
+package grb
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Systematic mask-semantics tests: for every combination of
+// {valued, structural} × {plain, complemented} × {merge, replace} ×
+// {no accum, accum}, the result of a masked operation must equal the
+// slow-but-obvious model computed element by element (paper §III-C's
+// semantics).
+
+// modelMaskAccum computes the expected result of C⟨M⟩⊙=T per the spec.
+func modelMaskAccum(
+	c, t map[coord]float64,
+	m map[coord]float64, mExists func(coord) bool,
+	comp, structural, replace bool, accum bool,
+) map[coord]float64 {
+	allowed := func(p coord) bool {
+		if mExists == nil {
+			return true
+		}
+		sel := false
+		if mExists(p) {
+			if structural {
+				sel = true
+			} else {
+				sel = m[p] != 0
+			}
+		}
+		if comp {
+			return !sel
+		}
+		return sel
+	}
+	out := map[coord]float64{}
+	seen := map[coord]bool{}
+	for p := range c {
+		seen[p] = true
+	}
+	for p := range t {
+		seen[p] = true
+	}
+	for p := range seen {
+		cv, cok := c[p]
+		tv, tok := t[p]
+		if allowed(p) {
+			switch {
+			case tok && cok:
+				if accum {
+					out[p] = cv + tv
+				} else {
+					out[p] = tv
+				}
+			case tok:
+				out[p] = tv
+			case cok && accum:
+				out[p] = cv
+			}
+		} else if !replace && cok {
+			out[p] = cv
+		}
+	}
+	return out
+}
+
+func TestMaskSemanticsMatrixAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	plus := func(a, b float64) float64 { return a + b }
+	for trial := 0; trial < 12; trial++ {
+		n := 6 + rng.Intn(8)
+		A := randMatrix(rng, n, n, 0.35)
+		B := randMatrix(rng, n, n, 0.35)
+		// Mask with some explicit zeros so valued != structural.
+		M := randMatrix(rng, n, n, 0.4)
+		mr, mc, mv := M.ExtractTuples()
+		for k := range mv {
+			if rng.Float64() < 0.3 {
+				mv[k] = 0
+			}
+		}
+		M, _ = MatrixFromTuples(n, n, mr, mc, mv, nil)
+		mSet := denseOf(M)
+		mExists := func(p coord) bool { _, ok := mSet[p]; return ok }
+
+		// Unmasked product = the "t" of the model.
+		tFull := MustMatrix[float64](n, n)
+		if err := MxM(tFull, NoMask, nil, PlusTimes[float64](), A, B, nil); err != nil {
+			t.Fatal(err)
+		}
+		tMap := denseOf(tFull)
+
+		cInit := randMatrix(rng, n, n, 0.3)
+		cMap := denseOf(cInit)
+
+		for _, comp := range []bool{false, true} {
+			for _, structural := range []bool{false, true} {
+				for _, replace := range []bool{false, true} {
+					for _, withAccum := range []bool{false, true} {
+						mask := MaskOf(M)
+						if structural {
+							mask = mask.Structure()
+						}
+						if comp {
+							mask = mask.Not()
+						}
+						var desc *Descriptor
+						if replace {
+							desc = DescR
+						}
+						var acc func(float64, float64) float64
+						if withAccum {
+							acc = plus
+						}
+						C := cInit.Dup()
+						if err := MxM(C, mask, acc, PlusTimes[float64](), A, B, desc); err != nil {
+							t.Fatal(err)
+						}
+						want := modelMaskAccum(cMap, tMap, mSet, mExists,
+							comp, structural, replace, withAccum)
+						label := "mxm"
+						if comp {
+							label += " comp"
+						}
+						if structural {
+							label += " struct"
+						}
+						if replace {
+							label += " replace"
+						}
+						if withAccum {
+							label += " accum"
+						}
+						matricesEqual(t, C, want, label)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaskSemanticsVectorAllVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	plus := func(a, b float64) float64 { return a + b }
+	for trial := 0; trial < 12; trial++ {
+		n := 8 + rng.Intn(12)
+		A := randMatrix(rng, n, n, 0.35)
+		u := randVector(rng, n, 0.5)
+		m := randVector(rng, n, 0.5)
+		mi, mv := m.ExtractTuples()
+		for k := range mv {
+			if rng.Float64() < 0.3 {
+				mv[k] = 0
+			}
+		}
+		m, _ = VectorFromTuples(n, mi, mv, nil)
+		mSet := vdenseOf(m)
+		mExists := func(p coord) bool { _, ok := mSet[p.i]; return ok }
+
+		tFull := MustVector[float64](n)
+		if err := MxV(tFull, NoVMask, nil, PlusTimes[float64](), A, u, nil); err != nil {
+			t.Fatal(err)
+		}
+		tMap := vdenseOf(tFull)
+		wInit := randVector(rng, n, 0.4)
+		wMap := vdenseOf(wInit)
+
+		asCoord := func(mm map[int]float64) map[coord]float64 {
+			out := map[coord]float64{}
+			for i, x := range mm {
+				out[coord{i, 0}] = x
+			}
+			return out
+		}
+		mCoord := asCoord(mSet)
+
+		for _, comp := range []bool{false, true} {
+			for _, structural := range []bool{false, true} {
+				for _, replace := range []bool{false, true} {
+					for _, withAccum := range []bool{false, true} {
+						mask := VMaskOf(m)
+						if structural {
+							mask = mask.Structure()
+						}
+						if comp {
+							mask = mask.Not()
+						}
+						var desc *Descriptor
+						if replace {
+							desc = DescR
+						}
+						var acc func(float64, float64) float64
+						if withAccum {
+							acc = plus
+						}
+						w := wInit.Dup()
+						if err := MxV(w, mask, acc, PlusTimes[float64](), A, u, desc); err != nil {
+							t.Fatal(err)
+						}
+						wantC := modelMaskAccum(asCoord(wMap), asCoord(tMap),
+							mCoord, mExists, comp, structural, replace, withAccum)
+						want := map[int]float64{}
+						for p, x := range wantC {
+							want[p.i] = x
+						}
+						label := "mxv masked"
+						if comp {
+							label += " comp"
+						}
+						if structural {
+							label += " struct"
+						}
+						if replace {
+							label += " replace"
+						}
+						if withAccum {
+							label += " accum"
+						}
+						vectorsEqual(t, w, want, label)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMaskPartitionProperty(t *testing.T) {
+	// The entries of C⟨s(M)⟩=T and C⟨¬s(M)⟩=T (both replace, empty C)
+	// partition the entries of the unmasked T.
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 10; trial++ {
+		n := 6 + rng.Intn(10)
+		A := randMatrix(rng, n, n, 0.4)
+		B := randMatrix(rng, n, n, 0.4)
+		M := randMatrix(rng, n, n, 0.4)
+		full := MustMatrix[float64](n, n)
+		if err := MxM(full, NoMask, nil, PlusTimes[float64](), A, B, nil); err != nil {
+			t.Fatal(err)
+		}
+		inside := MustMatrix[float64](n, n)
+		if err := MxM(inside, StructMaskOf(M), nil, PlusTimes[float64](), A, B, DescR); err != nil {
+			t.Fatal(err)
+		}
+		outside := MustMatrix[float64](n, n)
+		if err := MxM(outside, StructMaskOf(M).Not(), nil, PlusTimes[float64](), A, B, DescR); err != nil {
+			t.Fatal(err)
+		}
+		if inside.NVals()+outside.NVals() != full.NVals() {
+			t.Fatalf("partition sizes: %d + %d != %d",
+				inside.NVals(), outside.NVals(), full.NVals())
+		}
+		fullMap := denseOf(full)
+		inMap := denseOf(inside)
+		outMap := denseOf(outside)
+		for p, x := range fullMap {
+			iv, iok := inMap[p]
+			ov, ook := outMap[p]
+			if iok == ook {
+				t.Fatalf("entry %v in both or neither partition", p)
+			}
+			got := iv
+			if ook {
+				got = ov
+			}
+			if got != x {
+				t.Fatalf("entry %v value %v, want %v", p, got, x)
+			}
+		}
+	}
+}
+
+func TestEmptyMaskMeansNothingComputed(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	n := 8
+	A := randMatrix(rng, n, n, 0.5)
+	empty := MustMatrix[bool](n, n)
+	C := randMatrix(rng, n, n, 0.3)
+	before := denseOf(C)
+	// Merge semantics: nothing allowed, C unchanged.
+	if err := MxM(C, StructMaskOf(empty), nil, PlusTimes[float64](), A, A, nil); err != nil {
+		t.Fatal(err)
+	}
+	matricesEqual(t, C, before, "empty mask merge keeps C")
+	// Replace semantics: everything annihilated.
+	if err := MxM(C, StructMaskOf(empty), nil, PlusTimes[float64](), A, A, DescR); err != nil {
+		t.Fatal(err)
+	}
+	if C.NVals() != 0 {
+		t.Fatalf("empty mask replace left %d entries", C.NVals())
+	}
+}

@@ -1,0 +1,624 @@
+package grb
+
+import (
+	"sort"
+
+	"lagraph/internal/parallel"
+)
+
+// Matrix is a generic GraphBLAS matrix held by row. Unlike the opaque
+// GrB_Matrix, its accessors expose enough structure for the LAGraph layer
+// to stay honest about cost, but algorithm code should treat it through the
+// package's operations.
+//
+// A Matrix may carry three kinds of pending work, assembled by Wait:
+// pending tuples (entries inserted but not yet part of the CSR structure),
+// zombies (entries deleted in place but still occupying slots), and jumbled
+// rows (column indices within a row not yet sorted — the lazy sort).
+type Matrix[T Value] struct {
+	nr, nc int
+	format Format
+
+	// sparse (CSR): ptr has nr+1 entries; idx/val hold ptr[nr] entries.
+	// A negative idx entry is a zombie (see zombieFlip).
+	ptr []int
+	idx []int
+	val []T // also the dense value array for bitmap/full (len nr*nc)
+
+	// bitmap: b[i*nc+j] != 0 marks presence; nvalsB counts set cells.
+	b      []int8
+	nvalsB int
+
+	jumbled    bool
+	nzombies   int
+	pend       []pending[T]
+	pendingDup func(T, T) T // nil = second (last insert wins)
+}
+
+// NewMatrix returns an empty sparse nr-by-nc matrix.
+func NewMatrix[T Value](nr, nc int) (*Matrix[T], error) {
+	if nr < 0 || nc < 0 {
+		return nil, errf(InvalidValue, "NewMatrix: negative dimension %d x %d", nr, nc)
+	}
+	return &Matrix[T]{nr: nr, nc: nc, format: FormatSparse, ptr: make([]int, nr+1)}, nil
+}
+
+// MustMatrix is NewMatrix for callers with known-good dimensions.
+func MustMatrix[T Value](nr, nc int) *Matrix[T] {
+	m, err := NewMatrix[T](nr, nc)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// NRows returns the number of rows.
+func (m *Matrix[T]) NRows() int { return m.nr }
+
+// NCols returns the number of columns.
+func (m *Matrix[T]) NCols() int { return m.nc }
+
+// Dims returns (rows, cols).
+func (m *Matrix[T]) Dims() (int, int) { return m.nr, m.nc }
+
+// Format returns the current storage format.
+func (m *Matrix[T]) Format() Format { return m.format }
+
+// Jumbled reports whether any row's indices may be unsorted (lazy sort
+// outstanding). Exposed for the substrate ablation benchmarks.
+func (m *Matrix[T]) Jumbled() bool { return m.jumbled }
+
+// PendingTuples reports the number of unassembled insertions.
+func (m *Matrix[T]) PendingTuples() int { return len(m.pend) }
+
+// Zombies reports the number of lazily deleted entries.
+func (m *Matrix[T]) Zombies() int { return m.nzombies }
+
+// NVals returns the number of stored entries, finishing pending work first
+// (as GrB_Matrix_nvals does).
+func (m *Matrix[T]) NVals() int {
+	m.Wait()
+	switch m.format {
+	case FormatSparse:
+		return m.ptr[m.nr]
+	case FormatBitmap:
+		return m.nvalsB
+	default:
+		return m.nr * m.nc
+	}
+}
+
+// nvalsUpper bounds NVals without assembling pending work.
+func (m *Matrix[T]) nvalsUpper() int {
+	switch m.format {
+	case FormatSparse:
+		return m.ptr[m.nr] - m.nzombies + len(m.pend)
+	case FormatBitmap:
+		return m.nvalsB
+	default:
+		return m.nr * m.nc
+	}
+}
+
+// Clear removes all entries, reverting to empty sparse storage.
+func (m *Matrix[T]) Clear() {
+	m.format = FormatSparse
+	m.ptr = make([]int, m.nr+1)
+	m.idx, m.val, m.b = nil, nil, nil
+	m.nvalsB, m.nzombies = 0, 0
+	m.jumbled = false
+	m.pend = nil
+}
+
+// Dup returns a deep copy. Pending work is finished first so the copy is
+// clean (matching GrB_Matrix_dup, which operates on the finished matrix).
+func (m *Matrix[T]) Dup() *Matrix[T] {
+	m.Wait()
+	c := &Matrix[T]{nr: m.nr, nc: m.nc, format: m.format, nvalsB: m.nvalsB}
+	c.ptr = append([]int(nil), m.ptr...)
+	c.idx = append([]int(nil), m.idx...)
+	c.val = append([]T(nil), m.val...)
+	c.b = append([]int8(nil), m.b...)
+	return c
+}
+
+// SetPendingDup sets the operator used to combine duplicate pending tuples
+// (and a pending tuple landing on an existing entry) during Wait. The
+// default keeps the last value.
+func (m *Matrix[T]) SetPendingDup(f func(old, new T) T) { m.pendingDup = f }
+
+// SetElement stores A(i,j) = x. On sparse matrices an entry that is not
+// already present becomes a pending tuple (non-blocking mode).
+func (m *Matrix[T]) SetElement(x T, i, j int) error {
+	if i < 0 || i >= m.nr || j < 0 || j >= m.nc {
+		return errf(InvalidIndex, "SetElement: (%d,%d) outside %dx%d", i, j, m.nr, m.nc)
+	}
+	switch m.format {
+	case FormatFull:
+		m.val[i*m.nc+j] = x
+	case FormatBitmap:
+		p := i*m.nc + j
+		if m.b[p] == 0 {
+			m.b[p] = 1
+			m.nvalsB++
+		}
+		m.val[p] = x
+	default:
+		if p, ok := m.findSparse(i, j); ok {
+			if isZombie(m.idx[p]) {
+				m.idx[p] = zombieFlip(m.idx[p])
+				m.nzombies--
+			}
+			m.val[p] = x
+			return nil
+		}
+		m.pend = append(m.pend, pending[T]{i: i, j: j, x: x})
+	}
+	return nil
+}
+
+// RemoveElement deletes A(i,j) if present. On sparse matrices the entry
+// becomes a zombie.
+func (m *Matrix[T]) RemoveElement(i, j int) error {
+	if i < 0 || i >= m.nr || j < 0 || j >= m.nc {
+		return errf(InvalidIndex, "RemoveElement: (%d,%d) outside %dx%d", i, j, m.nr, m.nc)
+	}
+	switch m.format {
+	case FormatFull:
+		// A full matrix loses an entry: demote to bitmap first.
+		m.fullToBitmap()
+		fallthrough
+	case FormatBitmap:
+		p := i*m.nc + j
+		if m.b[p] != 0 {
+			m.b[p] = 0
+			var zero T
+			m.val[p] = zero
+			m.nvalsB--
+		}
+	default:
+		if len(m.pend) > 0 {
+			m.Wait() // a pending tuple may target (i,j); assemble first
+		}
+		if p, ok := m.findSparse(i, j); ok && !isZombie(m.idx[p]) {
+			m.idx[p] = zombieFlip(m.idx[p])
+			m.nzombies++
+		}
+	}
+	return nil
+}
+
+// ExtractElement returns A(i,j), or ErrNoValue if no entry is stored there.
+func (m *Matrix[T]) ExtractElement(i, j int) (T, error) {
+	var zero T
+	if i < 0 || i >= m.nr || j < 0 || j >= m.nc {
+		return zero, errf(InvalidIndex, "ExtractElement: (%d,%d) outside %dx%d", i, j, m.nr, m.nc)
+	}
+	switch m.format {
+	case FormatFull:
+		return m.val[i*m.nc+j], nil
+	case FormatBitmap:
+		p := i*m.nc + j
+		if m.b[p] == 0 {
+			return zero, ErrNoValue
+		}
+		return m.val[p], nil
+	default:
+		if len(m.pend) > 0 {
+			m.Wait()
+		}
+		if p, ok := m.findSparse(i, j); ok && !isZombie(m.idx[p]) {
+			return m.val[p], nil
+		}
+		return zero, ErrNoValue
+	}
+}
+
+// findSparse locates entry (i,j) in the CSR structure (zombie or live),
+// returning its position. Binary search when the row is sorted, linear
+// when jumbled.
+func (m *Matrix[T]) findSparse(i, j int) (int, bool) {
+	lo, hi := m.ptr[i], m.ptr[i+1]
+	if !m.jumbled && m.nzombies == 0 {
+		p := lo + sort.SearchInts(m.idx[lo:hi], j)
+		if p < hi && m.idx[p] == j {
+			return p, true
+		}
+		return 0, false
+	}
+	for p := lo; p < hi; p++ {
+		c := m.idx[p]
+		if c == j || (isZombie(c) && zombieFlip(c) == j) {
+			return p, true
+		}
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
+// Wait: assemble pending work (zombies, lazy sort, pending tuples)
+
+// Wait brings the matrix to a finished state: zombies are compacted,
+// jumbled rows are sorted, and pending tuples are merged into the CSR
+// structure. It is idempotent and cheap when nothing is pending.
+func (m *Matrix[T]) Wait() {
+	if m.format != FormatSparse {
+		return
+	}
+	if m.nzombies > 0 {
+		m.compactZombies()
+	}
+	if m.jumbled {
+		m.sortRows()
+	}
+	if len(m.pend) > 0 {
+		m.assemblePending()
+	}
+}
+
+func (m *Matrix[T]) compactZombies() {
+	w := 0
+	newPtr := make([]int, m.nr+1)
+	for i := 0; i < m.nr; i++ {
+		newPtr[i] = w
+		for p := m.ptr[i]; p < m.ptr[i+1]; p++ {
+			if !isZombie(m.idx[p]) {
+				m.idx[w] = m.idx[p]
+				m.val[w] = m.val[p]
+				w++
+			}
+		}
+	}
+	newPtr[m.nr] = w
+	m.ptr = newPtr
+	m.idx = m.idx[:w]
+	m.val = m.val[:w]
+	m.nzombies = 0
+}
+
+func (m *Matrix[T]) sortRows() {
+	parallel.Guided(m.nr, 32, func(i int) {
+		lo, hi := m.ptr[i], m.ptr[i+1]
+		if hi-lo > 1 && !sort.IntsAreSorted(m.idx[lo:hi]) {
+			pairSort(m.idx[lo:hi], m.val[lo:hi])
+		}
+	})
+	m.jumbled = false
+}
+
+func (m *Matrix[T]) assemblePending() {
+	dup := m.pendingDup
+	if dup == nil {
+		dup = func(_, n T) T { return n }
+	}
+	pend := m.pend
+	m.pend = nil
+	sort.SliceStable(pend, func(a, b int) bool {
+		if pend[a].i != pend[b].i {
+			return pend[a].i < pend[b].i
+		}
+		return pend[a].j < pend[b].j
+	})
+	// Combine duplicate pending tuples.
+	w := 0
+	for r := 0; r < len(pend); r++ {
+		if w > 0 && pend[w-1].i == pend[r].i && pend[w-1].j == pend[r].j {
+			pend[w-1].x = dup(pend[w-1].x, pend[r].x)
+		} else {
+			pend[w] = pend[r]
+			w++
+		}
+	}
+	pend = pend[:w]
+	// Merge the sorted pending list with the CSR rows.
+	newIdx := make([]int, 0, len(m.idx)+len(pend))
+	newVal := make([]T, 0, len(m.val)+len(pend))
+	newPtr := make([]int, m.nr+1)
+	q := 0
+	for i := 0; i < m.nr; i++ {
+		newPtr[i] = len(newIdx)
+		p, pe := m.ptr[i], m.ptr[i+1]
+		for p < pe || (q < len(pend) && pend[q].i == i) {
+			switch {
+			case p < pe && (q >= len(pend) || pend[q].i != i || m.idx[p] < pend[q].j):
+				newIdx = append(newIdx, m.idx[p])
+				newVal = append(newVal, m.val[p])
+				p++
+			case p < pe && q < len(pend) && pend[q].i == i && m.idx[p] == pend[q].j:
+				newIdx = append(newIdx, m.idx[p])
+				newVal = append(newVal, dup(m.val[p], pend[q].x))
+				p++
+				q++
+			default:
+				newIdx = append(newIdx, pend[q].j)
+				newVal = append(newVal, pend[q].x)
+				q++
+			}
+		}
+	}
+	newPtr[m.nr] = len(newIdx)
+	m.ptr, m.idx, m.val = newPtr, newIdx, newVal
+}
+
+// markJumbled flags the matrix rows as possibly unsorted; if the lazy sort
+// is disabled globally, the sort happens immediately instead.
+func (m *Matrix[T]) markJumbled() {
+	m.jumbled = true
+	if !LazySortEnabled() {
+		m.sortRows()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// format conversions
+
+// ConvertTo forces a storage format. Converting a sparse matrix with more
+// entries than MaxDenseEntries to bitmap/full is the caller's
+// responsibility to avoid; the conversion itself is always honoured.
+func (m *Matrix[T]) ConvertTo(f Format) {
+	m.Wait()
+	switch {
+	case f == m.format:
+	case f == FormatBitmap && m.format == FormatSparse:
+		m.sparseToBitmap()
+	case f == FormatBitmap && m.format == FormatFull:
+		m.fullToBitmap()
+	case f == FormatSparse && m.format == FormatBitmap:
+		m.bitmapToSparse()
+	case f == FormatSparse && m.format == FormatFull:
+		m.fullToBitmap()
+		m.bitmapToSparse()
+	case f == FormatFull && m.format == FormatBitmap:
+		if m.nvalsB == m.nr*m.nc {
+			m.b = nil
+			m.format = FormatFull
+		}
+		// A bitmap with holes cannot become full; keep bitmap.
+	case f == FormatFull && m.format == FormatSparse:
+		if m.ptr[m.nr] == m.nr*m.nc {
+			m.sparseToBitmap()
+			m.b = nil
+			m.format = FormatFull
+		}
+	}
+}
+
+func (m *Matrix[T]) sparseToBitmap() {
+	size := m.nr * m.nc
+	b := make([]int8, size)
+	val := make([]T, size)
+	parallel.For(m.nr, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			base := i * m.nc
+			for p := m.ptr[i]; p < m.ptr[i+1]; p++ {
+				b[base+m.idx[p]] = 1
+				val[base+m.idx[p]] = m.val[p]
+			}
+		}
+	})
+	m.nvalsB = m.ptr[m.nr]
+	m.b, m.val = b, val
+	m.ptr, m.idx = nil, nil
+	m.format = FormatBitmap
+}
+
+func (m *Matrix[T]) fullToBitmap() {
+	size := m.nr * m.nc
+	b := make([]int8, size)
+	for i := range b {
+		b[i] = 1
+	}
+	m.b = b
+	m.nvalsB = size
+	m.format = FormatBitmap
+}
+
+func (m *Matrix[T]) bitmapToSparse() {
+	counts := make([]int, m.nr+1)
+	parallel.For(m.nr, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := 0
+			base := i * m.nc
+			for j := 0; j < m.nc; j++ {
+				if m.b[base+j] != 0 {
+					c++
+				}
+			}
+			counts[i] = c
+		}
+	})
+	nnz := parallel.ExclusiveScan(counts)
+	idx := make([]int, nnz)
+	val := make([]T, nnz)
+	parallel.For(m.nr, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w := counts[i]
+			base := i * m.nc
+			for j := 0; j < m.nc; j++ {
+				if m.b[base+j] != 0 {
+					idx[w] = j
+					val[w] = m.val[base+j]
+					w++
+				}
+			}
+		}
+	})
+	m.ptr, m.idx, m.val = counts, idx, val
+	m.b = nil
+	m.nvalsB = 0
+	m.format = FormatSparse
+}
+
+// conform applies the automatic format-switching policy to an operation
+// result: dense-enough sparse results become bitmap (or full when every
+// cell is present); sparse-enough bitmaps go back to CSR.
+func (m *Matrix[T]) conform() {
+	size := int64(m.nr) * int64(m.nc)
+	switch m.format {
+	case FormatSparse:
+		nv := m.nvalsUpper()
+		if wantBitmap(nv, size, false) {
+			m.Wait()
+			if int64(m.ptr[m.nr]) == size {
+				m.ConvertTo(FormatFull)
+			} else {
+				m.sparseToBitmap()
+			}
+		}
+	case FormatBitmap:
+		if int64(m.nvalsB) == size && size > 0 {
+			m.b = nil
+			m.format = FormatFull
+		} else if wantSparse(m.nvalsB, size) || !BitmapEnabled() {
+			m.bitmapToSparse()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// build / export
+
+// MatrixFromTuples builds an nr-by-nc sparse matrix from (rows, cols, vals)
+// triples. dup combines duplicates (nil keeps the last). This is GrB's
+// C ↤ {i, j, x}.
+func MatrixFromTuples[T Value](nr, nc int, rows, cols []int, vals []T, dup func(T, T) T) (*Matrix[T], error) {
+	if len(rows) != len(cols) || len(rows) != len(vals) {
+		return nil, errf(InvalidValue, "MatrixFromTuples: array lengths differ (%d, %d, %d)", len(rows), len(cols), len(vals))
+	}
+	m, err := NewMatrix[T](nr, nc)
+	if err != nil {
+		return nil, err
+	}
+	for k := range rows {
+		if rows[k] < 0 || rows[k] >= nr || cols[k] < 0 || cols[k] >= nc {
+			return nil, errf(IndexOutOfBounds, "MatrixFromTuples: tuple %d at (%d,%d) outside %dx%d", k, rows[k], cols[k], nr, nc)
+		}
+	}
+	// Counting sort by row, then sort each row segment by column.
+	counts := make([]int, nr+1)
+	for _, i := range rows {
+		counts[i]++
+	}
+	parallel.ExclusiveScan(counts)
+	idx := make([]int, len(rows))
+	val := make([]T, len(rows))
+	next := append([]int(nil), counts[:nr]...)
+	for k := range rows {
+		p := next[rows[k]]
+		next[rows[k]]++
+		idx[p] = cols[k]
+		val[p] = vals[k]
+	}
+	m.ptr, m.idx, m.val = counts, idx, val
+	parallel.Guided(nr, 32, func(i int) {
+		lo, hi := m.ptr[i], m.ptr[i+1]
+		if hi-lo > 1 {
+			pairSortStable(m.idx[lo:hi], m.val[lo:hi])
+		}
+	})
+	// Combine duplicates.
+	if dup == nil {
+		dup = func(_, n T) T { return n }
+	}
+	w := 0
+	for i := 0; i < nr; i++ {
+		lo, hi := m.ptr[i], m.ptr[i+1]
+		m.ptr[i] = w
+		for p := lo; p < hi; p++ {
+			if w > m.ptr[i] && m.idx[w-1] == m.idx[p] {
+				m.val[w-1] = dup(m.val[w-1], m.val[p])
+			} else {
+				m.idx[w] = m.idx[p]
+				m.val[w] = m.val[p]
+				w++
+			}
+		}
+	}
+	m.ptr[nr] = w
+	m.idx = m.idx[:w]
+	m.val = m.val[:w]
+	return m, nil
+}
+
+// ExtractTuples returns the stored entries as parallel (rows, cols, vals)
+// arrays in row-major order: {i, j, x} ↤ A.
+func (m *Matrix[T]) ExtractTuples() (rows, cols []int, vals []T) {
+	m.Wait()
+	switch m.format {
+	case FormatSparse:
+		n := m.ptr[m.nr]
+		rows = make([]int, n)
+		cols = append([]int(nil), m.idx...)
+		vals = append([]T(nil), m.val...)
+		for i := 0; i < m.nr; i++ {
+			for p := m.ptr[i]; p < m.ptr[i+1]; p++ {
+				rows[p] = i
+			}
+		}
+	default:
+		for i := 0; i < m.nr; i++ {
+			base := i * m.nc
+			for j := 0; j < m.nc; j++ {
+				if m.format == FormatFull || m.b[base+j] != 0 {
+					rows = append(rows, i)
+					cols = append(cols, j)
+					vals = append(vals, m.val[base+j])
+				}
+			}
+		}
+	}
+	return rows, cols, vals
+}
+
+// ImportCSR adopts caller-built CSR arrays without copying. jumbled
+// declares whether rows may be unsorted. The arrays must not be reused by
+// the caller afterwards.
+func ImportCSR[T Value](nr, nc int, ptr, idx []int, val []T, jumbled bool) (*Matrix[T], error) {
+	if nr < 0 || nc < 0 || len(ptr) != nr+1 || len(idx) != ptr[nr] || len(val) != ptr[nr] {
+		return nil, errf(InvalidValue, "ImportCSR: inconsistent arrays")
+	}
+	m := &Matrix[T]{nr: nr, nc: nc, format: FormatSparse, ptr: ptr, idx: idx, val: val}
+	if jumbled {
+		m.markJumbled()
+	}
+	return m, nil
+}
+
+// ExportCSR finishes the matrix and returns its CSR arrays. The matrix
+// remains valid and shares the arrays; treat them as read-only.
+func (m *Matrix[T]) ExportCSR() (ptr, idx []int, val []T) {
+	m.Wait()
+	if m.format != FormatSparse {
+		m.ConvertTo(FormatSparse)
+	}
+	return m.ptr, m.idx, m.val
+}
+
+// rowNNZ returns the entry count of row i (sparse, finished matrices).
+func (m *Matrix[T]) rowNNZ(i int) int { return m.ptr[i+1] - m.ptr[i] }
+
+// ---------------------------------------------------------------------------
+// sorting helpers
+
+// pairSort sorts idx ascending, permuting val alongside (unstable).
+func pairSort[T any](idx []int, val []T) {
+	sort.Sort(&pairSorter[T]{idx: idx, val: val})
+}
+
+// pairSortStable is the stable variant used where duplicate handling must
+// respect insertion order.
+func pairSortStable[T any](idx []int, val []T) {
+	sort.Stable(&pairSorter[T]{idx: idx, val: val})
+}
+
+type pairSorter[T any] struct {
+	idx []int
+	val []T
+}
+
+func (s *pairSorter[T]) Len() int           { return len(s.idx) }
+func (s *pairSorter[T]) Less(a, b int) bool { return s.idx[a] < s.idx[b] }
+func (s *pairSorter[T]) Swap(a, b int) {
+	s.idx[a], s.idx[b] = s.idx[b], s.idx[a]
+	s.val[a], s.val[b] = s.val[b], s.val[a]
+}

@@ -1,0 +1,425 @@
+package grb
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix[int64](-1, 3); err == nil {
+		t.Fatal("negative rows accepted")
+	}
+	m, err := NewMatrix[int64](3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, c := m.Dims(); r != 3 || c != 4 {
+		t.Fatalf("dims = %d,%d", r, c)
+	}
+	if m.NVals() != 0 {
+		t.Fatalf("new matrix has %d vals", m.NVals())
+	}
+	if m.Format() != FormatSparse {
+		t.Fatalf("new matrix format %v", m.Format())
+	}
+}
+
+func TestSetElementCreatesPendingTuples(t *testing.T) {
+	m := MustMatrix[float64](4, 4)
+	if err := m.SetElement(1.5, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetElement(2.5, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if m.PendingTuples() != 2 {
+		t.Fatalf("pending = %d, want 2", m.PendingTuples())
+	}
+	// NVals assembles.
+	if n := m.NVals(); n != 2 {
+		t.Fatalf("nvals = %d, want 2", n)
+	}
+	if m.PendingTuples() != 0 {
+		t.Fatal("pending tuples not assembled by NVals")
+	}
+	got, err := m.ExtractElement(1, 2)
+	if err != nil || got != 1.5 {
+		t.Fatalf("A(1,2) = %v, %v", got, err)
+	}
+}
+
+func TestSetElementDuplicatePendingLastWins(t *testing.T) {
+	m := MustMatrix[int32](2, 2)
+	m.SetElement(1, 0, 1)
+	m.SetElement(7, 0, 1) // second pending tuple on the same position
+	m.Wait()
+	got, _ := m.ExtractElement(0, 1)
+	if got != 7 {
+		t.Fatalf("duplicate pending tuple: got %d, want 7 (last wins)", got)
+	}
+}
+
+func TestSetElementPendingDupOperator(t *testing.T) {
+	m := MustMatrix[int32](2, 2)
+	m.SetPendingDup(func(a, b int32) int32 { return a + b })
+	m.SetElement(1, 0, 1)
+	m.SetElement(7, 0, 1)
+	m.Wait()
+	got, _ := m.ExtractElement(0, 1)
+	if got != 8 {
+		t.Fatalf("dup operator: got %d, want 8", got)
+	}
+}
+
+func TestSetElementUpdatesExistingInPlace(t *testing.T) {
+	m := mustFromTuples(t, 3, 3, []int{0, 1}, []int{1, 2}, []int64{10, 20})
+	if err := m.SetElement(99, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.PendingTuples() != 0 {
+		t.Fatal("in-place update created a pending tuple")
+	}
+	got, _ := m.ExtractElement(0, 1)
+	if got != 99 {
+		t.Fatalf("got %d, want 99", got)
+	}
+}
+
+func TestRemoveElementCreatesZombie(t *testing.T) {
+	m := mustFromTuples(t, 3, 3, []int{0, 0, 1}, []int{0, 1, 2}, []int64{1, 2, 3})
+	if err := m.RemoveElement(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Zombies() != 1 {
+		t.Fatalf("zombies = %d, want 1", m.Zombies())
+	}
+	if _, err := m.ExtractElement(0, 1); !IsNoValue(err) {
+		t.Fatalf("zombie still visible: %v", err)
+	}
+	if n := m.NVals(); n != 2 {
+		t.Fatalf("nvals = %d, want 2", n)
+	}
+	if m.Zombies() != 0 {
+		t.Fatal("zombies not compacted by Wait")
+	}
+	// Removing a missing entry is a no-op.
+	if err := m.RemoveElement(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.NVals() != 2 {
+		t.Fatal("removing a missing entry changed nvals")
+	}
+}
+
+func TestZombieReviveViaSetElement(t *testing.T) {
+	m := mustFromTuples(t, 2, 2, []int{0}, []int{1}, []int64{5})
+	m.RemoveElement(0, 1)
+	m.SetElement(6, 0, 1)
+	if m.Zombies() != 0 {
+		t.Fatal("revive did not clear the zombie")
+	}
+	got, _ := m.ExtractElement(0, 1)
+	if got != 6 {
+		t.Fatalf("got %d, want 6", got)
+	}
+	if m.NVals() != 1 {
+		t.Fatalf("nvals = %d, want 1", m.NVals())
+	}
+}
+
+func TestMatrixFromTuplesSortsAndCombinesDuplicates(t *testing.T) {
+	rows := []int{2, 0, 2, 0, 2}
+	cols := []int{3, 1, 3, 0, 1}
+	vals := []int64{5, 7, 6, 8, 9}
+	m, err := MatrixFromTuples(3, 4, rows, cols, vals, func(a, b int64) int64 { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NVals() != 4 {
+		t.Fatalf("nvals = %d, want 4", m.NVals())
+	}
+	got, _ := m.ExtractElement(2, 3)
+	if got != 11 {
+		t.Fatalf("dup combine: got %d, want 11", got)
+	}
+	r, c, v := m.ExtractTuples()
+	wantR := []int{0, 0, 2, 2}
+	wantC := []int{0, 1, 1, 3}
+	wantV := []int64{8, 7, 9, 11}
+	if !reflect.DeepEqual(r, wantR) || !reflect.DeepEqual(c, wantC) || !reflect.DeepEqual(v, wantV) {
+		t.Fatalf("tuples = %v %v %v", r, c, v)
+	}
+}
+
+func TestMatrixFromTuplesIndexValidation(t *testing.T) {
+	if _, err := MatrixFromTuples(2, 2, []int{5}, []int{0}, []int64{1}, nil); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if _, err := MatrixFromTuples(2, 2, []int{0}, []int{0, 1}, []int64{1, 2}, nil); err == nil {
+		t.Fatal("mismatched array lengths accepted")
+	}
+}
+
+func TestBuildExtractRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nr, nc := 1+rng.Intn(20), 1+rng.Intn(20)
+		n := rng.Intn(60)
+		type key struct{ i, j int }
+		want := map[key]float64{}
+		rows := make([]int, 0, n)
+		cols := make([]int, 0, n)
+		vals := make([]float64, 0, n)
+		for k := 0; k < n; k++ {
+			i, j := rng.Intn(nr), rng.Intn(nc)
+			x := rng.Float64()
+			rows = append(rows, i)
+			cols = append(cols, j)
+			vals = append(vals, x)
+			want[key{i, j}] = x // last wins
+		}
+		m, err := MatrixFromTuples(nr, nc, rows, cols, vals, nil)
+		if err != nil {
+			return false
+		}
+		r, c, v := m.ExtractTuples()
+		if len(r) != len(want) {
+			return false
+		}
+		for k := range r {
+			if want[key{r[k], c[k]}] != v[k] {
+				return false
+			}
+		}
+		// Row-major sorted order.
+		return sort.SliceIsSorted(r, func(a, b int) bool {
+			if r[a] != r[b] {
+				return r[a] < r[b]
+			}
+			return c[a] < c[b]
+		})
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatConversionsRoundTrip(t *testing.T) {
+	m := mustFromTuples(t, 3, 4,
+		[]int{0, 0, 1, 2, 2}, []int{0, 3, 1, 0, 2}, []int64{1, 2, 3, 4, 5})
+	orig, origC, origV := m.ExtractTuples()
+
+	m.ConvertTo(FormatBitmap)
+	if m.Format() != FormatBitmap {
+		t.Fatalf("format = %v", m.Format())
+	}
+	r, c, v := m.ExtractTuples()
+	if !reflect.DeepEqual(r, orig) || !reflect.DeepEqual(c, origC) || !reflect.DeepEqual(v, origV) {
+		t.Fatal("bitmap conversion changed contents")
+	}
+	m.ConvertTo(FormatSparse)
+	if m.Format() != FormatSparse {
+		t.Fatalf("format = %v", m.Format())
+	}
+	r, c, v = m.ExtractTuples()
+	if !reflect.DeepEqual(r, orig) || !reflect.DeepEqual(c, origC) || !reflect.DeepEqual(v, origV) {
+		t.Fatal("sparse round trip changed contents")
+	}
+}
+
+func TestConvertToFullRequiresAllEntries(t *testing.T) {
+	m := mustFromTuples(t, 2, 2, []int{0}, []int{0}, []int64{1})
+	m.ConvertTo(FormatFull)
+	if m.Format() == FormatFull {
+		t.Fatal("partial matrix converted to full")
+	}
+	full := mustFromTuples(t, 2, 2, []int{0, 0, 1, 1}, []int{0, 1, 0, 1}, []int64{1, 2, 3, 4})
+	full.ConvertTo(FormatFull)
+	if full.Format() != FormatFull {
+		t.Fatalf("complete matrix not converted: %v", full.Format())
+	}
+	got, _ := full.ExtractElement(1, 0)
+	if got != 3 {
+		t.Fatalf("full A(1,0) = %d", got)
+	}
+}
+
+func TestDupIndependence(t *testing.T) {
+	m := mustFromTuples(t, 2, 2, []int{0}, []int{1}, []int64{5})
+	c := m.Dup()
+	m.SetElement(9, 1, 1)
+	m.Wait()
+	if c.NVals() != 1 {
+		t.Fatal("Dup shares storage with original")
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := mustFromTuples(t, 2, 2, []int{0, 1}, []int{1, 0}, []int64{5, 6})
+	m.ConvertTo(FormatBitmap)
+	m.Clear()
+	if m.NVals() != 0 || m.Format() != FormatSparse {
+		t.Fatalf("clear: nvals=%d format=%v", m.NVals(), m.Format())
+	}
+}
+
+func TestImportExportCSR(t *testing.T) {
+	ptr := []int{0, 2, 2, 3}
+	idx := []int{0, 2, 1}
+	val := []float64{1, 2, 3}
+	m, err := ImportCSR(3, 3, ptr, idx, val, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NVals() != 3 {
+		t.Fatalf("nvals = %d", m.NVals())
+	}
+	p2, i2, v2 := m.ExportCSR()
+	if !reflect.DeepEqual(p2, ptr) || !reflect.DeepEqual(i2, idx) || !reflect.DeepEqual(v2, val) {
+		t.Fatal("export mismatch")
+	}
+	if _, err := ImportCSR(3, 3, []int{0, 1}, idx, val, false); err == nil {
+		t.Fatal("inconsistent import accepted")
+	}
+}
+
+func TestJumbledImportIsSortedOnWait(t *testing.T) {
+	prev := SetLazySortEnabled(true)
+	defer SetLazySortEnabled(prev)
+	ptr := []int{0, 3}
+	idx := []int{2, 0, 1}
+	val := []int64{20, 0, 10}
+	m, err := ImportCSR(1, 3, ptr, idx, val, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Jumbled() {
+		t.Fatal("jumbled flag lost")
+	}
+	m.Wait()
+	if m.Jumbled() {
+		t.Fatal("Wait left the matrix jumbled")
+	}
+	_, c, v := m.ExtractTuples()
+	if !reflect.DeepEqual(c, []int{0, 1, 2}) || !reflect.DeepEqual(v, []int64{0, 10, 20}) {
+		t.Fatalf("sorted tuples = %v %v", c, v)
+	}
+}
+
+func TestLazySortDisabledSortsEagerly(t *testing.T) {
+	prev := SetLazySortEnabled(false)
+	defer SetLazySortEnabled(prev)
+	m, err := ImportCSR(1, 3, []int{0, 3}, []int{2, 0, 1}, []int64{20, 0, 10}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Jumbled() {
+		t.Fatal("lazy sort disabled, but matrix stayed jumbled")
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	m := MustMatrix[int64](2, 2)
+	if err := m.SetElement(1, 2, 0); err == nil {
+		t.Fatal("row out of range accepted")
+	}
+	if err := m.SetElement(1, 0, -1); err == nil {
+		t.Fatal("negative col accepted")
+	}
+	if _, err := m.ExtractElement(0, 5); err == nil || IsNoValue(err) {
+		t.Fatal("col out of range must be an index error")
+	}
+	if err := m.RemoveElement(-1, 0); err == nil {
+		t.Fatal("negative row accepted")
+	}
+}
+
+// mustFromTuples is a test helper building a finished sparse matrix.
+func mustFromTuples[T Value](t *testing.T, nr, nc int, rows, cols []int, vals []T) *Matrix[T] {
+	t.Helper()
+	m, err := MatrixFromTuples(nr, nc, rows, cols, vals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Vector core behaviour
+
+func TestVectorPendingZombiesWait(t *testing.T) {
+	v := MustVector[int64](6)
+	v.SetElement(1, 3)
+	v.SetElement(2, 1)
+	if v.Format() != FormatSparse {
+		t.Fatalf("format %v", v.Format())
+	}
+	if v.NVals() != 2 {
+		t.Fatalf("nvals = %d", v.NVals())
+	}
+	v.RemoveElement(3)
+	if v.Zombies() == 0 {
+		t.Fatal("remove did not create a zombie")
+	}
+	if v.NVals() != 1 {
+		t.Fatalf("nvals = %d", v.NVals())
+	}
+	x, err := v.ExtractElement(1)
+	if err != nil || x != 2 {
+		t.Fatalf("v(1) = %v, %v", x, err)
+	}
+	if _, err := v.ExtractElement(3); !IsNoValue(err) {
+		t.Fatal("deleted entry still present")
+	}
+}
+
+func TestVectorFromTuplesAndDense(t *testing.T) {
+	v, err := VectorFromTuples(5, []int{4, 1, 4}, []float64{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NVals() != 2 {
+		t.Fatalf("nvals = %d", v.NVals())
+	}
+	x, _ := v.ExtractElement(4)
+	if x != 3 {
+		t.Fatalf("last-wins dup: %v", x)
+	}
+	d := DenseVector(4, int64(7))
+	if d.Format() != FormatFull || d.NVals() != 4 {
+		t.Fatalf("dense: %v %d", d.Format(), d.NVals())
+	}
+	x2, _ := d.ExtractElement(2)
+	if x2 != 7 {
+		t.Fatalf("dense value %d", x2)
+	}
+}
+
+func TestVectorFormatConversions(t *testing.T) {
+	v, _ := VectorFromTuples(6, []int{0, 2, 5}, []int64{1, 2, 3}, nil)
+	v.ConvertTo(FormatBitmap)
+	if v.Format() != FormatBitmap {
+		t.Fatal("to bitmap failed")
+	}
+	idx, vals := v.ExtractTuples()
+	if !reflect.DeepEqual(idx, []int{0, 2, 5}) || !reflect.DeepEqual(vals, []int64{1, 2, 3}) {
+		t.Fatalf("bitmap tuples %v %v", idx, vals)
+	}
+	v.ConvertTo(FormatSparse)
+	idx, vals = v.ExtractTuples()
+	if !reflect.DeepEqual(idx, []int{0, 2, 5}) || !reflect.DeepEqual(vals, []int64{1, 2, 3}) {
+		t.Fatalf("sparse tuples %v %v", idx, vals)
+	}
+}
+
+func TestVectorIterateOrder(t *testing.T) {
+	v, _ := VectorFromTuples(10, []int{7, 1, 4}, []int64{70, 10, 40}, nil)
+	var got []int
+	v.Iterate(func(i int, x int64) { got = append(got, i) })
+	if !reflect.DeepEqual(got, []int{1, 4, 7}) {
+		t.Fatalf("iterate order %v", got)
+	}
+}

@@ -1,0 +1,241 @@
+package grb
+
+// MxM computes C⟨M⟩⊙= A ⊕.⊗ B (paper Table I, first row).
+//
+// Kernel selection mirrors SuiteSparse:GraphBLAS:
+//
+//   - plain product: row-parallel Gustavson (saxpy) with one sparse
+//     accumulator per worker; the output is produced jumbled and left for
+//     the lazy sort;
+//   - desc.TranB (C = A·Bᵀ with B held by row): a dot-product kernel that
+//     never materialises Bᵀ. With a structural mask — the triangle-counting
+//     pattern C⟨s(L)⟩ = L plus.pair Uᵀ — only the mask's positions are
+//     computed (the paper notes SS:GrB uses a dot method there);
+//   - desc.TranA: Aᵀ is materialised once and the plain kernel runs, the
+//     explicit-transpose strategy LAGraph itself uses via G.AT.
+func MxM[TA, TB, TC Value](C *Matrix[TC], mask Mask, accum func(TC, TC) TC,
+	s Semiring[TA, TB, TC], A *Matrix[TA], B *Matrix[TB], desc *Descriptor) error {
+
+	d := descOf(desc)
+	if d.TranA {
+		AT := transposeWork(A)
+		d2 := d
+		d2.TranA = false
+		return MxM(C, mask, accum, s, AT, B, &d2)
+	}
+	ar, ac := A.Dims()
+	br, bc := B.Dims()
+	if d.TranB {
+		br, bc = bc, br
+	}
+	if ac != br {
+		return dimErr("MxM", "A cols "+itoa(ac), "B rows "+itoa(br))
+	}
+	cr, cc := C.Dims()
+	if cr != ar || cc != bc {
+		return dimErr("MxM", "C "+itoa(cr)+"x"+itoa(cc), itoa(ar)+"x"+itoa(bc))
+	}
+	if err := mask.check(cr, cc, "MxM"); err != nil {
+		return err
+	}
+	A.Wait()
+	B.Wait()
+	var t *Matrix[TC]
+	if d.TranB {
+		t = dotKernel(s, A, B, mask)
+	} else {
+		t = saxpyKernel(s, A, B, mask)
+	}
+	maskAccumMatrix(C, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+// saxpyKernel computes t = A·B row by row: t(i,:) = ⊕_k A(i,k)·B(k,:),
+// restricted to mask-allowed positions. Each worker owns a sparse
+// accumulator sized to B's column count.
+func saxpyKernel[TA, TB, TC Value](s Semiring[TA, TB, TC], A *Matrix[TA], B *Matrix[TB], mask Mask) *Matrix[TC] {
+	nr, nc := A.NRows(), B.NCols()
+	addF := s.Add.F
+	isAny := s.Add.IsAny
+	mul := s.Mul
+	denseMaskSrc := !mask.Exists() || mask.src.maskIsDense()
+	bSparse := B.format == FormatSparse
+	return buildCSRParallelScoped(nr, nc, func(scope *rowAllowScope) func(i int, emit func(j int, x TC)) {
+		acc := newSPA[TC](nc)
+		return func(i int, emit func(j int, x TC)) {
+			scope.load(mask, i, nc, denseMaskSrc)
+			acc.reset()
+			scatter := func(k int, ax TA) {
+				contribute := func(j int, bx TB) {
+					if !scope.ok(mask, i, j) {
+						return
+					}
+					if acc.has(j) {
+						if isAny {
+							return
+						}
+						var x TC
+						if mul.PosF != nil {
+							x = mul.PosF(i, k, j)
+						} else {
+							x = mul.F(ax, bx)
+						}
+						acc.val[j] = addF(acc.val[j], x)
+						return
+					}
+					var x TC
+					if mul.PosF != nil {
+						x = mul.PosF(i, k, j)
+					} else {
+						x = mul.F(ax, bx)
+					}
+					acc.put(j, x)
+				}
+				if bSparse {
+					for q := B.ptr[k]; q < B.ptr[k+1]; q++ {
+						contribute(B.idx[q], B.val[q])
+					}
+				} else {
+					base := k * B.nc
+					for j := 0; j < B.nc; j++ {
+						if B.format == FormatFull || B.b[base+j] != 0 {
+							contribute(j, B.val[base+j])
+						}
+					}
+				}
+			}
+			aRowIter(A, i, scatter)
+			for _, j := range acc.touched {
+				emit(j, acc.val[j])
+			}
+		}
+	})
+}
+
+// dotKernel computes t = A·Bᵀ with both operands held by row:
+// t(i,j) = ⊕ over the sorted intersection of A(i,:) and B(j,:). With an
+// enumerable mask only mask positions are evaluated; otherwise every (i,j)
+// the mask allows is evaluated — the pull-direction shape used by BC.
+func dotKernel[TA, TB, TC Value](s Semiring[TA, TB, TC], A *Matrix[TA], B *Matrix[TB], mask Mask) *Matrix[TC] {
+	nr, nc := A.NRows(), B.NRows()
+	denseMaskSrc := !mask.Exists() || mask.src.maskIsDense()
+	enumerable := mask.enumerable()
+	return buildCSRParallelScoped(nr, nc, func(scope *rowAllowScope) func(i int, emit func(j int, x TC)) {
+		return func(i int, emit func(j int, x TC)) {
+			if enumerable {
+				mask.rowIterAllowed(i, func(j int) {
+					if x, ok := dotRow(s, A, B, i, j); ok {
+						emit(j, x)
+					}
+				})
+				return
+			}
+			scope.load(mask, i, nc, denseMaskSrc)
+			for j := 0; j < nc; j++ {
+				if !scope.ok(mask, i, j) {
+					continue
+				}
+				if x, ok := dotRow(s, A, B, i, j); ok {
+					emit(j, x)
+				}
+			}
+		}
+	})
+}
+
+// dotRow reduces the intersection of A(i,:) with B(j,:) on the semiring.
+func dotRow[TA, TB, TC Value](s Semiring[TA, TB, TC], A *Matrix[TA], B *Matrix[TB], i, j int) (TC, bool) {
+	var acc TC
+	got := false
+	mul := s.Mul
+	addF := s.Add.F
+	isAny := s.Add.IsAny
+	terminal := s.Add.Terminal
+	combine := func(k int, ax TA, bx TB) bool {
+		var x TC
+		if mul.PosF != nil {
+			// Pair (A(i,k), Bᵀ(k,j)) = (A(i,k), B(j,k)).
+			x = mul.PosF(i, k, j)
+		} else {
+			x = mul.F(ax, bx)
+		}
+		if !got {
+			acc, got = x, true
+			if isAny {
+				return false
+			}
+		} else {
+			acc = addF(acc, x)
+		}
+		return !(terminal != nil && acc == *terminal)
+	}
+	aS := A.format == FormatSparse
+	bS := B.format == FormatSparse
+	switch {
+	case aS && bS:
+		p, pe := A.ptr[i], A.ptr[i+1]
+		q, qe := B.ptr[j], B.ptr[j+1]
+		for p < pe && q < qe {
+			ka, kb := A.idx[p], B.idx[q]
+			switch {
+			case ka < kb:
+				p++
+			case kb < ka:
+				q++
+			default:
+				if !combine(ka, A.val[p], B.val[q]) {
+					return acc, got
+				}
+				p++
+				q++
+			}
+		}
+	case aS: // B dense
+		base := j * B.nc
+		for p := A.ptr[i]; p < A.ptr[i+1]; p++ {
+			k := A.idx[p]
+			if B.format == FormatFull || B.b[base+k] != 0 {
+				if !combine(k, A.val[p], B.val[base+k]) {
+					return acc, got
+				}
+			}
+		}
+	case bS: // A dense
+		base := i * A.nc
+		for q := B.ptr[j]; q < B.ptr[j+1]; q++ {
+			k := B.idx[q]
+			if A.format == FormatFull || A.b[base+k] != 0 {
+				if !combine(k, A.val[base+k], B.val[q]) {
+					return acc, got
+				}
+			}
+		}
+	default: // both dense
+		aBase, bBase := i*A.nc, j*B.nc
+		for k := 0; k < A.nc; k++ {
+			if (A.format == FormatFull || A.b[aBase+k] != 0) &&
+				(B.format == FormatFull || B.b[bBase+k] != 0) {
+				if !combine(k, A.val[aBase+k], B.val[bBase+k]) {
+					return acc, got
+				}
+			}
+		}
+	}
+	return acc, got
+}
+
+// aRowIter visits the live entries of row i of A in storage order.
+func aRowIter[T Value](A *Matrix[T], i int, f func(k int, x T)) {
+	if A.format == FormatSparse {
+		for p := A.ptr[i]; p < A.ptr[i+1]; p++ {
+			f(A.idx[p], A.val[p])
+		}
+		return
+	}
+	base := i * A.nc
+	for k := 0; k < A.nc; k++ {
+		if A.format == FormatFull || A.b[base+k] != 0 {
+			f(k, A.val[base+k])
+		}
+	}
+}

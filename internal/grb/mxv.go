@@ -1,0 +1,243 @@
+package grb
+
+// VxM computes w⟨m⟩⊙= uᵀ ⊕.⊗ A — the push direction (paper §IV-A): it
+// starts from the entries of u (the frontier held as a list) and scatters
+// along the rows of A. desc.TranA multiplies by Aᵀ instead, which is
+// executed as the pull kernel on the transposed orientation.
+func VxM[TA, TB, TC Value](w *Vector[TC], mask VMask, accum func(TC, TC) TC,
+	s Semiring[TA, TB, TC], u *Vector[TA], A *Matrix[TB], desc *Descriptor) error {
+
+	d := descOf(desc)
+	if d.TranA {
+		// uᵀAᵀ: each w(i) is a dot of u with row i of A — the pull shape.
+		d2 := d
+		d2.TranA = false
+		return MxV(w, mask, accum, swapSemiring(s), A, u, &d2)
+	}
+	an, ac := A.Dims()
+	if u.Size() != an {
+		return dimErr("VxM", "u length "+itoa(u.Size()), "A rows "+itoa(an))
+	}
+	if w.Size() != ac {
+		return dimErr("VxM", "w length "+itoa(w.Size()), "A cols "+itoa(ac))
+	}
+	if err := mask.check(ac, "VxM"); err != nil {
+		return err
+	}
+	u.Wait()
+	A.Wait()
+	t := pushKernel(s, u, A, mask)
+	maskAccumVector(w, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+// MxV computes w⟨m⟩⊙= A ⊕.⊗ u — the pull direction: each output element
+// w(i) reduces the intersection of row i of A with u, which is held in a
+// dense (bitmap/full) view. desc.TranA multiplies by Aᵀ, executed as push.
+func MxV[TA, TB, TC Value](w *Vector[TC], mask VMask, accum func(TC, TC) TC,
+	s Semiring[TA, TB, TC], A *Matrix[TA], u *Vector[TB], desc *Descriptor) error {
+
+	d := descOf(desc)
+	if d.TranA {
+		d2 := d
+		d2.TranA = false
+		return VxM(w, mask, accum, swapSemiring(s), u, A, &d2)
+	}
+	ar, ac := A.Dims()
+	if u.Size() != ac {
+		return dimErr("MxV", "u length "+itoa(u.Size()), "A cols "+itoa(ac))
+	}
+	if w.Size() != ar {
+		return dimErr("MxV", "w length "+itoa(w.Size()), "A rows "+itoa(ar))
+	}
+	if err := mask.check(ar, "MxV"); err != nil {
+		return err
+	}
+	u.Wait()
+	A.Wait()
+	t := tryPullFast(s, A, u, mask)
+	if t == nil {
+		t = pullKernel(s, A, u, mask)
+	}
+	maskAccumVector(w, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+// swapSemiring flips the operand order of the multiplicative operator, so
+// a pull can be run as a push of the reversed product (and vice versa).
+// Positional operators swap their index roles accordingly.
+func swapSemiring[TA, TB, TC Value](s Semiring[TA, TB, TC]) Semiring[TB, TA, TC] {
+	out := Semiring[TB, TA, TC]{Name: s.Name + ".swapped", Add: s.Add}
+	mul := s.Mul
+	out.Mul = BinaryOp[TB, TA, TC]{Name: "swap." + mul.Name}
+	if mul.PosF != nil {
+		// (a_ik, b_kj) became (b_kj, a_ik): first<->second, i<->j.
+		out.Mul.PosF = func(i, k, j int) TC { return mul.PosF(j, k, i) }
+	} else {
+		out.Mul.F = func(b TB, a TA) TC { return mul.F(a, b) }
+	}
+	return out
+}
+
+// pushKernel: t(j) = ⊕ over entries u(k) with A(k,j) present of u(k)⊗A(k,j).
+// The mask pre-restricts which t(j) are computed. Sequential scatter: the
+// push direction is used with small frontiers, where fork cost dominates.
+func pushKernel[TA, TB, TC Value](s Semiring[TA, TB, TC], u *Vector[TA], A *Matrix[TB], mask VMask) *Vector[TC] {
+	n := A.NCols()
+	t := MustVector[TC](n)
+	allow := mask.denseAllow(n)
+	acc := getSPA[TC](n)
+	defer putSPA(acc)
+	acc.reset()
+	addF := s.Add.F
+	isAny := s.Add.IsAny
+	mul := s.Mul
+	aIsSparse := A.format == FormatSparse
+	u.Iterate(func(k int, ux TA) {
+		emit := func(j int, ax TB) {
+			if allow != nil && allow[j] == 0 {
+				return
+			}
+			if acc.has(j) {
+				if isAny {
+					return
+				}
+				var x TC
+				if mul.PosF != nil {
+					x = mul.PosF(0, k, j)
+				} else {
+					x = mul.F(ux, ax)
+				}
+				acc.val[j] = addF(acc.val[j], x)
+				return
+			}
+			var x TC
+			if mul.PosF != nil {
+				x = mul.PosF(0, k, j)
+			} else {
+				x = mul.F(ux, ax)
+			}
+			acc.put(j, x)
+		}
+		if aIsSparse {
+			for p := A.ptr[k]; p < A.ptr[k+1]; p++ {
+				emit(A.idx[p], A.val[p])
+			}
+		} else {
+			base := k * A.nc
+			for j := 0; j < A.nc; j++ {
+				if A.format == FormatFull || A.b[base+j] != 0 {
+					emit(j, A.val[base+j])
+				}
+			}
+		}
+	})
+	t.idx = append([]int(nil), acc.touched...)
+	t.val = make([]TC, len(t.idx))
+	for p, j := range t.idx {
+		t.val[p] = acc.val[j]
+	}
+	if len(t.idx) > 1 {
+		t.markJumbled()
+	}
+	t.conform()
+	return t
+}
+
+// pullKernel: t(i) = ⊕ over k in row i of A with u(k) present of
+// A(i,k)⊗u(k). Rows are independent, so the kernel is row-parallel; u is
+// viewed through a dense scatter. The any monoid exits a row at the first
+// hit — the linear-algebra form of GAP's early-exit bottom-up BFS step.
+func pullKernel[TA, TB, TC Value](s Semiring[TA, TB, TC], A *Matrix[TA], u *Vector[TB], mask VMask) *Vector[TC] {
+	n := A.NRows()
+	allow := mask.denseAllow(n)
+	// Dense view of u.
+	var uHasArr []int8
+	var uValArr []TB
+	switch u.format {
+	case FormatFull:
+		uValArr = u.val
+	case FormatBitmap:
+		uHasArr = u.b
+		uValArr = u.val
+	default:
+		uHasArr = make([]int8, A.NCols())
+		uValArr = make([]TB, A.NCols())
+		u.scatterInto(uHasArr, uValArr)
+	}
+	addF := s.Add.F
+	isAny := s.Add.IsAny
+	terminal := s.Add.Terminal
+	mul := s.Mul
+	aSparse := A.format == FormatSparse
+	return buildVectorByIndex(n, func(i int) (TC, bool) {
+		var acc TC
+		if allow != nil && allow[i] == 0 {
+			return acc, false
+		}
+		got := false
+		combine := func(k int, ax TA) bool {
+			if uHasArr != nil && uHasArr[k] == 0 {
+				return true
+			}
+			var x TC
+			if mul.PosF != nil {
+				x = mul.PosF(i, k, 0)
+			} else {
+				x = mul.F(ax, uValArr[k])
+			}
+			if !got {
+				acc, got = x, true
+				if isAny {
+					return false
+				}
+			} else {
+				acc = addF(acc, x)
+			}
+			if terminal != nil && acc == *terminal {
+				return false
+			}
+			return true
+		}
+		if aSparse {
+			for p := A.ptr[i]; p < A.ptr[i+1]; p++ {
+				if !combine(A.idx[p], A.val[p]) {
+					break
+				}
+			}
+		} else {
+			base := i * A.nc
+			for k := 0; k < A.nc; k++ {
+				if A.format == FormatFull || A.b[base+k] != 0 {
+					if !combine(k, A.val[base+k]) {
+						break
+					}
+				}
+			}
+		}
+		return acc, got
+	})
+}
+
+// itoa is a tiny strconv.Itoa stand-in keeping error paths allocation-lean.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	p := len(buf)
+	for n > 0 {
+		p--
+		buf[p] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		p--
+		buf[p] = '-'
+	}
+	return string(buf[p:])
+}

@@ -1,0 +1,65 @@
+package grb
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+)
+
+// Scratch-space pooling. The paper's §VI-B attributes much of the Road
+// graph pathology to per-call allocation: "Each call to GraphBLAS does
+// several malloc and frees … A future version of SS:GrB is planned that
+// will eliminate this work entirely, by implementing an internal memory
+// pool." This file implements that future-work feature: sparse
+// accumulators are recycled across operations, and their generation
+// counter makes reuse free of clearing. SetPoolEnabled(false) restores
+// allocate-per-call behaviour for the ablation benchmarks.
+
+var poolEnabled atomic.Bool
+
+func init() { poolEnabled.Store(true) }
+
+// SetPoolEnabled toggles the internal scratch pool, returning the previous
+// setting.
+func SetPoolEnabled(on bool) bool {
+	old := poolEnabled.Load()
+	poolEnabled.Store(on)
+	return old
+}
+
+// PoolEnabled reports whether kernel scratch space is recycled.
+func PoolEnabled() bool { return poolEnabled.Load() }
+
+// spaPools holds one sync.Pool per element type (reflect.Type of *spa[T]).
+var spaPools sync.Map
+
+// getSPA returns a sparse accumulator of at least size n, recycled when the
+// pool is enabled. The generation counter in spa makes a recycled
+// accumulator immediately valid: stale marks hold older generations.
+func getSPA[T Value](n int) *spa[T] {
+	if !PoolEnabled() {
+		return newSPA[T](n)
+	}
+	rt := reflect.TypeOf((*spa[T])(nil))
+	pi, _ := spaPools.LoadOrStore(rt, &sync.Pool{})
+	pool := pi.(*sync.Pool)
+	if v := pool.Get(); v != nil {
+		s := v.(*spa[T])
+		if cap(s.mark) >= n {
+			s.mark = s.mark[:n]
+			s.val = s.val[:n]
+			return s
+		}
+	}
+	return newSPA[T](n)
+}
+
+// putSPA returns an accumulator to the pool.
+func putSPA[T Value](s *spa[T]) {
+	if s == nil || !PoolEnabled() {
+		return
+	}
+	rt := reflect.TypeOf((*spa[T])(nil))
+	pi, _ := spaPools.LoadOrStore(rt, &sync.Pool{})
+	pi.(*sync.Pool).Put(s)
+}

@@ -1,0 +1,174 @@
+package grb
+
+import (
+	"sync"
+
+	"lagraph/internal/parallel"
+)
+
+// Reductions (paper Table I): row-wise matrix→vector, matrix→scalar and
+// vector→scalar, each on a monoid.
+
+// ReduceMatrixToVector computes w⟨m⟩⊙= [⊕_j A(:,j)] — the row-wise
+// reduction (with desc.TranA, the column-wise reduction of A).
+func ReduceMatrixToVector[T Value](w *Vector[T], mask VMask, accum func(T, T) T,
+	mon Monoid[T], A *Matrix[T], desc *Descriptor) error {
+
+	d := descOf(desc)
+	if d.TranA {
+		A2 := transposeWork(waited(A))
+		d2 := d
+		d2.TranA = false
+		return ReduceMatrixToVector(w, mask, accum, mon, A2, &d2)
+	}
+	if w.Size() != A.NRows() {
+		return dimErr("ReduceMatrixToVector", "w length "+itoa(w.Size()), "A rows "+itoa(A.NRows()))
+	}
+	if err := mask.check(w.Size(), "ReduceMatrixToVector"); err != nil {
+		return err
+	}
+	A.Wait()
+	allow := mask.denseAllow(A.NRows())
+	t := buildVectorByIndex(A.NRows(), func(i int) (T, bool) {
+		if allow != nil && allow[i] == 0 {
+			var zero T
+			return zero, false
+		}
+		return reduceRow(mon, A, i)
+	})
+	maskAccumVector(w, mask, accum, t, d.Replace, true)
+	return nil
+}
+
+// reduceRow folds row i of A on the monoid; ok is false for an empty row.
+func reduceRow[T Value](mon Monoid[T], A *Matrix[T], i int) (T, bool) {
+	var acc T
+	got := false
+	aRowIter(A, i, func(_ int, x T) {
+		if !got {
+			acc, got = x, true
+		} else {
+			acc = mon.F(acc, x)
+		}
+	})
+	return acc, got
+}
+
+// ReduceMatrixToScalar computes s⊙= [⊕_ij A(i,j)].
+func ReduceMatrixToScalar[T Value](mon Monoid[T], A *Matrix[T]) T {
+	A.Wait()
+	nr := A.NRows()
+	// Parallel partial folds per row block.
+	nb := parallel.Threads(nr)
+	parts := make([]T, nb)
+	hit := make([]bool, nb)
+	chunk := 0
+	if nb > 0 {
+		chunk = (nr + nb - 1) / nb
+	}
+	var wg sync.WaitGroup
+	for b := 0; b < nb; b++ {
+		lo := b * chunk
+		hi := lo + chunk
+		if hi > nr {
+			hi = nr
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			acc := mon.Identity
+			got := false
+			for i := lo; i < hi; i++ {
+				if x, ok := reduceRow(mon, A, i); ok {
+					if !got {
+						acc, got = x, true
+					} else {
+						acc = mon.F(acc, x)
+					}
+				}
+			}
+			parts[b] = acc
+			hit[b] = got
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	acc := mon.Identity
+	got := false
+	for b := range parts {
+		if hit[b] {
+			if !got {
+				acc, got = parts[b], true
+			} else {
+				acc = mon.F(acc, parts[b])
+			}
+		}
+	}
+	return acc
+}
+
+// ReduceVectorToScalar computes s⊙= [⊕_i u(i)].
+func ReduceVectorToScalar[T Value](mon Monoid[T], u *Vector[T]) T {
+	u.Wait()
+	if u.format == FormatFull {
+		return parallelFold(mon, u.val)
+	}
+	acc := mon.Identity
+	got := false
+	u.Iterate(func(_ int, x T) {
+		if !got {
+			acc, got = x, true
+		} else {
+			acc = mon.F(acc, x)
+		}
+	})
+	return acc
+}
+
+// parallelFold reduces a dense slice on the monoid.
+func parallelFold[T Value](mon Monoid[T], xs []T) T {
+	n := len(xs)
+	if n == 0 {
+		return mon.Identity
+	}
+	nb := parallel.Threads(n)
+	if nb == 1 {
+		acc := xs[0]
+		for _, x := range xs[1:] {
+			acc = mon.F(acc, x)
+		}
+		return acc
+	}
+	parts := make([]T, nb)
+	chunk := (n + nb - 1) / nb
+	var wg sync.WaitGroup
+	blocks := 0
+	for b := 0; b < nb; b++ {
+		lo := b * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		blocks++
+		wg.Add(1)
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			acc := xs[lo]
+			for _, x := range xs[lo+1 : hi] {
+				acc = mon.F(acc, x)
+			}
+			parts[b] = acc
+		}(b, lo, hi)
+	}
+	wg.Wait()
+	acc := parts[0]
+	for b := 1; b < blocks; b++ {
+		acc = mon.F(acc, parts[b])
+	}
+	return acc
+}

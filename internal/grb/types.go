@@ -1,0 +1,119 @@
+// Package grb is a pure-Go GraphBLAS: generic sparse matrices and vectors
+// over arbitrary semirings, with the operation set of the GraphBLAS C API
+// v1.3 (mxm, vxm, mxv, eWiseAdd, eWiseMult, extract, assign, apply, select,
+// reduce, transpose, build, extractTuples, setElement, extractElement) and
+// the mask/accumulator/descriptor machinery that modifies them.
+//
+// The package reproduces the SuiteSparse:GraphBLAS substrate features that
+// the LAGraph paper's evaluation depends on:
+//
+//   - three storage formats — sparse (CSR), bitmap, and full — with
+//     automatic, hysteretic switching by density (§VI-A of the paper credits
+//     the bitmap format for the push/pull BFS and BC results);
+//   - non-blocking-mode internals: pending tuples (unassembled insertions),
+//     zombies (lazily deleted entries), and the lazy sort (jumbled rows),
+//     all assembled on demand by Wait;
+//   - positional semirings such as any.secondi, where the multiplicative
+//     operator returns an index of the pair rather than a value, and the
+//     "any" monoid, which may pick an arbitrary reduction witness and
+//     therefore lets kernels terminate a row reduction early.
+//
+// Matrices are held by row. There is no separate CSC format: computations
+// that need the reverse orientation take an explicitly transposed matrix,
+// exactly as LAGraph caches G.AT.
+package grb
+
+// Value is the set of scalar types a Matrix or Vector may store. All are
+// comparable, which the package uses for the "valued mask" convention: an
+// entry is truthy iff it differs from the zero value of its type.
+type Value interface {
+	~bool | ~int8 | ~int16 | ~int32 | ~int64 |
+		~uint8 | ~uint16 | ~uint32 | ~uint64 | ~float32 | ~float64
+}
+
+// Number is Value minus bool: types that support arithmetic.
+type Number interface {
+	~int8 | ~int16 | ~int32 | ~int64 |
+		~uint8 | ~uint16 | ~uint32 | ~uint64 | ~float32 | ~float64
+}
+
+// Format identifies the storage layout of a Matrix or Vector.
+type Format int8
+
+const (
+	// FormatSparse stores a matrix as CSR (row pointer, column index and
+	// value arrays) and a vector as sorted index/value lists.
+	FormatSparse Format = iota
+	// FormatBitmap stores an m-by-n presence byte plus a value per cell.
+	FormatBitmap
+	// FormatFull stores every cell's value with no presence structure.
+	FormatFull
+)
+
+func (f Format) String() string {
+	switch f {
+	case FormatSparse:
+		return "sparse"
+	case FormatBitmap:
+		return "bitmap"
+	case FormatFull:
+		return "full"
+	default:
+		return "invalid"
+	}
+}
+
+// Descriptor modifies an operation: Replace selects replace (annihilate
+// outside the mask) rather than merge semantics, and TranA/TranB request
+// the transpose of the first/second matrix input.
+type Descriptor struct {
+	Replace bool
+	TranA   bool
+	TranB   bool
+}
+
+// Prebuilt descriptors covering the combinations the algorithms use,
+// mirroring GrB_DESC_R, GrB_DESC_T0 and friends.
+var (
+	DescR    = &Descriptor{Replace: true}
+	DescT0   = &Descriptor{TranA: true}
+	DescT1   = &Descriptor{TranB: true}
+	DescRT0  = &Descriptor{Replace: true, TranA: true}
+	DescRT1  = &Descriptor{Replace: true, TranB: true}
+	DescT0T1 = &Descriptor{TranA: true, TranB: true}
+)
+
+// descOf returns a non-nil descriptor.
+func descOf(d *Descriptor) Descriptor {
+	if d == nil {
+		return Descriptor{}
+	}
+	return *d
+}
+
+// All is the sentinel index slice meaning "all indices", the analogue of
+// GrB_ALL in extract and assign operations.
+var All []int
+
+// isAll reports whether an index list means the whole range [0, n).
+func isAll(idx []int) bool { return idx == nil }
+
+// pending is one unassembled (row, col, value) insertion.
+type pending[T Value] struct {
+	i, j int
+	x    T
+}
+
+// zombieFlip encodes a column index as a zombie (lazily deleted entry).
+// It is its own inverse on the encoded domain: zombieFlip(j) = -j-1.
+func zombieFlip(j int) int { return -j - 1 }
+
+// isZombie reports whether an encoded column index marks a deleted entry.
+func isZombie(j int) bool { return j < 0 }
+
+// truthy reports whether a stored value is "true" under the valued-mask
+// convention: any value other than the zero value of its type.
+func truthy[T Value](v T) bool {
+	var zero T
+	return v != zero
+}

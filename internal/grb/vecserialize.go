@@ -1,0 +1,113 @@
+package grb
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+)
+
+// Vector serialization, the companion of SerializeMatrix.
+
+var grbVecMagic = [8]byte{'G', 'R', 'B', 'V', 'E', 'C', '0', '1'}
+
+// SerializeVector writes the finished vector to w.
+func SerializeVector[T Value](w io.Writer, v *Vector[T]) error {
+	tag := typeTag[T]()
+	if tag == 0 {
+		return errf(NotImplemented, "SerializeVector: unsupported element type")
+	}
+	v.Wait()
+	idx, val := v.ExtractTuples()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(grbVecMagic[:]); err != nil {
+		return errf(Panic, "SerializeVector: %v", err)
+	}
+	if err := bw.WriteByte(tag); err != nil {
+		return errf(Panic, "SerializeVector: %v", err)
+	}
+	var buf [8]byte
+	writeU64 := func(x uint64) error {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		_, err := bw.Write(buf[:])
+		return err
+	}
+	if err := writeU64(uint64(v.Size())); err != nil {
+		return errf(Panic, "SerializeVector size: %v", err)
+	}
+	if err := writeU64(uint64(len(idx))); err != nil {
+		return errf(Panic, "SerializeVector nvals: %v", err)
+	}
+	for _, i := range idx {
+		if err := writeU64(uint64(i)); err != nil {
+			return errf(Panic, "SerializeVector idx: %v", err)
+		}
+	}
+	for _, x := range val {
+		if err := writeU64(encodeValue(x)); err != nil {
+			return errf(Panic, "SerializeVector val: %v", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return errf(Panic, "SerializeVector flush: %v", err)
+	}
+	return nil
+}
+
+// DeserializeVector reads a vector written by SerializeVector; the stored
+// element type must match T.
+func DeserializeVector[T Value](r io.Reader) (*Vector[T], error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, errf(InvalidObject, "DeserializeVector: %v", err)
+	}
+	if magic != grbVecMagic {
+		return nil, errf(InvalidObject, "DeserializeVector: bad magic")
+	}
+	tag, err := br.ReadByte()
+	if err != nil {
+		return nil, errf(InvalidObject, "DeserializeVector: %v", err)
+	}
+	if tag != typeTag[T]() {
+		return nil, errf(DomainMismatch, "DeserializeVector: stored type does not match")
+	}
+	var buf [8]byte
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	nU, err := readU64()
+	if err != nil {
+		return nil, errf(InvalidObject, "DeserializeVector size: %v", err)
+	}
+	nvU, err := readU64()
+	if err != nil {
+		return nil, errf(InvalidObject, "DeserializeVector nvals: %v", err)
+	}
+	n, nv := int(nU), int(nvU)
+	if n < 0 || nv < 0 || nv > n {
+		return nil, errf(InvalidObject, "DeserializeVector: inconsistent sizes")
+	}
+	idx := make([]int, nv)
+	for i := range idx {
+		x, err := readU64()
+		if err != nil {
+			return nil, errf(InvalidObject, "DeserializeVector idx: %v", err)
+		}
+		idx[i] = int(x)
+		if idx[i] < 0 || idx[i] >= n {
+			return nil, errf(InvalidObject, "DeserializeVector: index out of range")
+		}
+	}
+	val := make([]T, nv)
+	for i := range val {
+		bits, err := readU64()
+		if err != nil {
+			return nil, errf(InvalidObject, "DeserializeVector val: %v", err)
+		}
+		val[i] = decodeValue[T](bits)
+	}
+	return VectorFromTuples(n, idx, val, nil)
+}

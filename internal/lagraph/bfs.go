@@ -1,0 +1,246 @@
+package lagraph
+
+import "lagraph/internal/grb"
+
+// Breadth-first search (paper §IV-A, Algorithms 1 and 2).
+//
+// The parent BFS rests on the any.secondi semiring: one step is
+//
+//	qᵀ⟨¬s(pᵀ), r⟩ = qᵀ any.secondi A      (push)
+//	q⟨¬s(p), r⟩   = Aᵀ any.secondi q      (pull)
+//
+// where q is the frontier, p the parent vector and the complemented
+// structural mask selects the unvisited vertices. secondi yields the index
+// k of the multiplied pair — the parent id — and the any monoid keeps an
+// arbitrary one of them, the benign race of GAP's bfs.cc recast as a
+// monoid.
+
+// bfsAlphaRatio and bfsBetaRatio are the GAP direction-optimisation
+// thresholds: switch to pull when the frontier's out-edges exceed the
+// unexplored edges / alpha; back to push when the frontier shrinks below
+// n / beta.
+const (
+	bfsAlphaRatio = 15
+	bfsBetaRatio  = 18
+)
+
+// BFSParentPushOnly is Algorithm 1 (Advanced mode): the push-only parents
+// BFS. It needs no cached properties. The returned vector holds, for every
+// reached vertex, the id of its BFS-tree parent (the source maps to
+// itself).
+func BFSParentPushOnly[T grb.Value](g *Graph[T], src int) (*grb.Vector[int64], error) {
+	if err := validateSource(g, src, "BFSParentPushOnly"); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	p := grb.MustVector[int64](n)
+	q := grb.MustVector[int64](n)
+	lagTry(p.SetElement(int64(src), src))
+	lagTry(q.SetElement(int64(src), src))
+	semiring := grb.AnySecondI[int64, T, int64]()
+	for level := 1; level < n; level++ {
+		// qᵀ⟨¬s(pᵀ), r⟩ = qᵀ any.secondi A
+		if err := grb.VxM(q, grb.StructVMaskOf(p).Not(), nil, semiring, q, g.A, grb.DescR); err != nil {
+			return nil, wrap(StatusInvalidValue, err, "BFS push step")
+		}
+		if q.NVals() == 0 {
+			break
+		}
+		// p⟨s(q)⟩ = q
+		if err := grb.AssignVector(p, grb.StructVMaskOf(q), nil, q, grb.All, nil); err != nil {
+			return nil, wrap(StatusInvalidValue, err, "BFS parent update")
+		}
+	}
+	return p, nil
+}
+
+// BFSParent is Algorithm 2 (Advanced mode): the direction-optimizing
+// parents BFS. It requires the cached transpose AT (pull direction) and
+// RowDegree (the push/pull heuristic); missing properties are an error,
+// never computed behind the caller's back.
+func BFSParent[T grb.Value](g *Graph[T], src int) (*grb.Vector[int64], error) {
+	if err := validateSource(g, src, "BFSParent"); err != nil {
+		return nil, err
+	}
+	if g.AT == nil {
+		return nil, errf(StatusPropertyMissing, "BFSParent: G.AT not cached (advanced mode computes nothing; call PropertyAT)")
+	}
+	if g.RowDegree == nil {
+		return nil, errf(StatusPropertyMissing, "BFSParent: G.RowDegree not cached (call PropertyRowDegree)")
+	}
+	p, _, err := bfsDirOpt(g, src, true, false)
+	return p, err
+}
+
+// BFSLevel computes the BFS level (hop distance) of every reached vertex,
+// with the source at level 0 (Advanced mode: same property requirements as
+// BFSParent).
+func BFSLevel[T grb.Value](g *Graph[T], src int) (*grb.Vector[int32], error) {
+	if err := validateSource(g, src, "BFSLevel"); err != nil {
+		return nil, err
+	}
+	if g.AT == nil || g.RowDegree == nil {
+		return nil, errf(StatusPropertyMissing, "BFSLevel: G.AT and G.RowDegree must be cached")
+	}
+	_, l, err := bfsDirOpt(g, src, false, true)
+	return l, err
+}
+
+// BreadthFirstSearch is the Basic-mode BFS: it computes and caches any
+// properties it needs (returning a WarnCacheNotComputed warning so callers
+// can notice), then runs the direction-optimizing algorithm. Either output
+// may be requested; pass false to skip one.
+func BreadthFirstSearch[T grb.Value](g *Graph[T], src int, wantParent, wantLevel bool) (*grb.Vector[int64], *grb.Vector[int32], error) {
+	if err := validateSource(g, src, "BreadthFirstSearch"); err != nil {
+		return nil, nil, err
+	}
+	var warned bool
+	if g.AT == nil {
+		if err := g.PropertyAT(); err != nil && !IsWarning(err) {
+			return nil, nil, err
+		}
+		warned = true
+	}
+	if g.RowDegree == nil {
+		if err := g.PropertyRowDegree(); err != nil && !IsWarning(err) {
+			return nil, nil, err
+		}
+		warned = true
+	}
+	p, l, err := bfsDirOpt(g, src, wantParent, wantLevel)
+	if err != nil {
+		return nil, nil, err
+	}
+	if warned {
+		return p, l, &Warning{Status: WarnCacheNotComputed, Msg: "BreadthFirstSearch cached graph properties"}
+	}
+	return p, l, nil
+}
+
+// bfsDirOpt runs the direction-optimizing BFS, producing the parent and/or
+// level vectors.
+func bfsDirOpt[T grb.Value](g *Graph[T], src int, wantParent, wantLevel bool) (*grb.Vector[int64], *grb.Vector[int32], error) {
+	n := g.NumNodes()
+	var p *grb.Vector[int64]
+	var l *grb.Vector[int32]
+	// The visited set is the parent vector when parents are wanted,
+	// otherwise a dedicated reachability vector.
+	p = grb.MustVector[int64](n)
+	lagTry(p.SetElement(int64(src), src))
+	if wantLevel {
+		l = grb.MustVector[int32](n)
+		lagTry(l.SetElement(0, src))
+	}
+	q := grb.MustVector[int64](n)
+	lagTry(q.SetElement(int64(src), src))
+
+	semiringPush := grb.AnySecondI[int64, T, int64]()
+	semiringPull := grb.AnySecondI[T, int64, int64]()
+
+	nnzA := g.A.NVals()
+	edgesUnexplored := nnzA
+	doPush := true
+	nq := 1
+	for level := int32(1); level < int32(n); level++ {
+		// GAP heuristic: compare the frontier's outgoing edges with the
+		// edges left to explore.
+		if doPush {
+			scout := frontierEdges(g, q)
+			edgesUnexplored -= scout
+			if scout > edgesUnexplored/bfsAlphaRatio && nq > 1 {
+				doPush = false
+			}
+		} else if nq < n/bfsBetaRatio {
+			doPush = true
+		}
+		var err error
+		if doPush {
+			// qᵀ⟨¬s(pᵀ), r⟩ = qᵀ any.secondi A
+			err = grb.VxM(q, grb.StructVMaskOf(p).Not(), nil, semiringPush, q, g.A, grb.DescR)
+		} else {
+			// q⟨¬s(p), r⟩ = Aᵀ any.secondi q
+			err = grb.MxV(q, grb.StructVMaskOf(p).Not(), nil, semiringPull, g.AT, q, grb.DescR)
+		}
+		if err != nil {
+			return nil, nil, wrap(StatusInvalidValue, err, "BFS step")
+		}
+		nq = q.NVals()
+		if nq == 0 {
+			break
+		}
+		// p⟨s(q)⟩ = q
+		if err := grb.AssignVector(p, grb.StructVMaskOf(q), nil, q, grb.All, nil); err != nil {
+			return nil, nil, wrap(StatusInvalidValue, err, "BFS parent update")
+		}
+		if wantLevel {
+			if err := grb.AssignVectorScalar(l, grb.StructVMaskOf(q), nil, level, grb.All, nil); err != nil {
+				return nil, nil, wrap(StatusInvalidValue, err, "BFS level update")
+			}
+		}
+	}
+	if !wantParent {
+		p = nil
+	}
+	return p, l, nil
+}
+
+// BFSStep advances a BFS by one level in place — the batch-mode,
+// input/output-argument style of the paper's calling conventions (§II-C:
+// "This supports features such as batch mode in which a frontier is
+// updated and returned to the caller"). p and q are both read and
+// modified; the caller owns the loop and may inspect or edit the frontier
+// between steps. Advanced mode: nothing is cached on the graph.
+func BFSStep[T grb.Value](g *Graph[T], p, q *grb.Vector[int64]) error {
+	if g == nil || g.A == nil {
+		return errf(StatusInvalidGraph, "BFSStep: nil graph")
+	}
+	n := g.NumNodes()
+	if p.Size() != n || q.Size() != n {
+		return errf(StatusInvalidValue, "BFSStep: vector length mismatch")
+	}
+	semiring := grb.AnySecondI[int64, T, int64]()
+	if err := grb.VxM(q, grb.StructVMaskOf(p).Not(), nil, semiring, q, g.A, grb.DescR); err != nil {
+		return wrap(StatusInvalidValue, err, "BFSStep push")
+	}
+	if q.NVals() == 0 {
+		return nil
+	}
+	if err := grb.AssignVector(p, grb.StructVMaskOf(q), nil, q, grb.All, nil); err != nil {
+		return wrap(StatusInvalidValue, err, "BFSStep parent update")
+	}
+	return nil
+}
+
+// frontierEdges sums the out-degrees of the frontier vertices (GAP's
+// scout_count).
+func frontierEdges[T grb.Value](g *Graph[T], q *grb.Vector[int64]) int {
+	total := 0
+	q.Iterate(func(i int, _ int64) {
+		if d, err := g.RowDegree.ExtractElement(i); err == nil {
+			total += int(d)
+		}
+	})
+	return total
+}
+
+// validateSource checks the graph and source vertex.
+func validateSource[T grb.Value](g *Graph[T], src int, op string) error {
+	if g == nil || g.A == nil {
+		return errf(StatusInvalidGraph, "%s: nil graph", op)
+	}
+	if g.A.NRows() != g.A.NCols() {
+		return errf(StatusInvalidGraph, "%s: adjacency matrix not square", op)
+	}
+	if src < 0 || src >= g.NumNodes() {
+		return errf(StatusInvalidValue, "%s: source %d outside [0,%d)", op, src, g.NumNodes())
+	}
+	return nil
+}
+
+// lagTry panics on impossible internal errors (index ranges already
+// validated); it keeps construction code readable.
+func lagTry(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,138 @@
+package lagraph
+
+import "lagraph/internal/grb"
+
+// Connected components (paper §IV-F, Algorithm 7): the FastSV algorithm of
+// Zhang, Azad and Buluç. A forest of trees is kept in a parent vector f;
+// stochastic hooking, aggressive hooking and shortcutting merge trees until
+// a fixed point. The linear-algebra kernels are an mxv on min.second (the
+// minimum neighbouring grandparent) and min-combining scatters/gathers.
+
+// ConnectedComponents is the Basic-mode entry point. Directed graphs are
+// handled by operating on the symmetrised pattern A ∪ Aᵀ (weak
+// components), which may require computing the transpose.
+func ConnectedComponents[T grb.Value](g *Graph[T]) (*grb.Vector[int64], error) {
+	if g == nil || g.A == nil {
+		return nil, errf(StatusInvalidGraph, "ConnectedComponents: nil graph")
+	}
+	if g.A.NRows() != g.A.NCols() {
+		return nil, errf(StatusInvalidGraph, "ConnectedComponents: adjacency matrix not square")
+	}
+	S, err := symmetricPattern(g)
+	if err != nil {
+		return nil, err
+	}
+	return fastSV(S)
+}
+
+// ConnectedComponentsAdvanced runs FastSV directly on G.A, requiring the
+// caller to guarantee a symmetric pattern (undirected kind, or the
+// ASymmetricPattern property cached as true).
+func ConnectedComponentsAdvanced[T grb.Value](g *Graph[T]) (*grb.Vector[int64], error) {
+	if g == nil || g.A == nil {
+		return nil, errf(StatusInvalidGraph, "ConnectedComponentsAdvanced: nil graph")
+	}
+	if g.Kind != AdjacencyUndirected && g.ASymmetricPattern != BoolTrue {
+		return nil, errf(StatusPropertyMissing,
+			"ConnectedComponentsAdvanced: pattern symmetry unknown; cache ASymmetricPattern or use the Basic entry point")
+	}
+	S, err := Pattern(g.A)
+	if err != nil {
+		return nil, err
+	}
+	return fastSV(S)
+}
+
+// symmetricPattern returns pattern(A) for symmetric inputs, else
+// pattern(A ∪ Aᵀ).
+func symmetricPattern[T grb.Value](g *Graph[T]) (*grb.Matrix[bool], error) {
+	p, err := Pattern(g.A)
+	if err != nil {
+		return nil, err
+	}
+	if g.Kind == AdjacencyUndirected || g.ASymmetricPattern == BoolTrue {
+		return p, nil
+	}
+	var at *grb.Matrix[T]
+	if g.AT != nil {
+		at = g.AT
+	} else {
+		at = grb.NewTranspose(g.A)
+	}
+	pt, err := Pattern(at)
+	if err != nil {
+		return nil, err
+	}
+	or := grb.LorOp()
+	if err := grb.EWiseAdd(p, grb.NoMask, nil, grb.AddOp(or), p, pt, nil); err != nil {
+		return nil, wrap(StatusInvalidValue, err, "symmetrise")
+	}
+	return p, nil
+}
+
+// fastSV is Algorithm 7 on a boolean symmetric-pattern matrix.
+func fastSV(S *grb.Matrix[bool]) (*grb.Vector[int64], error) {
+	n := S.NRows()
+	if n == 0 {
+		return grb.MustVector[int64](0), nil
+	}
+	// f = [0, 1, ..., n-1]: every vertex its own tree.
+	f := grb.DenseVector(n, int64(0))
+	if err := grb.ApplyV(f, grb.NoVMask, nil, grb.RowIndexOp[int64, int64](), f, nil); err != nil {
+		return nil, wrap(StatusInvalidValue, err, "fastsv init")
+	}
+	gf := f.Dup()   // grandparent
+	dup := gf.Dup() // previous grandparent, for termination
+	mngf := gf.Dup()
+	// {i, x} ↤ f: the parent array used as scatter indices.
+	_, xs := f.ExtractTuples()
+	x := make([]int, n)
+	for i, v := range xs {
+		x[i] = int(v)
+	}
+	minOp := func(a, b int64) int64 {
+		if b < a {
+			return b
+		}
+		return a
+	}
+	semiring := grb.MinSecond[bool, int64]()
+	for {
+		// mngf(i) = min over neighbours k of gf(k), keeping the previous
+		// value (accumulate with min): steps 1's first two lines.
+		if err := grb.MxV(mngf, grb.NoVMask, minOp, semiring, S, gf, nil); err != nil {
+			return nil, wrap(StatusInvalidValue, err, "fastsv mngf")
+		}
+		// Step 1, stochastic hooking: f(x) min= mngf.
+		if err := grb.AssignVector(f, grb.NoVMask, minOp, mngf, x, nil); err != nil {
+			return nil, wrap(StatusInvalidValue, err, "fastsv hook")
+		}
+		// Step 2, aggressive hooking: f = f min∪ mngf.
+		if err := grb.EWiseAddV(f, grb.NoVMask, nil, grb.MinOp[int64](), f, mngf, nil); err != nil {
+			return nil, wrap(StatusInvalidValue, err, "fastsv aggressive hook")
+		}
+		// Step 3, shortcutting: f = f min∪ gf.
+		if err := grb.EWiseAddV(f, grb.NoVMask, nil, grb.MinOp[int64](), f, gf, nil); err != nil {
+			return nil, wrap(StatusInvalidValue, err, "fastsv shortcut")
+		}
+		// Step 4, grandparents: x = values of f; gf = f(x).
+		_, xs = f.ExtractTuples()
+		for i, v := range xs {
+			x[i] = int(v)
+		}
+		if err := grb.ExtractSubvector(gf, grb.NoVMask, nil, f, x, nil); err != nil {
+			return nil, wrap(StatusInvalidValue, err, "fastsv grandparent")
+		}
+		// Step 5, termination: any grandparent changed?
+		diff := grb.MustVector[int64](n)
+		if err := grb.EWiseMultV(diff, grb.NoVMask, nil, grb.NEOp[int64, int64](), gf, dup, nil); err != nil {
+			return nil, wrap(StatusInvalidValue, err, "fastsv diff")
+		}
+		changed := grb.ReduceVectorToScalar(grb.PlusMonoid[int64](), diff)
+		dup = gf.Dup()
+		if changed == 0 {
+			break
+		}
+	}
+	return f, nil
+}

@@ -1,0 +1,401 @@
+package lagraph
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"lagraph/internal/grb"
+)
+
+// Kind tells algorithms how to interpret the adjacency matrix (paper
+// Listing 1: LAGraph_Kind).
+type Kind int
+
+const (
+	// AdjacencyUndirected: A(i,j) is the undirected edge {i,j}; A must
+	// have a symmetric pattern.
+	AdjacencyUndirected Kind = iota
+	// AdjacencyDirected: A(i,j) is the directed edge i→j.
+	AdjacencyDirected
+)
+
+// KindName returns a string with the name of a graph kind (paper §V).
+func KindName(k Kind) string {
+	switch k {
+	case AdjacencyUndirected:
+		return "undirected"
+	case AdjacencyDirected:
+		return "directed"
+	default:
+		return "unknown"
+	}
+}
+
+// BoolProp is a three-valued cached boolean property
+// (LAGraph_BooleanProperty).
+type BoolProp int8
+
+const (
+	BoolUnknown BoolProp = iota
+	BoolFalse
+	BoolTrue
+)
+
+func (b BoolProp) String() string {
+	switch b {
+	case BoolTrue:
+		return "true"
+	case BoolFalse:
+		return "false"
+	default:
+		return "unknown"
+	}
+}
+
+// Graph is the LAGraph_Graph of paper Listing 1: primary components (A,
+// Kind) plus cached properties. It is intentionally not opaque — any field
+// may be read or assigned, and code that mutates A is responsible for
+// keeping the cached properties consistent (or calling DeleteProperties).
+type Graph[T grb.Value] struct {
+	// primary components
+	A    *grb.Matrix[T]
+	Kind Kind
+
+	// cached properties
+	AT                *grb.Matrix[T]     // transpose of A, or nil if unknown
+	RowDegree         *grb.Vector[int64] // out-degrees (entries only where > 0)
+	ColDegree         *grb.Vector[int64] // in-degrees (entries only where > 0)
+	ASymmetricPattern BoolProp
+	NDiag             int64 // number of self-edges; -1 if unknown
+}
+
+// New creates a Graph, taking ownership of *A ("move constructor": *A is
+// set to nil so the caller cannot accidentally free or alias it — paper
+// Listing 1 line 21).
+func New[T grb.Value](A **grb.Matrix[T], kind Kind) (*Graph[T], error) {
+	if A == nil || *A == nil {
+		return nil, errf(StatusNullPointer, "New: A is nil")
+	}
+	if kind != AdjacencyUndirected && kind != AdjacencyDirected {
+		return nil, errf(StatusInvalidKind, "New: unknown kind %d", kind)
+	}
+	g := &Graph[T]{A: *A, Kind: kind, NDiag: -1}
+	*A = nil
+	if kind == AdjacencyUndirected {
+		// By definition the pattern is symmetric (the caller asserts it;
+		// CheckGraph verifies).
+		g.ASymmetricPattern = BoolTrue
+	}
+	return g, nil
+}
+
+// DeleteProperties clears all cached properties, resetting them to unknown
+// (paper §V).
+func (g *Graph[T]) DeleteProperties() {
+	g.AT = nil
+	g.RowDegree = nil
+	g.ColDegree = nil
+	g.NDiag = -1
+	if g.Kind == AdjacencyUndirected {
+		g.ASymmetricPattern = BoolTrue
+	} else {
+		g.ASymmetricPattern = BoolUnknown
+	}
+}
+
+// NumNodes returns the number of vertices.
+func (g *Graph[T]) NumNodes() int { return g.A.NRows() }
+
+// NumEdges returns the number of stored entries of A.
+func (g *Graph[T]) NumEdges() int { return g.A.NVals() }
+
+// ---------------------------------------------------------------------------
+// property computation (LAGraph_Property_* of paper §V)
+
+// PropertyAT computes and caches the transpose of G.A. For undirected
+// graphs AT aliases A (the pattern is symmetric; SS:GrB does the same
+// optimisation conceptually by noting A == Aᵀ).
+func (g *Graph[T]) PropertyAT() error {
+	if g.A == nil {
+		return errf(StatusInvalidGraph, "PropertyAT: graph has no matrix")
+	}
+	if g.AT != nil {
+		return &Warning{Status: WarnGraphUnchanged, Msg: "AT already cached"}
+	}
+	if g.Kind == AdjacencyUndirected {
+		g.AT = g.A
+		return nil
+	}
+	g.AT = grb.NewTranspose(g.A)
+	return nil
+}
+
+// PropertyRowDegree computes and caches the out-degree vector. Entries are
+// present only for vertices with degree > 0, which is what the GAP-variant
+// PageRank needs to skip sinks.
+func (g *Graph[T]) PropertyRowDegree() error {
+	if g.A == nil {
+		return errf(StatusInvalidGraph, "PropertyRowDegree: graph has no matrix")
+	}
+	if g.RowDegree != nil {
+		return &Warning{Status: WarnGraphUnchanged, Msg: "RowDegree already cached"}
+	}
+	deg, err := degreeOf(g.A)
+	if err != nil {
+		return err
+	}
+	g.RowDegree = deg
+	return nil
+}
+
+// PropertyColDegree computes and caches the in-degree vector. For
+// undirected graphs it aliases RowDegree.
+func (g *Graph[T]) PropertyColDegree() error {
+	if g.A == nil {
+		return errf(StatusInvalidGraph, "PropertyColDegree: graph has no matrix")
+	}
+	if g.ColDegree != nil {
+		return &Warning{Status: WarnGraphUnchanged, Msg: "ColDegree already cached"}
+	}
+	if g.Kind == AdjacencyUndirected {
+		if g.RowDegree == nil {
+			if err := g.PropertyRowDegree(); err != nil && !IsWarning(err) {
+				return err
+			}
+		}
+		g.ColDegree = g.RowDegree
+		return nil
+	}
+	if g.AT != nil {
+		deg, err := degreeOf(g.AT)
+		if err != nil {
+			return err
+		}
+		g.ColDegree = deg
+		return nil
+	}
+	at := grb.NewTranspose(g.A)
+	deg, err := degreeOf(at)
+	if err != nil {
+		return err
+	}
+	g.ColDegree = deg
+	return nil
+}
+
+// degreeOf reduces the pattern of each row to a count.
+func degreeOf[T grb.Value](A *grb.Matrix[T]) (*grb.Vector[int64], error) {
+	ones := grb.MustMatrix[int64](A.NRows(), A.NCols())
+	if err := grb.Apply(ones, grb.NoMask, nil, grb.One[T, int64](), A, nil); err != nil {
+		return nil, wrap(StatusInvalidValue, err, "degree pattern")
+	}
+	deg := grb.MustVector[int64](A.NRows())
+	if err := grb.ReduceMatrixToVector(deg, grb.NoVMask, nil, grb.PlusMonoid[int64](), ones, nil); err != nil {
+		return nil, wrap(StatusInvalidValue, err, "degree reduce")
+	}
+	return deg, nil
+}
+
+// PropertyASymmetricPattern determines whether pattern(A) == pattern(Aᵀ)
+// and caches the answer.
+func (g *Graph[T]) PropertyASymmetricPattern() error {
+	if g.A == nil {
+		return errf(StatusInvalidGraph, "PropertyASymmetricPattern: graph has no matrix")
+	}
+	if g.ASymmetricPattern != BoolUnknown {
+		return &Warning{Status: WarnGraphUnchanged, Msg: "symmetry already known"}
+	}
+	if g.A.NRows() != g.A.NCols() {
+		g.ASymmetricPattern = BoolFalse
+		return nil
+	}
+	if g.AT == nil {
+		if err := g.PropertyAT(); err != nil && !IsWarning(err) {
+			return err
+		}
+	}
+	pA, err := Pattern(g.A)
+	if err != nil {
+		return err
+	}
+	pAT, err := Pattern(g.AT)
+	if err != nil {
+		return err
+	}
+	eq, err := IsEqual(pA, pAT)
+	if err != nil {
+		return err
+	}
+	if eq {
+		g.ASymmetricPattern = BoolTrue
+	} else {
+		g.ASymmetricPattern = BoolFalse
+	}
+	return nil
+}
+
+// PropertyNDiag counts self-edges and caches the count.
+func (g *Graph[T]) PropertyNDiag() error {
+	if g.A == nil {
+		return errf(StatusInvalidGraph, "PropertyNDiag: graph has no matrix")
+	}
+	if g.NDiag >= 0 {
+		return &Warning{Status: WarnGraphUnchanged, Msg: "NDiag already cached"}
+	}
+	var zero T
+	d := grb.MustMatrix[T](g.A.NRows(), g.A.NCols())
+	if err := grb.Select(d, grb.NoMask, nil, grb.Diag[T](), g.A, zero, nil); err != nil {
+		return wrap(StatusInvalidValue, err, "PropertyNDiag")
+	}
+	g.NDiag = int64(d.NVals())
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// display / debug (paper §V)
+
+// CheckGraph checks the validity of a graph: the matrix exists, cached
+// properties that are present are consistent with A, and an undirected
+// graph really has a symmetric pattern. Needed because the graph is not
+// opaque (paper §V).
+func (g *Graph[T]) CheckGraph() error {
+	if g == nil || g.A == nil {
+		return errf(StatusInvalidGraph, "CheckGraph: no adjacency matrix")
+	}
+	if g.Kind != AdjacencyUndirected && g.Kind != AdjacencyDirected {
+		return errf(StatusInvalidKind, "CheckGraph: invalid kind %d", g.Kind)
+	}
+	nr, nc := g.A.Dims()
+	if g.Kind == AdjacencyUndirected || g.Kind == AdjacencyDirected {
+		if nr != nc {
+			return errf(StatusInvalidGraph, "CheckGraph: adjacency matrix is %dx%d, not square", nr, nc)
+		}
+	}
+	if g.Kind == AdjacencyUndirected {
+		pA, err := Pattern(g.A)
+		if err != nil {
+			return err
+		}
+		pAT, err := Pattern(grb.NewTranspose(g.A))
+		if err != nil {
+			return err
+		}
+		eq, err := IsEqual(pA, pAT)
+		if err != nil {
+			return err
+		}
+		if !eq {
+			return errf(StatusInvalidGraph, "CheckGraph: undirected graph with asymmetric pattern")
+		}
+	}
+	if g.AT != nil {
+		tr, tc := g.AT.Dims()
+		if tr != nc || tc != nr {
+			return errf(StatusInvalidGraph, "CheckGraph: cached AT is %dx%d, want %dx%d", tr, tc, nc, nr)
+		}
+	}
+	if g.RowDegree != nil && g.RowDegree.Size() != nr {
+		return errf(StatusInvalidGraph, "CheckGraph: RowDegree length %d, want %d", g.RowDegree.Size(), nr)
+	}
+	if g.ColDegree != nil && g.ColDegree.Size() != nc {
+		return errf(StatusInvalidGraph, "CheckGraph: ColDegree length %d, want %d", g.ColDegree.Size(), nc)
+	}
+	return nil
+}
+
+// DisplayGraph writes a human-readable summary of the graph and its cached
+// properties.
+func (g *Graph[T]) DisplayGraph(w io.Writer) {
+	fmt.Fprintf(w, "LAGraph.Graph: %s, %d nodes, %d entries\n",
+		KindName(g.Kind), g.NumNodes(), g.A.NVals())
+	fmt.Fprintf(w, "  A: %v\n", g.A)
+	if g.AT != nil {
+		fmt.Fprintf(w, "  AT: cached (%v)\n", g.AT)
+	} else {
+		fmt.Fprintln(w, "  AT: unknown")
+	}
+	for _, p := range []struct {
+		name string
+		v    *grb.Vector[int64]
+	}{{"RowDegree", g.RowDegree}, {"ColDegree", g.ColDegree}} {
+		if p.v != nil {
+			fmt.Fprintf(w, "  %s: cached (%d entries)\n", p.name, p.v.NVals())
+		} else {
+			fmt.Fprintf(w, "  %s: unknown\n", p.name)
+		}
+	}
+	fmt.Fprintf(w, "  ASymmetricPattern: %s\n", g.ASymmetricPattern)
+	if g.NDiag >= 0 {
+		fmt.Fprintf(w, "  NDiag: %d\n", g.NDiag)
+	} else {
+		fmt.Fprintln(w, "  NDiag: unknown")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// degree utilities (paper §V)
+
+// SampleDegree estimates the mean and median row degree by sampling
+// nsamples rows deterministically (paper §V; the TC heuristic input).
+func (g *Graph[T]) SampleDegree(nsamples int) (mean, median float64, err error) {
+	if g.RowDegree == nil {
+		return 0, 0, errf(StatusPropertyMissing, "SampleDegree: RowDegree not cached")
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return 0, 0, nil
+	}
+	if nsamples < 1 {
+		nsamples = 64
+	}
+	if nsamples > n {
+		nsamples = n
+	}
+	samples := make([]int64, 0, nsamples)
+	var sum int64
+	// Deterministic stride sampling, like LAGraph's SampleDegree helper.
+	stride := n / nsamples
+	if stride == 0 {
+		stride = 1
+	}
+	for i := 0; i < n && len(samples) < nsamples; i += stride {
+		d, e := g.RowDegree.ExtractElement(i)
+		if e != nil {
+			d = 0 // absent entry = degree 0
+		}
+		samples = append(samples, d)
+		sum += d
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+	mean = float64(sum) / float64(len(samples))
+	median = float64(samples[len(samples)/2])
+	return mean, median, nil
+}
+
+// SortByDegree returns a permutation that sorts the vertices by row degree
+// (ascending when ascending is true), ties broken by vertex id for
+// determinism (paper §V).
+func (g *Graph[T]) SortByDegree(ascending bool) ([]int, error) {
+	if g.RowDegree == nil {
+		return nil, errf(StatusPropertyMissing, "SortByDegree: RowDegree not cached")
+	}
+	n := g.NumNodes()
+	deg := make([]int64, n)
+	g.RowDegree.Iterate(func(i int, d int64) { deg[i] = d })
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		da, db := deg[perm[a]], deg[perm[b]]
+		if da != db {
+			if ascending {
+				return da < db
+			}
+			return da > db
+		}
+		return perm[a] < perm[b]
+	})
+	return perm, nil
+}

@@ -1,0 +1,147 @@
+package lagraph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"math"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/mmio"
+)
+
+// Graph I/O utilities (paper §V): Matrix Market text form and a fast
+// binary form for GrB matrices.
+
+// MMRead reads a GrB matrix from a Matrix Market stream. Symmetric inputs
+// are expanded; duplicates are summed.
+func MMRead(r io.Reader) (*grb.Matrix[float64], error) {
+	coo, err := mmio.Read(r)
+	if err != nil {
+		return nil, wrap(StatusIO, err, "MMRead")
+	}
+	m, err := grb.MatrixFromTuples(coo.NRows, coo.NCols, coo.Rows, coo.Cols, coo.Vals,
+		func(a, b float64) float64 { return a + b })
+	if err != nil {
+		return nil, wrap(StatusIO, err, "MMRead build")
+	}
+	return m, nil
+}
+
+// MMWrite writes a GrB matrix in Matrix Market coordinate/real/general
+// form.
+func MMWrite(w io.Writer, m *grb.Matrix[float64]) error {
+	rows, cols, vals := m.ExtractTuples()
+	if err := mmio.Write(w, m.NRows(), m.NCols(), rows, cols, vals, false); err != nil {
+		return wrap(StatusIO, err, "MMWrite")
+	}
+	return nil
+}
+
+// binMagic identifies the binary matrix container (paper §V: BinRead /
+// BinWrite). Format: magic, version, nrows, ncols, nvals, then the CSR
+// arrays as little-endian int64 / float64.
+var binMagic = [8]byte{'L', 'A', 'G', 'R', 'B', 'I', 'N', '1'}
+
+// BinWrite serialises a finished matrix in the binary container.
+func BinWrite(w io.Writer, m *grb.Matrix[float64]) error {
+	bw := bufio.NewWriter(w)
+	ptr, idx, val := m.ExportCSR()
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return wrap(StatusIO, err, "BinWrite magic")
+	}
+	hdr := []int64{1, int64(m.NRows()), int64(m.NCols()), int64(len(idx))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return wrap(StatusIO, err, "BinWrite header")
+		}
+	}
+	buf := make([]byte, 8)
+	writeInt := func(x int64) error {
+		binary.LittleEndian.PutUint64(buf, uint64(x))
+		_, err := bw.Write(buf)
+		return err
+	}
+	for _, p := range ptr {
+		if err := writeInt(int64(p)); err != nil {
+			return wrap(StatusIO, err, "BinWrite ptr")
+		}
+	}
+	for _, j := range idx {
+		if err := writeInt(int64(j)); err != nil {
+			return wrap(StatusIO, err, "BinWrite idx")
+		}
+	}
+	for _, x := range val {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(x))
+		if _, err := bw.Write(buf); err != nil {
+			return wrap(StatusIO, err, "BinWrite val")
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return wrap(StatusIO, err, "BinWrite flush")
+	}
+	return nil
+}
+
+// BinRead deserialises a matrix written by BinWrite.
+func BinRead(r io.Reader) (*grb.Matrix[float64], error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, wrap(StatusIO, err, "BinRead magic")
+	}
+	if magic != binMagic {
+		return nil, errf(StatusIO, "BinRead: bad magic %q", magic)
+	}
+	var hdr [4]int64
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, wrap(StatusIO, err, "BinRead header")
+		}
+	}
+	if hdr[0] != 1 {
+		return nil, errf(StatusIO, "BinRead: unsupported version %d", hdr[0])
+	}
+	nr, nc, nnz := int(hdr[1]), int(hdr[2]), int(hdr[3])
+	if nr < 0 || nc < 0 || nnz < 0 {
+		return nil, errf(StatusIO, "BinRead: negative dimensions")
+	}
+	readInt := func() (int64, error) {
+		var x int64
+		err := binary.Read(br, binary.LittleEndian, &x)
+		return x, err
+	}
+	ptr := make([]int, nr+1)
+	for i := range ptr {
+		x, err := readInt()
+		if err != nil {
+			return nil, wrap(StatusIO, err, "BinRead ptr")
+		}
+		ptr[i] = int(x)
+	}
+	if ptr[nr] != nnz {
+		return nil, errf(StatusIO, "BinRead: ptr[n]=%d but nvals=%d", ptr[nr], nnz)
+	}
+	idx := make([]int, nnz)
+	for i := range idx {
+		x, err := readInt()
+		if err != nil {
+			return nil, wrap(StatusIO, err, "BinRead idx")
+		}
+		idx[i] = int(x)
+	}
+	val := make([]float64, nnz)
+	for i := range val {
+		var bits uint64
+		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
+			return nil, wrap(StatusIO, err, "BinRead val")
+		}
+		val[i] = math.Float64frombits(bits)
+	}
+	m, err := grb.ImportCSR(nr, nc, ptr, idx, val, false)
+	if err != nil {
+		return nil, wrap(StatusIO, err, "BinRead import")
+	}
+	return m, nil
+}

@@ -1,0 +1,97 @@
+package lagraph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestMMWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	A := randDigraph(rng, 12, 0.3)
+	var buf bytes.Buffer
+	if err := MMWrite(&buf, A); err != nil {
+		t.Fatal(err)
+	}
+	B, err := MMRead(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := IsEqual(A, B)
+	if err != nil || !eq {
+		t.Fatalf("round trip changed the matrix: %v", err)
+	}
+}
+
+func TestMMReadSymmetricAndPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a triangle
+3 3 3
+1 2
+2 3
+3 1
+`
+	m, err := MMRead(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NVals() != 6 {
+		t.Fatalf("symmetric expansion: %d entries, want 6", m.NVals())
+	}
+	if x, err := m.ExtractElement(1, 0); err != nil || x != 1 {
+		t.Fatalf("pattern value: %v %v", x, err)
+	}
+}
+
+func TestMMReadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a matrix market file\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n5 5 3.0\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+		"%%MatrixMarket matrix coordinate real general\nx y z\n",
+	}
+	for i, c := range cases {
+		if _, err := MMRead(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestBinWriteReadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	A := randUndirected(rng, 20, 0.2, 9)
+	var buf bytes.Buffer
+	if err := BinWrite(&buf, A); err != nil {
+		t.Fatal(err)
+	}
+	B, err := BinRead(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := IsEqual(A, B)
+	if err != nil || !eq {
+		t.Fatalf("binary round trip changed the matrix: %v", err)
+	}
+}
+
+func TestBinReadRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	A := randDigraph(rng, 8, 0.3)
+	var buf bytes.Buffer
+	if err := BinWrite(&buf, A); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Bad magic.
+	bad := append([]byte("XXXXXXXX"), data[8:]...)
+	if _, err := BinRead(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// Truncated stream.
+	if _, err := BinRead(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+}

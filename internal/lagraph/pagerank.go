@@ -1,0 +1,142 @@
+package lagraph
+
+import "lagraph/internal/grb"
+
+// PageRank (paper §IV-C, Algorithm 4). Two variants are provided, exactly
+// as the paper describes: PageRankGAP reproduces the GAP benchmark's
+// pr.cc, which does not handle dangling vertices (sinks leak rank), and
+// PageRankGX is the LDBC Graphalytics variant that redistributes sink rank
+// every iteration.
+//
+// Both use the plus.second semiring so edge weights in A are ignored.
+
+// PageRankGAP is Algorithm 4 (Advanced mode). It requires the cached AT
+// and RowDegree properties. It returns the rank vector and the number of
+// iterations performed.
+func PageRankGAP[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*grb.Vector[float64], int, error) {
+	if g == nil || g.A == nil {
+		return nil, 0, errf(StatusInvalidGraph, "PageRankGAP: nil graph")
+	}
+	if g.AT == nil || g.RowDegree == nil {
+		return nil, 0, errf(StatusPropertyMissing, "PageRankGAP: G.AT and G.RowDegree must be cached")
+	}
+	return pagerank(g, damping, tol, itermax, false)
+}
+
+// PageRankGX is the Graphalytics variant (Advanced mode): dangling
+// vertices' rank is gathered each iteration and redistributed uniformly,
+// so the ranks remain a probability distribution.
+func PageRankGX[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*grb.Vector[float64], int, error) {
+	if g == nil || g.A == nil {
+		return nil, 0, errf(StatusInvalidGraph, "PageRankGX: nil graph")
+	}
+	if g.AT == nil || g.RowDegree == nil {
+		return nil, 0, errf(StatusPropertyMissing, "PageRankGX: G.AT and G.RowDegree must be cached")
+	}
+	return pagerank(g, damping, tol, itermax, true)
+}
+
+// PageRank is the Basic-mode entry point: properties are computed and
+// cached as needed and the dangling-safe variant is selected, since basic
+// users "simply want the correct answer" (paper §II-B).
+func PageRank[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*grb.Vector[float64], int, error) {
+	if g == nil || g.A == nil {
+		return nil, 0, errf(StatusInvalidGraph, "PageRank: nil graph")
+	}
+	warned := false
+	if g.AT == nil {
+		if err := g.PropertyAT(); err != nil && !IsWarning(err) {
+			return nil, 0, err
+		}
+		warned = true
+	}
+	if g.RowDegree == nil {
+		if err := g.PropertyRowDegree(); err != nil && !IsWarning(err) {
+			return nil, 0, err
+		}
+		warned = true
+	}
+	r, it, err := pagerank(g, damping, tol, itermax, true)
+	if err == nil && warned {
+		return r, it, &Warning{Status: WarnCacheNotComputed, Msg: "PageRank cached graph properties"}
+	}
+	return r, it, err
+}
+
+func pagerank[T grb.Value](g *Graph[T], damping, tol float64, itermax int, handleDangling bool) (*grb.Vector[float64], int, error) {
+	n := g.NumNodes()
+	if n == 0 {
+		return grb.MustVector[float64](0), 0, nil
+	}
+	if damping <= 0 || damping >= 1 {
+		return nil, 0, errf(StatusInvalidValue, "pagerank: damping %v outside (0,1)", damping)
+	}
+	if itermax < 1 {
+		itermax = 100
+	}
+	teleport := (1 - damping) / float64(n)
+
+	// d = rowdegree / damping, present only where degree > 0 — the
+	// prescaling trick of Algorithm 4 line 5. Sinks are simply absent, so
+	// the intersection w = t div∩ d drops them (GAP semantics).
+	d := grb.MustVector[float64](n)
+	toF := grb.UnaryOp[int64, float64]{Name: "scale", F: func(x int64) float64 { return float64(x) / damping }}
+	if err := grb.ApplyV(d, grb.NoVMask, nil, toF, g.RowDegree, nil); err != nil {
+		return nil, 0, wrap(StatusInvalidValue, err, "pagerank prescale")
+	}
+
+	// Dangling-vertex mask for the Graphalytics variant: vertices with no
+	// out-edges.
+	var sink *grb.Vector[bool]
+	if handleDangling {
+		sink = grb.MustVector[bool](n)
+		if err := grb.AssignVectorScalar(sink, grb.StructVMaskOf(g.RowDegree).Not(), nil, true, grb.All, nil); err != nil {
+			return nil, 0, wrap(StatusInvalidValue, err, "pagerank sink mask")
+		}
+	}
+
+	r := grb.DenseVector(n, 1/float64(n))
+	t := grb.MustVector[float64](n)
+	plus := func(a, b float64) float64 { return a + b }
+	semiring := grb.PlusSecond[T, float64]()
+
+	iters := 0
+	for k := 0; k < itermax; k++ {
+		iters = k + 1
+		// swap t and r: t is now the prior rank.
+		t, r = r, t
+		// w = t div∩ d
+		w := grb.MustVector[float64](n)
+		if err := grb.EWiseMultV(w, grb.NoVMask, nil, grb.DivOp[float64](), t, d, nil); err != nil {
+			return nil, 0, wrap(StatusInvalidValue, err, "pagerank contributions")
+		}
+		base := teleport
+		if handleDangling {
+			// Redistribute rank trapped at sinks: damping * Σ t(sinks) / n.
+			ts := grb.MustVector[float64](n)
+			if err := grb.ApplyV(ts, grb.VMaskOf(sink), nil, grb.Identity[float64](), t, nil); err != nil {
+				return nil, 0, wrap(StatusInvalidValue, err, "pagerank sink gather")
+			}
+			dsum := grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), ts)
+			base += damping * dsum / float64(n)
+		}
+		// r(:) = teleport (+ sink share), then r += Aᵀ plus.second w.
+		if err := grb.AssignVectorScalar(r, grb.NoVMask, nil, base, grb.All, nil); err != nil {
+			return nil, 0, wrap(StatusInvalidValue, err, "pagerank teleport")
+		}
+		if err := grb.MxV(r, grb.NoVMask, plus, semiring, g.AT, w, nil); err != nil {
+			return nil, 0, wrap(StatusInvalidValue, err, "pagerank pull")
+		}
+		// t = |t - r|; converged when the 1-norm of the change is small.
+		if err := grb.EWiseAddV(t, grb.NoVMask, nil, grb.MinusOp[float64](), t, r, nil); err != nil {
+			return nil, 0, wrap(StatusInvalidValue, err, "pagerank delta")
+		}
+		if err := grb.ApplyV(t, grb.NoVMask, nil, grb.AbsOp[float64](), t, nil); err != nil {
+			return nil, 0, wrap(StatusInvalidValue, err, "pagerank abs")
+		}
+		if grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), t) < tol {
+			break
+		}
+	}
+	return r, iters, nil
+}

@@ -1,0 +1,184 @@
+package lagraph
+
+import (
+	"sort"
+	"time"
+
+	"lagraph/internal/grb"
+)
+
+// Utility functions of paper §V that are not Graph methods.
+
+// Pattern returns a boolean matrix containing the pattern of a matrix.
+func Pattern[T grb.Value](A *grb.Matrix[T]) (*grb.Matrix[bool], error) {
+	p := grb.MustMatrix[bool](A.NRows(), A.NCols())
+	op := grb.UnaryOp[T, bool]{Name: "one", F: func(T) bool { return true }}
+	if err := grb.Apply(p, grb.NoMask, nil, op, A, nil); err != nil {
+		return nil, wrap(StatusInvalidValue, err, "Pattern")
+	}
+	return p, nil
+}
+
+// IsEqual determines if two matrices are equal (same type, dimensions,
+// pattern, and values). It selects the equality operator for the type and
+// calls IsAll, exactly as described in §V.
+func IsEqual[T grb.Value](A, B *grb.Matrix[T]) (bool, error) {
+	return IsAll(A, B, func(a, b T) bool { return a == b })
+}
+
+// IsAll compares two matrices: false if dimensions or patterns differ;
+// otherwise the comparator is applied to every pair of entries and IsAll
+// reports whether all comparisons return true.
+func IsAll[T grb.Value](A, B *grb.Matrix[T], eq func(a, b T) bool) (bool, error) {
+	if A == nil || B == nil {
+		return false, errf(StatusNullPointer, "IsAll: nil matrix")
+	}
+	ar, ac := A.Dims()
+	br, bc := B.Dims()
+	if ar != br || ac != bc {
+		return false, nil
+	}
+	if A.NVals() != B.NVals() {
+		return false, nil
+	}
+	// C = A eq∩ B; equal iff the intersection covers all entries and every
+	// comparison is true.
+	op := grb.BinaryOp[T, T, bool]{Name: "iseq", F: eq}
+	c := grb.MustMatrix[bool](ar, ac)
+	if err := grb.EWiseMult(c, grb.NoMask, nil, op, A, B, nil); err != nil {
+		return false, wrap(StatusInvalidValue, err, "IsAll")
+	}
+	if c.NVals() != A.NVals() {
+		return false, nil
+	}
+	land := grb.LandMonoid()
+	return grb.ReduceMatrixToScalar(land, c), nil
+}
+
+// VectorIsEqual is the vector analogue of IsEqual.
+func VectorIsEqual[T grb.Value](u, v *grb.Vector[T]) (bool, error) {
+	if u == nil || v == nil {
+		return false, errf(StatusNullPointer, "VectorIsEqual: nil vector")
+	}
+	if u.Size() != v.Size() || u.NVals() != v.NVals() {
+		return false, nil
+	}
+	op := grb.BinaryOp[T, T, bool]{Name: "iseq", F: func(a, b T) bool { return a == b }}
+	c := grb.MustVector[bool](u.Size())
+	if err := grb.EWiseMultV(c, grb.NoVMask, nil, op, u, v, nil); err != nil {
+		return false, wrap(StatusInvalidValue, err, "VectorIsEqual")
+	}
+	if c.NVals() != u.NVals() {
+		return false, nil
+	}
+	return grb.ReduceVectorToScalar(grb.LandMonoid(), c), nil
+}
+
+// TypeName returns a string with the name of the matrix element type
+// (paper §V: LAGraph_TypeName).
+func TypeName[T grb.Value]() string {
+	var z T
+	switch any(z).(type) {
+	case bool:
+		return "GrB_BOOL"
+	case int8:
+		return "GrB_INT8"
+	case int16:
+		return "GrB_INT16"
+	case int32:
+		return "GrB_INT32"
+	case int64:
+		return "GrB_INT64"
+	case uint8:
+		return "GrB_UINT8"
+	case uint16:
+		return "GrB_UINT16"
+	case uint32:
+		return "GrB_UINT32"
+	case uint64:
+		return "GrB_UINT64"
+	case float32:
+		return "GrB_FP32"
+	case float64:
+		return "GrB_FP64"
+	default:
+		return "user-defined"
+	}
+}
+
+// ---------------------------------------------------------------------------
+// portable timer (paper §V: Tic/Toc)
+
+// Timer is the Tic/Toc pair as a value type.
+type Timer struct{ start time.Time }
+
+// Tic starts (or restarts) the timer.
+func (t *Timer) Tic() { t.start = time.Now() }
+
+// Toc returns the seconds elapsed since the last Tic.
+func (t *Timer) Toc() float64 { return time.Since(t.start).Seconds() }
+
+// Tic returns a started timer; the package-level form of the C API's
+// LAGraph_Tic.
+func Tic() Timer { return Timer{start: time.Now()} }
+
+// ---------------------------------------------------------------------------
+// integer array sorts (paper §V: Sort1, Sort2, Sort3)
+
+// Sort1 sorts one integer array ascending in place.
+func Sort1(a []int64) {
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+}
+
+// Sort2 sorts (a, b) pairs by a, then b.
+func Sort2(a, b []int64) error {
+	if len(a) != len(b) {
+		return errf(StatusInvalidValue, "Sort2: length mismatch %d vs %d", len(a), len(b))
+	}
+	idx := sortedIndex(len(a), func(x, y int) bool {
+		if a[x] != a[y] {
+			return a[x] < a[y]
+		}
+		return b[x] < b[y]
+	})
+	permute(a, idx)
+	permute(b, idx)
+	return nil
+}
+
+// Sort3 sorts (a, b, c) triples by a, then b, then c.
+func Sort3(a, b, c []int64) error {
+	if len(a) != len(b) || len(a) != len(c) {
+		return errf(StatusInvalidValue, "Sort3: length mismatch")
+	}
+	idx := sortedIndex(len(a), func(x, y int) bool {
+		if a[x] != a[y] {
+			return a[x] < a[y]
+		}
+		if b[x] != b[y] {
+			return b[x] < b[y]
+		}
+		return c[x] < c[y]
+	})
+	permute(a, idx)
+	permute(b, idx)
+	permute(c, idx)
+	return nil
+}
+
+func sortedIndex(n int, less func(i, j int) bool) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool { return less(idx[i], idx[j]) })
+	return idx
+}
+
+func permute[T any](a []T, idx []int) {
+	out := make([]T, len(a))
+	for i, p := range idx {
+		out[i] = a[p]
+	}
+	copy(a, out)
+}

@@ -1,0 +1,172 @@
+// Package mmio reads and writes Matrix Market exchange format files
+// (coordinate form), the interchange format of the paper's §V "Graph I/O"
+// utilities. Supported qualifiers: real / integer / pattern values;
+// general / symmetric / skew-symmetric storage.
+package mmio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Header describes a parsed %%MatrixMarket banner.
+type Header struct {
+	Object   string // "matrix"
+	Format   string // "coordinate"
+	Field    string // "real", "integer", "pattern"
+	Symmetry string // "general", "symmetric", "skew-symmetric"
+}
+
+// COO is the parsed coordinate data (0-based indices). Symmetric inputs
+// are expanded: both (i,j) and (j,i) appear.
+type COO struct {
+	NRows, NCols int
+	Rows, Cols   []int
+	Vals         []float64
+	Header       Header
+}
+
+// Read parses a Matrix Market stream.
+func Read(r io.Reader) (*COO, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("mmio: empty input")
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) < 5 || banner[0] != "%%matrixmarket" {
+		return nil, fmt.Errorf("mmio: missing %%%%MatrixMarket banner")
+	}
+	h := Header{Object: banner[1], Format: banner[2], Field: banner[3], Symmetry: banner[4]}
+	if h.Object != "matrix" {
+		return nil, fmt.Errorf("mmio: unsupported object %q", h.Object)
+	}
+	if h.Format != "coordinate" {
+		return nil, fmt.Errorf("mmio: unsupported format %q (only coordinate)", h.Format)
+	}
+	switch h.Field {
+	case "real", "integer", "pattern", "double":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported field %q", h.Field)
+	}
+	switch h.Symmetry {
+	case "general", "symmetric", "skew-symmetric":
+	default:
+		return nil, fmt.Errorf("mmio: unsupported symmetry %q", h.Symmetry)
+	}
+	// Skip comments; read the size line.
+	var sizeLine string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		sizeLine = line
+		break
+	}
+	if sizeLine == "" {
+		return nil, fmt.Errorf("mmio: missing size line")
+	}
+	dims := strings.Fields(sizeLine)
+	if len(dims) != 3 {
+		return nil, fmt.Errorf("mmio: bad size line %q", sizeLine)
+	}
+	nr, err := strconv.Atoi(dims[0])
+	if err != nil {
+		return nil, fmt.Errorf("mmio: bad row count: %v", err)
+	}
+	nc, err := strconv.Atoi(dims[1])
+	if err != nil {
+		return nil, fmt.Errorf("mmio: bad col count: %v", err)
+	}
+	nnz, err := strconv.Atoi(dims[2])
+	if err != nil {
+		return nil, fmt.Errorf("mmio: bad entry count: %v", err)
+	}
+	if nr < 0 || nc < 0 || nnz < 0 {
+		return nil, fmt.Errorf("mmio: negative dimensions")
+	}
+	out := &COO{NRows: nr, NCols: nc, Header: h}
+	pattern := h.Field == "pattern"
+	read := 0
+	for sc.Scan() && read < nnz {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		f := strings.Fields(line)
+		want := 3
+		if pattern {
+			want = 2
+		}
+		if len(f) < want {
+			return nil, fmt.Errorf("mmio: entry %d malformed: %q", read+1, line)
+		}
+		i, err := strconv.Atoi(f[0])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: entry %d row: %v", read+1, err)
+		}
+		j, err := strconv.Atoi(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("mmio: entry %d col: %v", read+1, err)
+		}
+		if i < 1 || i > nr || j < 1 || j > nc {
+			return nil, fmt.Errorf("mmio: entry %d index (%d,%d) outside %dx%d", read+1, i, j, nr, nc)
+		}
+		x := 1.0
+		if !pattern {
+			x, err = strconv.ParseFloat(f[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("mmio: entry %d value: %v", read+1, err)
+			}
+		}
+		i--
+		j--
+		out.Rows = append(out.Rows, i)
+		out.Cols = append(out.Cols, j)
+		out.Vals = append(out.Vals, x)
+		if h.Symmetry != "general" && i != j {
+			xv := x
+			if h.Symmetry == "skew-symmetric" {
+				xv = -x
+			}
+			out.Rows = append(out.Rows, j)
+			out.Cols = append(out.Cols, i)
+			out.Vals = append(out.Vals, xv)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("mmio: %v", err)
+	}
+	if read != nnz {
+		return nil, fmt.Errorf("mmio: expected %d entries, found %d", nnz, read)
+	}
+	return out, nil
+}
+
+// Write emits coordinate general format with 1-based indices.
+func Write(w io.Writer, nr, nc int, rows, cols []int, vals []float64, pattern bool) error {
+	if len(rows) != len(cols) || (!pattern && len(rows) != len(vals)) {
+		return fmt.Errorf("mmio: mismatched tuple arrays")
+	}
+	bw := bufio.NewWriter(w)
+	field := "real"
+	if pattern {
+		field = "pattern"
+	}
+	fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate %s general\n", field)
+	fmt.Fprintf(bw, "%% written by lagraph-go\n")
+	fmt.Fprintf(bw, "%d %d %d\n", nr, nc, len(rows))
+	for k := range rows {
+		if pattern {
+			fmt.Fprintf(bw, "%d %d\n", rows[k]+1, cols[k]+1)
+		} else {
+			fmt.Fprintf(bw, "%d %d %.17g\n", rows[k]+1, cols[k]+1, vals[k])
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,158 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadGeneralReal(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% comment line
+3 4 3
+1 1 1.5
+2 3 -2
+3 4 7e2
+`
+	coo, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coo.NRows != 3 || coo.NCols != 4 || len(coo.Rows) != 3 {
+		t.Fatalf("shape %dx%d, %d entries", coo.NRows, coo.NCols, len(coo.Rows))
+	}
+	if coo.Rows[0] != 0 || coo.Cols[0] != 0 || coo.Vals[0] != 1.5 {
+		t.Fatalf("first entry (%d,%d)=%v", coo.Rows[0], coo.Cols[0], coo.Vals[0])
+	}
+	if coo.Vals[2] != 700 {
+		t.Fatalf("scientific notation: %v", coo.Vals[2])
+	}
+}
+
+func TestReadSymmetricExpands(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate integer symmetric
+3 3 2
+2 1 5
+3 3 9
+`
+	coo, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Off-diagonal expands to two entries; diagonal stays single.
+	if len(coo.Rows) != 3 {
+		t.Fatalf("%d entries, want 3", len(coo.Rows))
+	}
+}
+
+func TestReadSkewSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real skew-symmetric
+2 2 1
+2 1 4
+`
+	coo, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coo.Rows) != 2 {
+		t.Fatalf("%d entries", len(coo.Rows))
+	}
+	var found bool
+	for k := range coo.Rows {
+		if coo.Rows[k] == 0 && coo.Cols[k] == 1 {
+			if coo.Vals[k] != -4 {
+				t.Fatalf("skew value %v", coo.Vals[k])
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("mirrored entry missing")
+	}
+}
+
+func TestReadPattern(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+`
+	coo, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range coo.Vals {
+		if v != 1 {
+			t.Fatalf("pattern value %v", v)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no banner":      "3 3 1\n1 1 1\n",
+		"bad object":     "%%MatrixMarket vector coordinate real general\n3 1 1\n1 1 1\n",
+		"array format":   "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"bad field":      "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 2\n",
+		"bad symmetry":   "%%MatrixMarket matrix coordinate real hermitian\n1 1 1\n1 1 1\n",
+		"no size":        "%%MatrixMarket matrix coordinate real general\n",
+		"bad size":       "%%MatrixMarket matrix coordinate real general\n1 2\n",
+		"row overflow":   "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n",
+		"col zero":       "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 0 1.0\n",
+		"missing val":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1\n",
+		"non-num val":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 xyz\n",
+		"too few tuples": "%%MatrixMarket matrix coordinate real general\n2 2 5\n1 1 1.0\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rows := []int{0, 1, 2}
+	cols := []int{2, 0, 1}
+	vals := []float64{1.25, -3, 1e-17}
+	var buf bytes.Buffer
+	if err := Write(&buf, 3, 3, rows, cols, vals, false); err != nil {
+		t.Fatal(err)
+	}
+	coo, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(coo.Rows) != 3 {
+		t.Fatalf("%d entries", len(coo.Rows))
+	}
+	for k := range rows {
+		if coo.Rows[k] != rows[k] || coo.Cols[k] != cols[k] || coo.Vals[k] != vals[k] {
+			t.Fatalf("entry %d: (%d,%d)=%v", k, coo.Rows[k], coo.Cols[k], coo.Vals[k])
+		}
+	}
+}
+
+func TestWritePattern(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, 2, 2, []int{0}, []int{1}, nil, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pattern") {
+		t.Fatal("pattern banner missing")
+	}
+	coo, err := Read(&buf)
+	if err != nil || len(coo.Rows) != 1 {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, 2, 2, []int{0}, []int{1, 2}, nil, true); err == nil {
+		t.Fatal("mismatched arrays accepted")
+	}
+	if err := Write(&buf, 2, 2, []int{0}, []int{1}, nil, false); err == nil {
+		t.Fatal("missing values accepted for non-pattern")
+	}
+}

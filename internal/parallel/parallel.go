@@ -1,0 +1,206 @@
+// Package parallel provides small building blocks for data-parallel loops
+// used by the GraphBLAS kernels: a blocked parallel-for, a guided
+// parallel-for over irregular work (rows of a sparse matrix), and parallel
+// reductions. All helpers degrade to a plain sequential loop when the
+// iteration count is small, so callers never need their own size checks.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// minParallelWork is the iteration count below which running a loop on a
+// single goroutine is always faster than forking workers.
+const minParallelWork = 2048
+
+// maxThreads caps worker counts; it can be lowered for deterministic tests.
+var maxThreads atomic.Int64
+
+func init() { maxThreads.Store(int64(runtime.GOMAXPROCS(0))) }
+
+// SetMaxThreads bounds the number of worker goroutines used by all helpers
+// in this package. Values < 1 reset to GOMAXPROCS. It returns the previous
+// setting, so tests can restore it with defer.
+func SetMaxThreads(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(maxThreads.Swap(int64(n)))
+}
+
+// MaxThreads reports the current worker bound.
+func MaxThreads() int { return int(maxThreads.Load()) }
+
+// Threads returns the number of workers to use for n units of work.
+func Threads(n int) int {
+	t := MaxThreads()
+	if n < minParallelWork || t <= 1 {
+		return 1
+	}
+	if w := n / (minParallelWork / 2); w < t {
+		t = w
+	}
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// For runs body(lo, hi) over disjoint contiguous chunks covering [0, n).
+// body must be safe to call concurrently on disjoint ranges.
+func For(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	t := Threads(n)
+	if t == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + t - 1) / t
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(i) for every i in [0, n) with static chunking.
+func ForEach(n int, body func(i int)) {
+	For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Guided runs body(i) for every i in [0, n), handing out small blocks from a
+// shared counter so imbalanced work (e.g. skewed sparse rows) stays balanced.
+// grain is the block size handed to a worker at a time; pass 0 for a default.
+func Guided(n, grain int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = 64
+	}
+	t := Threads(n)
+	if t == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(t)
+	for w := 0; w < t; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					body(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ReduceInt64 computes the combination of body(lo,hi) partial results over
+// [0, n) using comb, starting from identity. comb must be associative.
+func ReduceInt64(n int, identity int64, body func(lo, hi int) int64, comb func(a, b int64) int64) int64 {
+	if n <= 0 {
+		return identity
+	}
+	t := Threads(n)
+	if t == 1 {
+		return comb(identity, body(0, n))
+	}
+	parts := make([]int64, t)
+	var wg sync.WaitGroup
+	chunk := (n + t - 1) / t
+	idx := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			parts[slot] = body(lo, hi)
+		}(idx, lo, hi)
+		idx++
+	}
+	wg.Wait()
+	acc := identity
+	for _, p := range parts[:idx] {
+		acc = comb(acc, p)
+	}
+	return acc
+}
+
+// ReduceFloat64 is ReduceInt64 for float64 partials.
+func ReduceFloat64(n int, identity float64, body func(lo, hi int) float64, comb func(a, b float64) float64) float64 {
+	if n <= 0 {
+		return identity
+	}
+	t := Threads(n)
+	if t == 1 {
+		return comb(identity, body(0, n))
+	}
+	parts := make([]float64, t)
+	var wg sync.WaitGroup
+	chunk := (n + t - 1) / t
+	idx := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			parts[slot] = body(lo, hi)
+		}(idx, lo, hi)
+		idx++
+	}
+	wg.Wait()
+	acc := identity
+	for _, p := range parts[:idx] {
+		acc = comb(acc, p)
+	}
+	return acc
+}
+
+// ExclusiveScan replaces counts[0..n-1] with its exclusive prefix sum and
+// returns the total. counts must have length n+1; counts[n] receives the
+// total as well, making the result directly usable as a CSR row pointer.
+func ExclusiveScan(counts []int) int {
+	total := 0
+	for i := 0; i < len(counts); i++ {
+		c := counts[i]
+		counts[i] = total
+		total += c
+	}
+	return counts[len(counts)-1]
+}

@@ -1,0 +1,137 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetMaxThreads(t *testing.T) {
+	prev := SetMaxThreads(3)
+	defer SetMaxThreads(prev)
+	if MaxThreads() != 3 {
+		t.Fatalf("MaxThreads = %d", MaxThreads())
+	}
+	SetMaxThreads(0) // reset to GOMAXPROCS
+	if MaxThreads() < 1 {
+		t.Fatal("reset gave < 1")
+	}
+}
+
+func TestThreadsSmallWorkIsSequential(t *testing.T) {
+	if Threads(10) != 1 {
+		t.Fatalf("tiny work should use 1 thread, got %d", Threads(10))
+	}
+	if Threads(1<<20) < 1 {
+		t.Fatal("huge work gave < 1")
+	}
+}
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	f := func(n uint16) bool {
+		size := int(n%5000) + 1
+		hits := make([]int32, size)
+		For(size, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachAndGuidedCoverage(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 3000, 10000} {
+		hits := make([]int32, n)
+		ForEach(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("ForEach n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+		hits2 := make([]int32, n)
+		Guided(n, 16, func(i int) { atomic.AddInt32(&hits2[i], 1) })
+		for i, h := range hits2 {
+			if h != 1 {
+				t.Fatalf("Guided n=%d: index %d hit %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestReduceInt64(t *testing.T) {
+	n := 100000
+	got := ReduceInt64(n, 0, func(lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		return s
+	}, func(a, b int64) int64 { return a + b })
+	want := int64(n) * int64(n-1) / 2
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+	if ReduceInt64(0, 42, nil, func(a, b int64) int64 { return a + b }) != 42 {
+		t.Fatal("empty reduce must return identity")
+	}
+}
+
+func TestReduceFloat64(t *testing.T) {
+	n := 50000
+	got := ReduceFloat64(n, 0, func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s++
+		}
+		return s
+	}, func(a, b float64) float64 { return a + b })
+	if got != float64(n) {
+		t.Fatalf("count = %v", got)
+	}
+}
+
+func TestExclusiveScan(t *testing.T) {
+	counts := []int{3, 0, 2, 5, 0}
+	total := ExclusiveScan(counts)
+	if total != 10 {
+		t.Fatalf("total = %d", total)
+	}
+	want := []int{0, 3, 3, 5, 10}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, counts[i], want[i])
+		}
+	}
+	if ExclusiveScan([]int{7}) != 0 {
+		t.Fatal("single-element scan total should be 0 (ptr semantics: counts[n]=total)")
+	}
+}
+
+func TestGuidedBalancesSkewedWork(t *testing.T) {
+	// Sanity: guided scheduling must complete with very uneven work.
+	n := 4096
+	var total int64
+	Guided(n, 8, func(i int) {
+		work := 1
+		if i%512 == 0 {
+			work = 1000
+		}
+		var s int64
+		for k := 0; k < work; k++ {
+			s++
+		}
+		atomic.AddInt64(&total, s)
+	})
+	if total != int64(n-n/512)+int64(n/512)*1000 {
+		t.Fatalf("total work = %d", total)
+	}
+}
