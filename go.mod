@@ -1,0 +1,3 @@
+module lagraph
+
+go 1.24

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Service-mode smoke workload: drive a running lagraphd over HTTP the way
+// the batch harness drives the library directly — load one graph per
+// class, run every algorithm against it, and report per-request timings.
+// It talks plain HTTP so it can target an httptest server in CI or a real
+// daemon on the network.
+
+// ServiceResult is one timed service request.
+type ServiceResult struct {
+	Op      string // e.g. "load kron", "kron/pagerank"
+	Seconds float64
+	Status  int
+	Err     error
+}
+
+// OK reports whether the request succeeded.
+func (r ServiceResult) OK() bool { return r.Err == nil && r.Status >= 200 && r.Status < 300 }
+
+// ServiceSmokeOptions tunes the workload.
+type ServiceSmokeOptions struct {
+	Scale      int // synthetic graph scale (default 7)
+	EdgeFactor int
+	Client     *http.Client
+}
+
+// serviceAlgorithms maps each endpoint to its parameters; tc runs only on
+// undirected classes.
+var serviceAlgorithms = []struct {
+	alg        string
+	params     map[string]any
+	undirected bool
+}{
+	{"bfs", map[string]any{"source": 0}, false},
+	{"pagerank", map[string]any{"max_iter": 20}, false},
+	{"cc", map[string]any{}, false},
+	{"sssp", map[string]any{"source": 0, "delta": 64}, false},
+	{"tc", map[string]any{}, true},
+	{"bc", map[string]any{"sources": []int{0, 1, 2, 3}}, false},
+}
+
+// ServiceSmoke loads one graph per benchmark class into the service at
+// baseURL, runs the six GAP kernels against each over HTTP, deletes the
+// graphs, and returns every request's outcome. A second PageRank call per
+// graph exercises the cached-property reuse path.
+func ServiceSmoke(baseURL string, opts ServiceSmokeOptions) []ServiceResult {
+	if opts.Scale <= 0 {
+		opts.Scale = 7
+	}
+	if opts.EdgeFactor <= 0 {
+		opts.EdgeFactor = 4
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+
+	var results []ServiceResult
+	call := func(op, method, url string, body any) ServiceResult {
+		var rd io.Reader
+		if body != nil {
+			b, err := json.Marshal(body)
+			if err != nil {
+				return ServiceResult{Op: op, Err: err}
+			}
+			rd = bytes.NewReader(b)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return ServiceResult{Op: op, Err: err}
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		r := ServiceResult{Op: op, Seconds: time.Since(start).Seconds(), Err: err}
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			r.Status = resp.StatusCode
+			if !r.OK() {
+				r.Err = fmt.Errorf("%s: HTTP %d", op, resp.StatusCode)
+			}
+		}
+		return r
+	}
+
+	for _, class := range GraphNames {
+		name := "smoke-" + class
+		undirected := class == "Kron" || class == "Urand"
+		results = append(results, call("load "+class, "POST", baseURL+"/graphs", map[string]any{
+			"name": name, "class": class, "scale": opts.Scale,
+			"edge_factor": opts.EdgeFactor, "seed": 42, "weights": true,
+		}))
+		for _, a := range serviceAlgorithms {
+			if a.undirected && !undirected {
+				continue
+			}
+			url := fmt.Sprintf("%s/graphs/%s/algorithms/%s", baseURL, name, a.alg)
+			results = append(results, call(class+"/"+a.alg, "POST", url, a.params))
+		}
+		// Repeat PageRank: served from the cached transpose + degrees.
+		url := fmt.Sprintf("%s/graphs/%s/algorithms/pagerank", baseURL, name)
+		results = append(results, call(class+"/pagerank(cached)", "POST", url,
+			map[string]any{"max_iter": 20}))
+		results = append(results, call("delete "+class, "DELETE", baseURL+"/graphs/"+name, nil))
+	}
+	return results
+}

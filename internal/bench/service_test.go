@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"lagraph/internal/registry"
+	"lagraph/internal/server"
+)
+
+// TestServiceSmoke runs the service-mode workload against an in-process
+// lagraphd handler: every class loads, every kernel answers, and the
+// repeat PageRank is served from the warmed property cache.
+func TestServiceSmoke(t *testing.T) {
+	reg := registry.New(0)
+	ts := httptest.NewServer(server.New(reg, server.Options{}).Handler())
+	defer ts.Close()
+
+	results := ServiceSmoke(ts.URL, ServiceSmokeOptions{Scale: 6})
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	for _, r := range results {
+		if !r.OK() {
+			t.Errorf("%s failed: status %d err %v", r.Op, r.Status, r.Err)
+		}
+	}
+	// 5 loads + 5 deletes + per-class algorithms:
+	// Kron/Urand run all 6, the three directed classes skip tc.
+	want := 5 + 5 + 2*6 + 3*5 + 5 // + one cached pagerank per class
+	if len(results) != want {
+		t.Fatalf("results = %d, want %d", len(results), want)
+	}
+}

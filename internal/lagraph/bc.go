@@ -20,7 +20,7 @@ func BetweennessCentrality[T grb.Value](g *Graph[T], sources []int) (*grb.Vector
 	if g == nil || g.A == nil {
 		return nil, errf(StatusInvalidGraph, "BetweennessCentrality: nil graph")
 	}
-	if g.AT == nil {
+	if g.CachedAT() == nil {
 		if err := g.PropertyAT(); err != nil && !IsWarning(err) {
 			return nil, err
 		}
@@ -34,7 +34,8 @@ func BetweennessCentralityAdvanced[T grb.Value](g *Graph[T], sources []int) (*gr
 	if g == nil || g.A == nil {
 		return nil, errf(StatusInvalidGraph, "BetweennessCentralityAdvanced: nil graph")
 	}
-	if g.AT == nil {
+	at := g.CachedAT()
+	if at == nil {
 		return nil, errf(StatusPropertyMissing, "BetweennessCentralityAdvanced: G.AT not cached")
 	}
 	n := g.NumNodes()
@@ -56,7 +57,7 @@ func BetweennessCentralityAdvanced[T grb.Value](g *Graph[T], sources []int) (*gr
 	// First frontier: F⟨¬s(P)⟩ = P plus.first A (line 5).
 	semiring := grb.PlusFirst[float64, T]()
 	F := grb.MustMatrix[float64](ns, n)
-	if err := bcFrontierStep(F, P, P, g, semiring); err != nil {
+	if err := bcFrontierStep(F, P, P, g.A, at, semiring); err != nil {
 		return nil, err
 	}
 
@@ -79,7 +80,7 @@ func BetweennessCentralityAdvanced[T grb.Value](g *Graph[T], sources []int) (*gr
 			return nil, wrap(StatusInvalidValue, err, "BC path accumulate")
 		}
 		// F⟨¬s(P), r⟩ = F plus.first A (push) or F·(Aᵀ)ᵀ (pull).
-		if err := bcFrontierStep(F, F, P, g, semiring); err != nil {
+		if err := bcFrontierStep(F, F, P, g.A, at, semiring); err != nil {
 			return nil, err
 		}
 	}
@@ -102,7 +103,7 @@ func BetweennessCentralityAdvanced[T grb.Value](g *Graph[T], sources []int) (*gr
 				return nil, wrap(StatusInvalidValue, err, "BC backward pull")
 			}
 		} else {
-			if err := grb.MxM(W, grb.StructMaskOf(S[i-1]), nil, backSemiring, W, g.AT, grb.DescR); err != nil {
+			if err := grb.MxM(W, grb.StructMaskOf(S[i-1]), nil, backSemiring, W, at, grb.DescR); err != nil {
 				return nil, wrap(StatusInvalidValue, err, "BC backward push")
 			}
 		}
@@ -126,18 +127,19 @@ func BetweennessCentralityAdvanced[T grb.Value](g *Graph[T], sources []int) (*gr
 }
 
 // bcFrontierStep computes out⟨¬s(P), r⟩ = in plus.first A, choosing push
-// (multiply by A) or pull (multiply by G.ATᵀ via the descriptor) from the
-// frontier density. out and in may alias.
-func bcFrontierStep[T grb.Value](out, in, P *grb.Matrix[float64], g *Graph[T], semiring grb.Semiring[float64, T, float64]) error {
+// (multiply by A) or pull (multiply by ATᵀ via the descriptor) from the
+// frontier density. A and at are the caller's snapshots of the adjacency
+// matrix and cached transpose. out and in may alias.
+func bcFrontierStep[T grb.Value](out, in, P *grb.Matrix[float64], A, at *grb.Matrix[T], semiring grb.Semiring[float64, T, float64]) error {
 	ns, n := out.Dims()
 	mask := grb.StructMaskOf(P).Not()
 	if bcUsePull(in, ns, n) {
 		// F = F·(Aᵀ)ᵀ: dot kernel against the cached transpose.
 		return wrap(StatusInvalidValue,
-			grb.MxM(out, mask, nil, semiring, in, g.AT, grb.DescRT1), "BC pull step")
+			grb.MxM(out, mask, nil, semiring, in, at, grb.DescRT1), "BC pull step")
 	}
 	return wrap(StatusInvalidValue,
-		grb.MxM(out, mask, nil, semiring, in, g.A, grb.DescR), "BC push step")
+		grb.MxM(out, mask, nil, semiring, in, A, grb.DescR), "BC push step")
 }
 
 // bcUsePull decides push vs pull from the frontier density (the simple

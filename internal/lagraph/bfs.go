@@ -62,13 +62,14 @@ func BFSParent[T grb.Value](g *Graph[T], src int) (*grb.Vector[int64], error) {
 	if err := validateSource(g, src, "BFSParent"); err != nil {
 		return nil, err
 	}
-	if g.AT == nil {
+	at, rowDegree := g.CachedAT(), g.CachedRowDegree()
+	if at == nil {
 		return nil, errf(StatusPropertyMissing, "BFSParent: G.AT not cached (advanced mode computes nothing; call PropertyAT)")
 	}
-	if g.RowDegree == nil {
+	if rowDegree == nil {
 		return nil, errf(StatusPropertyMissing, "BFSParent: G.RowDegree not cached (call PropertyRowDegree)")
 	}
-	p, _, err := bfsDirOpt(g, src, true, false)
+	p, _, err := bfsDirOpt(g, at, rowDegree, src, true, false)
 	return p, err
 }
 
@@ -79,10 +80,11 @@ func BFSLevel[T grb.Value](g *Graph[T], src int) (*grb.Vector[int32], error) {
 	if err := validateSource(g, src, "BFSLevel"); err != nil {
 		return nil, err
 	}
-	if g.AT == nil || g.RowDegree == nil {
+	at, rowDegree := g.CachedAT(), g.CachedRowDegree()
+	if at == nil || rowDegree == nil {
 		return nil, errf(StatusPropertyMissing, "BFSLevel: G.AT and G.RowDegree must be cached")
 	}
-	_, l, err := bfsDirOpt(g, src, false, true)
+	_, l, err := bfsDirOpt(g, at, rowDegree, src, false, true)
 	return l, err
 }
 
@@ -95,19 +97,19 @@ func BreadthFirstSearch[T grb.Value](g *Graph[T], src int, wantParent, wantLevel
 		return nil, nil, err
 	}
 	var warned bool
-	if g.AT == nil {
+	if g.CachedAT() == nil {
 		if err := g.PropertyAT(); err != nil && !IsWarning(err) {
 			return nil, nil, err
 		}
 		warned = true
 	}
-	if g.RowDegree == nil {
+	if g.CachedRowDegree() == nil {
 		if err := g.PropertyRowDegree(); err != nil && !IsWarning(err) {
 			return nil, nil, err
 		}
 		warned = true
 	}
-	p, l, err := bfsDirOpt(g, src, wantParent, wantLevel)
+	p, l, err := bfsDirOpt(g, g.CachedAT(), g.CachedRowDegree(), src, wantParent, wantLevel)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -118,8 +120,10 @@ func BreadthFirstSearch[T grb.Value](g *Graph[T], src int, wantParent, wantLevel
 }
 
 // bfsDirOpt runs the direction-optimizing BFS, producing the parent and/or
-// level vectors.
-func bfsDirOpt[T grb.Value](g *Graph[T], src int, wantParent, wantLevel bool) (*grb.Vector[int64], *grb.Vector[int32], error) {
+// level vectors. at and rowDegree are the caller's snapshots of the cached
+// properties, taken through the Cached* accessors so concurrent property
+// materialization on g cannot race with the traversal.
+func bfsDirOpt[T grb.Value](g *Graph[T], at *grb.Matrix[T], rowDegree *grb.Vector[int64], src int, wantParent, wantLevel bool) (*grb.Vector[int64], *grb.Vector[int32], error) {
 	n := g.NumNodes()
 	var p *grb.Vector[int64]
 	var l *grb.Vector[int32]
@@ -145,7 +149,7 @@ func bfsDirOpt[T grb.Value](g *Graph[T], src int, wantParent, wantLevel bool) (*
 		// GAP heuristic: compare the frontier's outgoing edges with the
 		// edges left to explore.
 		if doPush {
-			scout := frontierEdges(g, q)
+			scout := frontierEdges(rowDegree, q)
 			edgesUnexplored -= scout
 			if scout > edgesUnexplored/bfsAlphaRatio && nq > 1 {
 				doPush = false
@@ -159,7 +163,7 @@ func bfsDirOpt[T grb.Value](g *Graph[T], src int, wantParent, wantLevel bool) (*
 			err = grb.VxM(q, grb.StructVMaskOf(p).Not(), nil, semiringPush, q, g.A, grb.DescR)
 		} else {
 			// q⟨¬s(p), r⟩ = Aᵀ any.secondi q
-			err = grb.MxV(q, grb.StructVMaskOf(p).Not(), nil, semiringPull, g.AT, q, grb.DescR)
+			err = grb.MxV(q, grb.StructVMaskOf(p).Not(), nil, semiringPull, at, q, grb.DescR)
 		}
 		if err != nil {
 			return nil, nil, wrap(StatusInvalidValue, err, "BFS step")
@@ -213,10 +217,10 @@ func BFSStep[T grb.Value](g *Graph[T], p, q *grb.Vector[int64]) error {
 
 // frontierEdges sums the out-degrees of the frontier vertices (GAP's
 // scout_count).
-func frontierEdges[T grb.Value](g *Graph[T], q *grb.Vector[int64]) int {
+func frontierEdges(rowDegree *grb.Vector[int64], q *grb.Vector[int64]) int {
 	total := 0
 	q.Iterate(func(i int, _ int64) {
-		if d, err := g.RowDegree.ExtractElement(i); err == nil {
+		if d, err := rowDegree.ExtractElement(i); err == nil {
 			total += int(d)
 		}
 	})

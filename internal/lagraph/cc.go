@@ -32,7 +32,7 @@ func ConnectedComponentsAdvanced[T grb.Value](g *Graph[T]) (*grb.Vector[int64], 
 	if g == nil || g.A == nil {
 		return nil, errf(StatusInvalidGraph, "ConnectedComponentsAdvanced: nil graph")
 	}
-	if g.Kind != AdjacencyUndirected && g.ASymmetricPattern != BoolTrue {
+	if g.Kind != AdjacencyUndirected && g.CachedSymmetry() != BoolTrue {
 		return nil, errf(StatusPropertyMissing,
 			"ConnectedComponentsAdvanced: pattern symmetry unknown; cache ASymmetricPattern or use the Basic entry point")
 	}
@@ -50,13 +50,11 @@ func symmetricPattern[T grb.Value](g *Graph[T]) (*grb.Matrix[bool], error) {
 	if err != nil {
 		return nil, err
 	}
-	if g.Kind == AdjacencyUndirected || g.ASymmetricPattern == BoolTrue {
+	if g.Kind == AdjacencyUndirected || g.CachedSymmetry() == BoolTrue {
 		return p, nil
 	}
-	var at *grb.Matrix[T]
-	if g.AT != nil {
-		at = g.AT
-	} else {
+	at := g.CachedAT()
+	if at == nil {
 		at = grb.NewTranspose(g.A)
 	}
 	pt, err := Pattern(at)

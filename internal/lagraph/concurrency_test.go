@@ -1,0 +1,165 @@
+package lagraph
+
+import (
+	"sync"
+	"testing"
+
+	"lagraph/internal/grb"
+)
+
+// randomDigraph builds a small deterministic directed graph for the
+// concurrency tests: n vertices, ~n*deg edges from a multiplicative
+// congruential stream.
+func randomDigraph(t *testing.T, n, deg int) *Graph[float64] {
+	t.Helper()
+	var rows, cols []int
+	var vals []float64
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int(state % uint64(n))
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < deg; k++ {
+			j := next()
+			if j == i {
+				continue
+			}
+			rows = append(rows, i)
+			cols = append(cols, j)
+			vals = append(vals, float64(k+1))
+		}
+	}
+	A, err := grb.MatrixFromTuples(n, n, rows, cols, vals, func(a, b float64) float64 { return a })
+	if err != nil {
+		t.Fatalf("MatrixFromTuples: %v", err)
+	}
+	g, err := New(&A, AdjacencyDirected)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+// TestConcurrentPropertyMemoization hammers one graph's property
+// memoization from many goroutines: every Property* method, every Cached*
+// accessor, and CheckGraph race against each other. Run under -race this
+// verifies the mutex-guarded cache (the seed implementation was racy by
+// construction).
+func TestConcurrentPropertyMemoization(t *testing.T) {
+	g := randomDigraph(t, 300, 8)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	// Sized for the worst case (every call in every iteration failing) so
+	// a regression reports instead of deadlocking on a full channel.
+	errs := make(chan error, workers*4*6)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for it := 0; it < 4; it++ {
+				for _, f := range []func() error{
+					g.PropertyAT,
+					g.PropertyRowDegree,
+					g.PropertyColDegree,
+					g.PropertyASymmetricPattern,
+					g.PropertyNDiag,
+				} {
+					if err := f(); err != nil && !IsWarning(err) {
+						errs <- err
+					}
+				}
+				_ = g.CachedAT()
+				_ = g.CachedRowDegree()
+				_ = g.CachedColDegree()
+				_ = g.CachedSymmetry()
+				_ = g.CachedNDiag()
+				if err := g.CheckGraph(); err != nil {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent property call failed: %v", err)
+	}
+
+	if g.CachedAT() == nil || g.CachedRowDegree() == nil || g.CachedColDegree() == nil {
+		t.Fatal("properties not materialized after hammer")
+	}
+	if g.CachedNDiag() < 0 {
+		t.Fatal("NDiag not materialized after hammer")
+	}
+	want := grb.NewTranspose(g.A)
+	eq, err := IsEqual(g.CachedAT(), want)
+	if err != nil {
+		t.Fatalf("IsEqual: %v", err)
+	}
+	if !eq {
+		t.Fatal("cached AT does not equal the transpose of A")
+	}
+}
+
+// TestConcurrentAlgorithmsShareProperties runs Basic-mode algorithms (which
+// compute missing properties behind the caller's back) concurrently on one
+// graph. The algorithms must agree with a sequential run on an identical
+// graph, and the property cache must come out consistent.
+func TestConcurrentAlgorithmsShareProperties(t *testing.T) {
+	g := randomDigraph(t, 300, 8)
+
+	// Sequential reference on an identical graph.
+	ref := randomDigraph(t, 300, 8)
+	refRank, _, err := PageRank(ref, 0.85, 1e-6, 50)
+	if err != nil && !IsWarning(err) {
+		t.Fatalf("reference PageRank: %v", err)
+	}
+	refParent, _, err := BreadthFirstSearch(ref, 0, true, false)
+	if err != nil && !IsWarning(err) {
+		t.Fatalf("reference BFS: %v", err)
+	}
+
+	const workers = 12
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			switch w % 3 {
+			case 0:
+				r, _, err := PageRank(g, 0.85, 1e-6, 50)
+				if err != nil && !IsWarning(err) {
+					errs <- err
+					return
+				}
+				if eq, err := VectorIsEqual(r, refRank); err != nil || !eq {
+					errs <- errf(StatusInvalidValue, "PageRank diverged from sequential run (eq=%v err=%v)", eq, err)
+				}
+			case 1:
+				p, _, err := BreadthFirstSearch(g, 0, true, false)
+				if err != nil && !IsWarning(err) {
+					errs <- err
+					return
+				}
+				if p.NVals() != refParent.NVals() {
+					errs <- errf(StatusInvalidValue, "BFS reached %d vertices, want %d", p.NVals(), refParent.NVals())
+				}
+			case 2:
+				if _, err := ConnectedComponents(g); err != nil && !IsWarning(err) {
+					errs <- err
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent algorithm failed: %v", err)
+	}
+	if err := g.CheckGraph(); err != nil {
+		t.Fatalf("CheckGraph after concurrent algorithms: %v", err)
+	}
+}

@@ -33,10 +33,8 @@ func CommunityDetectionLabelPropagation[T grb.Value](g *lagraph.Graph[T], maxIte
 	// and outgoing edges; build the combined structure.
 	rows, cols, _ := g.A.ExtractTuples()
 	if g.Kind == lagraph.AdjacencyDirected {
-		var at *grb.Matrix[T]
-		if g.AT != nil {
-			at = g.AT
-		} else {
+		at := g.CachedAT()
+		if at == nil {
 			at = grb.NewTranspose(g.A)
 		}
 		r2, c2, _ := at.ExtractTuples()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"lagraph/internal/grb"
 )
@@ -57,6 +58,13 @@ func (b BoolProp) String() string {
 // Kind) plus cached properties. It is intentionally not opaque — any field
 // may be read or assigned, and code that mutates A is responsible for
 // keeping the cached properties consistent (or calling DeleteProperties).
+//
+// Concurrency: the Property* methods and DeleteProperties are safe to call
+// from multiple goroutines (a mutex guards the cached-property fields, and
+// each property is computed at most once). Concurrent readers must use the
+// Cached* accessors rather than reading the fields directly; direct field
+// access remains valid only for single-goroutine use. A itself is treated
+// as immutable while the graph is shared.
 type Graph[T grb.Value] struct {
 	// primary components
 	A    *grb.Matrix[T]
@@ -68,6 +76,10 @@ type Graph[T grb.Value] struct {
 	ColDegree         *grb.Vector[int64] // in-degrees (entries only where > 0)
 	ASymmetricPattern BoolProp
 	NDiag             int64 // number of self-edges; -1 if unknown
+
+	// mu guards the cached-property fields above. The primary components
+	// are immutable once the graph is shared, so they need no lock.
+	mu sync.Mutex
 }
 
 // New creates a Graph, taking ownership of *A ("move constructor": *A is
@@ -93,6 +105,8 @@ func New[T grb.Value](A **grb.Matrix[T], kind Kind) (*Graph[T], error) {
 // DeleteProperties clears all cached properties, resetting them to unknown
 // (paper §V).
 func (g *Graph[T]) DeleteProperties() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	g.AT = nil
 	g.RowDegree = nil
 	g.ColDegree = nil
@@ -117,6 +131,12 @@ func (g *Graph[T]) NumEdges() int { return g.A.NVals() }
 // graphs AT aliases A (the pattern is symmetric; SS:GrB does the same
 // optimisation conceptually by noting A == Aᵀ).
 func (g *Graph[T]) PropertyAT() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.propertyATLocked()
+}
+
+func (g *Graph[T]) propertyATLocked() error {
 	if g.A == nil {
 		return errf(StatusInvalidGraph, "PropertyAT: graph has no matrix")
 	}
@@ -127,7 +147,9 @@ func (g *Graph[T]) PropertyAT() error {
 		g.AT = g.A
 		return nil
 	}
-	g.AT = grb.NewTranspose(g.A)
+	at := grb.NewTranspose(g.A)
+	at.Wait() // publish a finished matrix so readers never mutate it
+	g.AT = at
 	return nil
 }
 
@@ -135,6 +157,12 @@ func (g *Graph[T]) PropertyAT() error {
 // present only for vertices with degree > 0, which is what the GAP-variant
 // PageRank needs to skip sinks.
 func (g *Graph[T]) PropertyRowDegree() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.propertyRowDegreeLocked()
+}
+
+func (g *Graph[T]) propertyRowDegreeLocked() error {
 	if g.A == nil {
 		return errf(StatusInvalidGraph, "PropertyRowDegree: graph has no matrix")
 	}
@@ -145,6 +173,7 @@ func (g *Graph[T]) PropertyRowDegree() error {
 	if err != nil {
 		return err
 	}
+	deg.Wait()
 	g.RowDegree = deg
 	return nil
 }
@@ -152,6 +181,8 @@ func (g *Graph[T]) PropertyRowDegree() error {
 // PropertyColDegree computes and caches the in-degree vector. For
 // undirected graphs it aliases RowDegree.
 func (g *Graph[T]) PropertyColDegree() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.A == nil {
 		return errf(StatusInvalidGraph, "PropertyColDegree: graph has no matrix")
 	}
@@ -160,7 +191,7 @@ func (g *Graph[T]) PropertyColDegree() error {
 	}
 	if g.Kind == AdjacencyUndirected {
 		if g.RowDegree == nil {
-			if err := g.PropertyRowDegree(); err != nil && !IsWarning(err) {
+			if err := g.propertyRowDegreeLocked(); err != nil && !IsWarning(err) {
 				return err
 			}
 		}
@@ -172,6 +203,7 @@ func (g *Graph[T]) PropertyColDegree() error {
 		if err != nil {
 			return err
 		}
+		deg.Wait()
 		g.ColDegree = deg
 		return nil
 	}
@@ -180,6 +212,7 @@ func (g *Graph[T]) PropertyColDegree() error {
 	if err != nil {
 		return err
 	}
+	deg.Wait()
 	g.ColDegree = deg
 	return nil
 }
@@ -200,6 +233,8 @@ func degreeOf[T grb.Value](A *grb.Matrix[T]) (*grb.Vector[int64], error) {
 // PropertyASymmetricPattern determines whether pattern(A) == pattern(Aᵀ)
 // and caches the answer.
 func (g *Graph[T]) PropertyASymmetricPattern() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.A == nil {
 		return errf(StatusInvalidGraph, "PropertyASymmetricPattern: graph has no matrix")
 	}
@@ -211,7 +246,7 @@ func (g *Graph[T]) PropertyASymmetricPattern() error {
 		return nil
 	}
 	if g.AT == nil {
-		if err := g.PropertyAT(); err != nil && !IsWarning(err) {
+		if err := g.propertyATLocked(); err != nil && !IsWarning(err) {
 			return err
 		}
 	}
@@ -237,6 +272,8 @@ func (g *Graph[T]) PropertyASymmetricPattern() error {
 
 // PropertyNDiag counts self-edges and caches the count.
 func (g *Graph[T]) PropertyNDiag() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.A == nil {
 		return errf(StatusInvalidGraph, "PropertyNDiag: graph has no matrix")
 	}
@@ -250,6 +287,50 @@ func (g *Graph[T]) PropertyNDiag() error {
 	}
 	g.NDiag = int64(d.NVals())
 	return nil
+}
+
+// ---------------------------------------------------------------------------
+// concurrency-safe property accessors
+//
+// The Cached* accessors read the cached-property fields under the graph
+// mutex, so they are safe to call while another goroutine is inside a
+// Property* method. They return the current cache state without computing
+// anything (nil / BoolUnknown / -1 when not cached). Algorithms in this
+// package read properties exclusively through these accessors.
+
+// CachedAT returns the cached transpose, or nil if not cached.
+func (g *Graph[T]) CachedAT() *grb.Matrix[T] {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.AT
+}
+
+// CachedRowDegree returns the cached out-degree vector, or nil.
+func (g *Graph[T]) CachedRowDegree() *grb.Vector[int64] {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.RowDegree
+}
+
+// CachedColDegree returns the cached in-degree vector, or nil.
+func (g *Graph[T]) CachedColDegree() *grb.Vector[int64] {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ColDegree
+}
+
+// CachedSymmetry returns the cached pattern-symmetry property.
+func (g *Graph[T]) CachedSymmetry() BoolProp {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.ASymmetricPattern
+}
+
+// CachedNDiag returns the cached self-edge count, or -1 if unknown.
+func (g *Graph[T]) CachedNDiag() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.NDiag
 }
 
 // ---------------------------------------------------------------------------
@@ -289,17 +370,17 @@ func (g *Graph[T]) CheckGraph() error {
 			return errf(StatusInvalidGraph, "CheckGraph: undirected graph with asymmetric pattern")
 		}
 	}
-	if g.AT != nil {
-		tr, tc := g.AT.Dims()
+	if at := g.CachedAT(); at != nil {
+		tr, tc := at.Dims()
 		if tr != nc || tc != nr {
 			return errf(StatusInvalidGraph, "CheckGraph: cached AT is %dx%d, want %dx%d", tr, tc, nc, nr)
 		}
 	}
-	if g.RowDegree != nil && g.RowDegree.Size() != nr {
-		return errf(StatusInvalidGraph, "CheckGraph: RowDegree length %d, want %d", g.RowDegree.Size(), nr)
+	if rd := g.CachedRowDegree(); rd != nil && rd.Size() != nr {
+		return errf(StatusInvalidGraph, "CheckGraph: RowDegree length %d, want %d", rd.Size(), nr)
 	}
-	if g.ColDegree != nil && g.ColDegree.Size() != nc {
-		return errf(StatusInvalidGraph, "CheckGraph: ColDegree length %d, want %d", g.ColDegree.Size(), nc)
+	if cd := g.CachedColDegree(); cd != nil && cd.Size() != nc {
+		return errf(StatusInvalidGraph, "CheckGraph: ColDegree length %d, want %d", cd.Size(), nc)
 	}
 	return nil
 }
@@ -310,24 +391,24 @@ func (g *Graph[T]) DisplayGraph(w io.Writer) {
 	fmt.Fprintf(w, "LAGraph.Graph: %s, %d nodes, %d entries\n",
 		KindName(g.Kind), g.NumNodes(), g.A.NVals())
 	fmt.Fprintf(w, "  A: %v\n", g.A)
-	if g.AT != nil {
-		fmt.Fprintf(w, "  AT: cached (%v)\n", g.AT)
+	if at := g.CachedAT(); at != nil {
+		fmt.Fprintf(w, "  AT: cached (%v)\n", at)
 	} else {
 		fmt.Fprintln(w, "  AT: unknown")
 	}
 	for _, p := range []struct {
 		name string
 		v    *grb.Vector[int64]
-	}{{"RowDegree", g.RowDegree}, {"ColDegree", g.ColDegree}} {
+	}{{"RowDegree", g.CachedRowDegree()}, {"ColDegree", g.CachedColDegree()}} {
 		if p.v != nil {
 			fmt.Fprintf(w, "  %s: cached (%d entries)\n", p.name, p.v.NVals())
 		} else {
 			fmt.Fprintf(w, "  %s: unknown\n", p.name)
 		}
 	}
-	fmt.Fprintf(w, "  ASymmetricPattern: %s\n", g.ASymmetricPattern)
-	if g.NDiag >= 0 {
-		fmt.Fprintf(w, "  NDiag: %d\n", g.NDiag)
+	fmt.Fprintf(w, "  ASymmetricPattern: %s\n", g.CachedSymmetry())
+	if nd := g.CachedNDiag(); nd >= 0 {
+		fmt.Fprintf(w, "  NDiag: %d\n", nd)
 	} else {
 		fmt.Fprintln(w, "  NDiag: unknown")
 	}
@@ -339,7 +420,8 @@ func (g *Graph[T]) DisplayGraph(w io.Writer) {
 // SampleDegree estimates the mean and median row degree by sampling
 // nsamples rows deterministically (paper §V; the TC heuristic input).
 func (g *Graph[T]) SampleDegree(nsamples int) (mean, median float64, err error) {
-	if g.RowDegree == nil {
+	rowDegree := g.CachedRowDegree()
+	if rowDegree == nil {
 		return 0, 0, errf(StatusPropertyMissing, "SampleDegree: RowDegree not cached")
 	}
 	n := g.NumNodes()
@@ -360,7 +442,7 @@ func (g *Graph[T]) SampleDegree(nsamples int) (mean, median float64, err error) 
 		stride = 1
 	}
 	for i := 0; i < n && len(samples) < nsamples; i += stride {
-		d, e := g.RowDegree.ExtractElement(i)
+		d, e := rowDegree.ExtractElement(i)
 		if e != nil {
 			d = 0 // absent entry = degree 0
 		}
@@ -377,12 +459,13 @@ func (g *Graph[T]) SampleDegree(nsamples int) (mean, median float64, err error) 
 // (ascending when ascending is true), ties broken by vertex id for
 // determinism (paper §V).
 func (g *Graph[T]) SortByDegree(ascending bool) ([]int, error) {
-	if g.RowDegree == nil {
+	rowDegree := g.CachedRowDegree()
+	if rowDegree == nil {
 		return nil, errf(StatusPropertyMissing, "SortByDegree: RowDegree not cached")
 	}
 	n := g.NumNodes()
 	deg := make([]int64, n)
-	g.RowDegree.Iterate(func(i int, d int64) { deg[i] = d })
+	rowDegree.Iterate(func(i int, d int64) { deg[i] = d })
 	perm := make([]int, n)
 	for i := range perm {
 		perm[i] = i

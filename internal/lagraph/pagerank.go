@@ -17,10 +17,11 @@ func PageRankGAP[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*
 	if g == nil || g.A == nil {
 		return nil, 0, errf(StatusInvalidGraph, "PageRankGAP: nil graph")
 	}
-	if g.AT == nil || g.RowDegree == nil {
+	at, rowDegree := g.CachedAT(), g.CachedRowDegree()
+	if at == nil || rowDegree == nil {
 		return nil, 0, errf(StatusPropertyMissing, "PageRankGAP: G.AT and G.RowDegree must be cached")
 	}
-	return pagerank(g, damping, tol, itermax, false)
+	return pagerank(g, at, rowDegree, damping, tol, itermax, false)
 }
 
 // PageRankGX is the Graphalytics variant (Advanced mode): dangling
@@ -30,10 +31,11 @@ func PageRankGX[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*g
 	if g == nil || g.A == nil {
 		return nil, 0, errf(StatusInvalidGraph, "PageRankGX: nil graph")
 	}
-	if g.AT == nil || g.RowDegree == nil {
+	at, rowDegree := g.CachedAT(), g.CachedRowDegree()
+	if at == nil || rowDegree == nil {
 		return nil, 0, errf(StatusPropertyMissing, "PageRankGX: G.AT and G.RowDegree must be cached")
 	}
-	return pagerank(g, damping, tol, itermax, true)
+	return pagerank(g, at, rowDegree, damping, tol, itermax, true)
 }
 
 // PageRank is the Basic-mode entry point: properties are computed and
@@ -44,26 +46,29 @@ func PageRank[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*grb
 		return nil, 0, errf(StatusInvalidGraph, "PageRank: nil graph")
 	}
 	warned := false
-	if g.AT == nil {
+	if g.CachedAT() == nil {
 		if err := g.PropertyAT(); err != nil && !IsWarning(err) {
 			return nil, 0, err
 		}
 		warned = true
 	}
-	if g.RowDegree == nil {
+	if g.CachedRowDegree() == nil {
 		if err := g.PropertyRowDegree(); err != nil && !IsWarning(err) {
 			return nil, 0, err
 		}
 		warned = true
 	}
-	r, it, err := pagerank(g, damping, tol, itermax, true)
+	r, it, err := pagerank(g, g.CachedAT(), g.CachedRowDegree(), damping, tol, itermax, true)
 	if err == nil && warned {
 		return r, it, &Warning{Status: WarnCacheNotComputed, Msg: "PageRank cached graph properties"}
 	}
 	return r, it, err
 }
 
-func pagerank[T grb.Value](g *Graph[T], damping, tol float64, itermax int, handleDangling bool) (*grb.Vector[float64], int, error) {
+// pagerank runs Algorithm 4 against the caller's snapshots of the cached
+// transpose and out-degree vector (taken via the Cached* accessors, so
+// concurrent property materialization cannot race with the iteration).
+func pagerank[T grb.Value](g *Graph[T], at *grb.Matrix[T], rowDegree *grb.Vector[int64], damping, tol float64, itermax int, handleDangling bool) (*grb.Vector[float64], int, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return grb.MustVector[float64](0), 0, nil
@@ -81,7 +86,7 @@ func pagerank[T grb.Value](g *Graph[T], damping, tol float64, itermax int, handl
 	// the intersection w = t div∩ d drops them (GAP semantics).
 	d := grb.MustVector[float64](n)
 	toF := grb.UnaryOp[int64, float64]{Name: "scale", F: func(x int64) float64 { return float64(x) / damping }}
-	if err := grb.ApplyV(d, grb.NoVMask, nil, toF, g.RowDegree, nil); err != nil {
+	if err := grb.ApplyV(d, grb.NoVMask, nil, toF, rowDegree, nil); err != nil {
 		return nil, 0, wrap(StatusInvalidValue, err, "pagerank prescale")
 	}
 
@@ -90,7 +95,7 @@ func pagerank[T grb.Value](g *Graph[T], damping, tol float64, itermax int, handl
 	var sink *grb.Vector[bool]
 	if handleDangling {
 		sink = grb.MustVector[bool](n)
-		if err := grb.AssignVectorScalar(sink, grb.StructVMaskOf(g.RowDegree).Not(), nil, true, grb.All, nil); err != nil {
+		if err := grb.AssignVectorScalar(sink, grb.StructVMaskOf(rowDegree).Not(), nil, true, grb.All, nil); err != nil {
 			return nil, 0, wrap(StatusInvalidValue, err, "pagerank sink mask")
 		}
 	}
@@ -124,7 +129,7 @@ func pagerank[T grb.Value](g *Graph[T], damping, tol float64, itermax int, handl
 		if err := grb.AssignVectorScalar(r, grb.NoVMask, nil, base, grb.All, nil); err != nil {
 			return nil, 0, wrap(StatusInvalidValue, err, "pagerank teleport")
 		}
-		if err := grb.MxV(r, grb.NoVMask, plus, semiring, g.AT, w, nil); err != nil {
+		if err := grb.MxV(r, grb.NoVMask, plus, semiring, at, w, nil); err != nil {
 			return nil, 0, wrap(StatusInvalidValue, err, "pagerank pull")
 		}
 		// t = |t - r|; converged when the 1-norm of the change is small.

@@ -34,13 +34,13 @@ func TriangleCount[T grb.Value](g *Graph[T]) (int64, error) {
 	if g.Kind != AdjacencyUndirected {
 		return 0, errf(StatusInvalidGraph, "TriangleCount: requires an undirected graph")
 	}
-	if g.NDiag < 0 {
+	if g.CachedNDiag() < 0 {
 		if err := g.PropertyNDiag(); err != nil && !IsWarning(err) {
 			return 0, err
 		}
 	}
 	work := g
-	if g.NDiag > 0 {
+	if g.CachedNDiag() > 0 {
 		// Strip self-edges on a copy; the graph itself is left untouched.
 		var zero T
 		stripped := grb.MustMatrix[T](g.A.NRows(), g.A.NCols())
@@ -53,7 +53,7 @@ func TriangleCount[T grb.Value](g *Graph[T]) (int64, error) {
 		}
 		work = w
 	}
-	if work.RowDegree == nil {
+	if work.CachedRowDegree() == nil {
 		if err := work.PropertyRowDegree(); err != nil && !IsWarning(err) {
 			return 0, err
 		}
@@ -77,7 +77,7 @@ func TriangleCountAdvanced[T grb.Value](g *Graph[T], method TCMethod, presort bo
 	A := g.A
 	n := A.NRows()
 	if presort {
-		if g.RowDegree == nil {
+		if g.CachedRowDegree() == nil {
 			return 0, errf(StatusPropertyMissing, "TriangleCountAdvanced: presort needs RowDegree cached")
 		}
 		perm, err := g.SortByDegree(true)

@@ -1,0 +1,420 @@
+// Package registry is the named-graph store behind the lagraphd service:
+// a thread-safe map from names to resident LAGraph graphs, with
+// ref-counting leases, LRU eviction by estimated memory footprint, and
+// per-graph single-flight property materialization so concurrent requests
+// against the same graph share one PropertyAT / PropertyRowDegree
+// computation instead of racing to duplicate it.
+//
+// The paper's LAGraph_Graph caches derived properties precisely so that
+// repeated algorithm invocations on the same graph amortize setup cost;
+// the registry extends that amortization across requests of a long-lived
+// service.
+package registry
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lagraph/internal/lagraph"
+)
+
+// Property names one of the cacheable LAGraph_Graph properties.
+type Property int
+
+const (
+	PropAT Property = iota
+	PropRowDegree
+	PropColDegree
+	PropSymmetry
+	PropNDiag
+	numProperties
+)
+
+func (p Property) String() string {
+	switch p {
+	case PropAT:
+		return "AT"
+	case PropRowDegree:
+		return "RowDegree"
+	case PropColDegree:
+		return "ColDegree"
+	case PropSymmetry:
+		return "ASymmetricPattern"
+	case PropNDiag:
+		return "NDiag"
+	default:
+		return fmt.Sprintf("Property(%d)", int(p))
+	}
+}
+
+// Registry errors, distinguishable by errors.Is.
+var (
+	ErrNotFound    = errors.New("registry: graph not found")
+	ErrExists      = errors.New("registry: graph already exists")
+	ErrNoCapacity  = errors.New("registry: graph does not fit in memory budget")
+	ErrClosed      = errors.New("registry: closed")
+	ErrInvalidName = errors.New("registry: invalid graph name")
+)
+
+// flight is the single-flight slot for one property of one graph.
+type flight struct {
+	once sync.Once
+	err  error
+}
+
+// Entry is one resident graph. All counters are atomics so /stats can
+// snapshot them without taking the registry lock.
+type Entry struct {
+	name  string
+	graph *lagraph.Graph[float64]
+	bytes int64
+
+	refs     atomic.Int64 // outstanding leases
+	loadedAt time.Time
+	lastUsed atomic.Int64 // unix nanos of the last Acquire
+
+	flights [numProperties]flight
+
+	// propRequests counts every EnsureProperties demand; propComputes
+	// counts the demands that actually ran a computation. Their difference
+	// is the number of requests served from the cache — the signal the
+	// /stats endpoint exposes to prove cached-property reuse.
+	propRequests atomic.Int64
+	propComputes atomic.Int64
+	algRuns      atomic.Int64
+
+	elem *list.Element // position in the registry's LRU list
+}
+
+// Name returns the graph's registry name.
+func (e *Entry) Name() string { return e.name }
+
+// Graph returns the resident graph. The caller must hold a lease (see
+// Registry.Acquire) for as long as it uses the returned pointer.
+func (e *Entry) Graph() *lagraph.Graph[float64] { return e.graph }
+
+// Bytes returns the entry's estimated memory footprint.
+func (e *Entry) Bytes() int64 { return e.bytes }
+
+// CountAlgRun records one algorithm invocation against this graph.
+func (e *Entry) CountAlgRun() { e.algRuns.Add(1) }
+
+// EnsureProperties materializes the requested properties, sharing one
+// computation among concurrent callers (single flight per graph per
+// property). Requests that find the property already materialized are
+// cache hits; both totals are exported through Stats.
+func (e *Entry) EnsureProperties(props ...Property) error {
+	for _, p := range props {
+		if p < 0 || p >= numProperties {
+			return fmt.Errorf("registry: unknown property %d", int(p))
+		}
+		e.propRequests.Add(1)
+		f := &e.flights[p]
+		f.once.Do(func() {
+			e.propComputes.Add(1)
+			var err error
+			switch p {
+			case PropAT:
+				err = e.graph.PropertyAT()
+			case PropRowDegree:
+				err = e.graph.PropertyRowDegree()
+			case PropColDegree:
+				err = e.graph.PropertyColDegree()
+			case PropSymmetry:
+				err = e.graph.PropertyASymmetricPattern()
+			case PropNDiag:
+				err = e.graph.PropertyNDiag()
+			}
+			if err != nil && !lagraph.IsWarning(err) {
+				f.err = err
+			}
+		})
+		if f.err != nil {
+			return f.err
+		}
+	}
+	return nil
+}
+
+// Lease is a ref-counted handle on a resident graph. Release must be
+// called exactly once; until then the entry cannot be evicted.
+type Lease struct {
+	entry    *Entry
+	released atomic.Bool
+}
+
+// Entry returns the leased entry.
+func (l *Lease) Entry() *Entry { return l.entry }
+
+// Graph returns the leased graph.
+func (l *Lease) Graph() *lagraph.Graph[float64] { return l.entry.graph }
+
+// Release returns the lease. It is idempotent.
+func (l *Lease) Release() {
+	if l.released.Swap(true) {
+		return
+	}
+	l.entry.refs.Add(-1)
+}
+
+// Registry is the thread-safe named-graph store.
+type Registry struct {
+	mu       sync.Mutex
+	entries  map[string]*Entry
+	lru      *list.List // front = most recently used
+	maxBytes int64
+	curBytes int64
+	closed   bool
+
+	evictions atomic.Int64
+	loads     atomic.Int64
+}
+
+// New creates a registry with the given memory budget in bytes. A budget
+// <= 0 means unlimited.
+func New(maxBytes int64) *Registry {
+	return &Registry{
+		entries:  make(map[string]*Entry),
+		lru:      list.New(),
+		maxBytes: maxBytes,
+	}
+}
+
+// EstimateBytes estimates the resident footprint of a graph: the CSR
+// arrays of A, the projected transpose for directed graphs (undirected
+// graphs alias AT = A), and the degree vectors. The estimate is taken at
+// load time and deliberately includes the not-yet-materialized properties,
+// so eviction decisions do not shift under a graph as its cache warms.
+func EstimateBytes(g *lagraph.Graph[float64]) int64 {
+	n := int64(g.NumNodes())
+	nnz := int64(g.NumEdges())
+	// CSR: ptr (n+1)*8 + idx nnz*8 + val nnz*8.
+	matrix := (n+1)*8 + nnz*16
+	total := matrix
+	if g.Kind == lagraph.AdjacencyDirected {
+		total += matrix // explicit AT
+	}
+	total += 2 * n * 16 // row/col degree vectors (idx + val)
+	return total
+}
+
+// Add registers a graph under name, taking ownership of it. If the memory
+// budget would be exceeded, least-recently-used unleased graphs are
+// evicted first; if the graph still does not fit, Add fails with
+// ErrNoCapacity and the registry is unchanged.
+func (r *Registry) Add(name string, g *lagraph.Graph[float64]) (*Entry, error) {
+	if name == "" {
+		return nil, ErrInvalidName
+	}
+	bytes := EstimateBytes(g)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := r.entries[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	if r.maxBytes > 0 && bytes > r.maxBytes {
+		return nil, fmt.Errorf("%w: %q needs %d bytes, budget is %d", ErrNoCapacity, name, bytes, r.maxBytes)
+	}
+	if r.maxBytes > 0 {
+		if err := r.evictLocked(r.maxBytes - bytes); err != nil {
+			return nil, fmt.Errorf("%w: %q needs %d bytes, %d in use and pinned", ErrNoCapacity, name, bytes, r.curBytes)
+		}
+	}
+	e := &Entry{name: name, graph: g, bytes: bytes, loadedAt: time.Now()}
+	e.lastUsed.Store(time.Now().UnixNano())
+	e.elem = r.lru.PushFront(e)
+	r.entries[name] = e
+	r.curBytes += bytes
+	r.loads.Add(1)
+	return e, nil
+}
+
+// evictLocked removes least-recently-used entries with no outstanding
+// leases until curBytes <= budget. Returns an error when the budget cannot
+// be met because every remaining entry is leased.
+func (r *Registry) evictLocked(budget int64) error {
+	if budget < 0 {
+		budget = 0
+	}
+	for r.curBytes > budget {
+		victim := (*Entry)(nil)
+		for el := r.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*Entry)
+			if e.refs.Load() == 0 {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return ErrNoCapacity
+		}
+		r.removeLocked(victim)
+		r.evictions.Add(1)
+	}
+	return nil
+}
+
+func (r *Registry) removeLocked(e *Entry) {
+	delete(r.entries, e.name)
+	r.lru.Remove(e.elem)
+	r.curBytes -= e.bytes
+}
+
+// Acquire leases the named graph, bumping its ref-count and LRU position.
+func (r *Registry) Acquire(name string) (*Lease, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	e, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	e.refs.Add(1)
+	e.lastUsed.Store(time.Now().UnixNano())
+	r.lru.MoveToFront(e.elem)
+	return &Lease{entry: e}, nil
+}
+
+// Remove deletes the named graph from the registry. Outstanding leases
+// keep the underlying graph alive until released, but the name becomes
+// free immediately and the memory accounting drops the entry.
+func (r *Registry) Remove(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.entries[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	r.removeLocked(e)
+	return nil
+}
+
+// Close empties the registry; further operations fail with ErrClosed.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+	r.entries = make(map[string]*Entry)
+	r.lru.Init()
+	r.curBytes = 0
+}
+
+// GraphInfo is the per-graph stats snapshot.
+type GraphInfo struct {
+	Name       string   `json:"name"`
+	Kind       string   `json:"kind"`
+	Nodes      int      `json:"nodes"`
+	Edges      int      `json:"edges"`
+	Bytes      int64    `json:"bytes"`
+	Refs       int64    `json:"refs"`
+	LoadedAt   string   `json:"loaded_at"`
+	CachedProp []string `json:"cached_properties"`
+
+	PropertyRequests int64 `json:"property_requests"`
+	PropertyComputes int64 `json:"property_computes"`
+	PropertyHits     int64 `json:"property_hits"`
+	AlgRuns          int64 `json:"algorithm_runs"`
+}
+
+// Stats is the registry-wide stats snapshot.
+type Stats struct {
+	Graphs    []GraphInfo `json:"graphs"`
+	CurBytes  int64       `json:"bytes_in_use"`
+	MaxBytes  int64       `json:"bytes_budget"`
+	Evictions int64       `json:"evictions"`
+	Loads     int64       `json:"loads"`
+}
+
+// Info snapshots this entry's statistics. It reads only atomics and the
+// graph's own synchronized accessors, so no registry lock is needed.
+func (e *Entry) Info() GraphInfo { return infoOf(e) }
+
+// Info returns one resident graph's info by name.
+func (r *Registry) Info(name string) (GraphInfo, bool) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return GraphInfo{}, false
+	}
+	return infoOf(e), true
+}
+
+// infoOf snapshots one entry.
+func infoOf(e *Entry) GraphInfo {
+	g := e.graph
+	var cached []string
+	if g.CachedAT() != nil {
+		cached = append(cached, PropAT.String())
+	}
+	if g.CachedRowDegree() != nil {
+		cached = append(cached, PropRowDegree.String())
+	}
+	if g.CachedColDegree() != nil {
+		cached = append(cached, PropColDegree.String())
+	}
+	if g.CachedSymmetry() != lagraph.BoolUnknown {
+		cached = append(cached, PropSymmetry.String())
+	}
+	if g.CachedNDiag() >= 0 {
+		cached = append(cached, PropNDiag.String())
+	}
+	req := e.propRequests.Load()
+	comp := e.propComputes.Load()
+	return GraphInfo{
+		Name:             e.name,
+		Kind:             lagraph.KindName(g.Kind),
+		Nodes:            g.NumNodes(),
+		Edges:            g.NumEdges(),
+		Bytes:            e.bytes,
+		Refs:             e.refs.Load(),
+		LoadedAt:         e.loadedAt.UTC().Format(time.RFC3339),
+		CachedProp:       cached,
+		PropertyRequests: req,
+		PropertyComputes: comp,
+		PropertyHits:     req - comp,
+		AlgRuns:          e.algRuns.Load(),
+	}
+}
+
+// List returns info for every resident graph, sorted by name.
+func (r *Registry) List() []GraphInfo {
+	r.mu.Lock()
+	entries := make([]*Entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	out := make([]GraphInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, infoOf(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// StatsSnapshot returns the full registry statistics.
+func (r *Registry) StatsSnapshot() Stats {
+	graphs := r.List()
+	r.mu.Lock()
+	s := Stats{
+		Graphs:    graphs,
+		CurBytes:  r.curBytes,
+		MaxBytes:  r.maxBytes,
+		Evictions: r.evictions.Load(),
+		Loads:     r.loads.Load(),
+	}
+	r.mu.Unlock()
+	return s
+}

@@ -1,0 +1,204 @@
+package registry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+)
+
+// loadGraph builds a small synthetic graph through the same path the
+// server uses.
+func loadGraph(t *testing.T, name string, scale int, directed bool) *lagraph.Graph[float64] {
+	t.Helper()
+	var e *gen.EdgeList
+	if directed {
+		e = gen.Twitter(scale, 4, 7)
+	} else {
+		e = gen.Kron(scale, 4, 7)
+	}
+	ptr, idx, vals := e.CSR()
+	A, err := grb.ImportCSR(e.N, e.N, ptr, idx, vals, false)
+	if err != nil {
+		t.Fatalf("ImportCSR: %v", err)
+	}
+	kind := lagraph.AdjacencyUndirected
+	if directed {
+		kind = lagraph.AdjacencyDirected
+	}
+	g, err := lagraph.New(&A, kind)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return g
+}
+
+func TestAddAcquireRemove(t *testing.T) {
+	r := New(0)
+	g := loadGraph(t, "g", 6, true)
+	if _, err := r.Add("g", g); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if _, err := r.Add("g", loadGraph(t, "g", 5, true)); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate Add: got %v, want ErrExists", err)
+	}
+	l, err := r.Acquire("g")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if l.Graph() != g {
+		t.Fatal("lease returned a different graph")
+	}
+	if _, err := r.Acquire("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Acquire missing: got %v, want ErrNotFound", err)
+	}
+	if err := r.Remove("g"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	// The lease still works after removal; release is idempotent.
+	if l.Graph().NumNodes() == 0 {
+		t.Fatal("leased graph unusable after Remove")
+	}
+	l.Release()
+	l.Release()
+	if err := r.Remove("g"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("second Remove: got %v, want ErrNotFound", err)
+	}
+}
+
+func TestLRUEvictionRespectsLeases(t *testing.T) {
+	small := loadGraph(t, "a", 5, true)
+	per := EstimateBytes(small)
+	// Budget fits two graphs of this size but not three.
+	r := New(2*per + per/2)
+
+	if _, err := r.Add("a", small); err != nil {
+		t.Fatalf("Add a: %v", err)
+	}
+	if _, err := r.Add("b", loadGraph(t, "b", 5, true)); err != nil {
+		t.Fatalf("Add b: %v", err)
+	}
+	// Touch "a" so "b" is the LRU victim.
+	la, err := r.Acquire("a")
+	if err != nil {
+		t.Fatalf("Acquire a: %v", err)
+	}
+	la.Release()
+
+	if _, err := r.Add("c", loadGraph(t, "c", 5, true)); err != nil {
+		t.Fatalf("Add c (should evict b): %v", err)
+	}
+	if _, err := r.Acquire("b"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("b should have been evicted, Acquire got %v", err)
+	}
+	la2, err := r.Acquire("a")
+	if err != nil {
+		t.Fatalf("a should have survived: %v", err)
+	}
+	la2.Release()
+	if got := r.StatsSnapshot().Evictions; got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+
+	// Pin both residents: the next Add must fail rather than evict.
+	lc, err := r.Acquire("c")
+	if err != nil {
+		t.Fatalf("Acquire c: %v", err)
+	}
+	defer lc.Release()
+	la3, err := r.Acquire("a")
+	if err != nil {
+		t.Fatalf("Acquire a: %v", err)
+	}
+	if _, err := r.Add("d", loadGraph(t, "d", 5, true)); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("Add with all entries pinned: got %v, want ErrNoCapacity", err)
+	}
+	// Unpin "a": the next Add succeeds by evicting it.
+	la3.Release()
+	if _, err := r.Add("e", loadGraph(t, "e", 5, true)); err != nil {
+		t.Fatalf("Add with one evictable entry: %v", err)
+	}
+	if _, err := r.Acquire("a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("a should have been evicted for e, Acquire got %v", err)
+	}
+}
+
+func TestOversizeGraphRejected(t *testing.T) {
+	g := loadGraph(t, "g", 6, true)
+	r := New(EstimateBytes(g) - 1)
+	if _, err := r.Add("g", g); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("oversize Add: got %v, want ErrNoCapacity", err)
+	}
+}
+
+func TestSingleFlightPropertyMaterialization(t *testing.T) {
+	r := New(0)
+	e, err := r.Add("g", loadGraph(t, "g", 7, true))
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+
+	const callers = 16
+	var wg sync.WaitGroup
+	errs := make(chan error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := e.EnsureProperties(PropAT, PropRowDegree); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("EnsureProperties: %v", err)
+	}
+
+	if e.Graph().CachedAT() == nil || e.Graph().CachedRowDegree() == nil {
+		t.Fatal("properties not materialized")
+	}
+	info := r.List()[0]
+	if info.PropertyComputes != 2 {
+		t.Fatalf("property computes = %d, want 2 (one per property, shared by %d callers)", info.PropertyComputes, callers)
+	}
+	if info.PropertyRequests != 2*callers {
+		t.Fatalf("property requests = %d, want %d", info.PropertyRequests, 2*callers)
+	}
+	if info.PropertyHits != 2*callers-2 {
+		t.Fatalf("property hits = %d, want %d", info.PropertyHits, 2*callers-2)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	r := New(0)
+	e, err := r.Add("und", loadGraph(t, "und", 5, false))
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if err := e.EnsureProperties(PropAT, PropRowDegree, PropColDegree, PropSymmetry, PropNDiag); err != nil {
+		t.Fatalf("EnsureProperties: %v", err)
+	}
+	e.CountAlgRun()
+	s := r.StatsSnapshot()
+	if len(s.Graphs) != 1 {
+		t.Fatalf("graphs = %d, want 1", len(s.Graphs))
+	}
+	gi := s.Graphs[0]
+	if gi.Kind != "undirected" || gi.Nodes == 0 || gi.Edges == 0 {
+		t.Fatalf("bad graph info: %+v", gi)
+	}
+	if len(gi.CachedProp) != 5 {
+		t.Fatalf("cached properties = %v, want all 5", gi.CachedProp)
+	}
+	if gi.AlgRuns != 1 {
+		t.Fatalf("alg runs = %d, want 1", gi.AlgRuns)
+	}
+	if s.CurBytes != gi.Bytes {
+		t.Fatalf("bytes in use %d != entry bytes %d", s.CurBytes, gi.Bytes)
+	}
+}

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+	"lagraph/internal/registry"
+)
+
+// algoParams is the JSON body of POST /graphs/{name}/algorithms/{alg}.
+// Every field is optional; algorithms pick sensible defaults.
+type algoParams struct {
+	Source  int   `json:"source"`
+	Sources []int `json:"sources"` // bc batch
+
+	Damping float64 `json:"damping"` // pagerank
+	Tol     float64 `json:"tol"`
+	MaxIter int     `json:"max_iter"`
+	Variant string  `json:"variant"` // pagerank: "gap" (default) | "gx"
+
+	Delta float64 `json:"delta"` // sssp bucket width
+
+	Level bool `json:"level"` // bfs: also return levels
+
+	Limit int `json:"limit"` // max entries echoed per vector (default 32)
+}
+
+// vecSummary is the JSON shape of a sparse result vector: total entry
+// count plus the first Limit entries.
+type vecSummary struct {
+	NVals     int        `json:"nvals"`
+	Entries   []vecEntry `json:"entries"`
+	Truncated bool       `json:"truncated"`
+}
+
+type vecEntry struct {
+	I int     `json:"i"`
+	V float64 `json:"v"`
+}
+
+func summarize[T grb.Number](v *grb.Vector[T], limit int) *vecSummary {
+	if v == nil {
+		return nil
+	}
+	s := &vecSummary{NVals: v.NVals(), Entries: []vecEntry{}}
+	v.Iterate(func(i int, x T) {
+		if len(s.Entries) < limit {
+			s.Entries = append(s.Entries, vecEntry{I: i, V: float64(x)})
+		} else {
+			s.Truncated = true
+		}
+	})
+	return s
+}
+
+// algoResponse is the common envelope of algorithm results.
+type algoResponse struct {
+	Graph     string `json:"graph"`
+	Algorithm string `json:"algorithm"`
+
+	Seconds    float64 `json:"seconds"`
+	Iterations int     `json:"iterations,omitempty"`
+
+	Triangles  *int64 `json:"triangles,omitempty"`
+	Components *int   `json:"components,omitempty"`
+	Reached    *int   `json:"reached,omitempty"`
+
+	Parent     *vecSummary `json:"parent,omitempty"`
+	Level      *vecSummary `json:"level,omitempty"`
+	Ranks      *vecSummary `json:"ranks,omitempty"`
+	Labels     *vecSummary `json:"labels,omitempty"`
+	Distances  *vecSummary `json:"distances,omitempty"`
+	Centrality *vecSummary `json:"centrality,omitempty"`
+}
+
+// handleAlgorithm leases the named graph, materializes the properties the
+// algorithm needs through the registry's single flight, runs it, and
+// returns a JSON summary.
+func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
+	name, alg := r.PathValue("name"), r.PathValue("alg")
+
+	// Parameter bodies are tiny; a 1 MiB cap keeps a hostile request from
+	// buffering arbitrary JSON (uploads have their own, larger cap).
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var p algoParams
+	if err := decodeJSONBody(r, &p); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if p.Limit <= 0 {
+		p.Limit = 32
+	}
+	if p.Limit > 1<<20 {
+		p.Limit = 1 << 20
+	}
+
+	lease, err := s.reg.Acquire(name)
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	defer lease.Release()
+	entry := lease.Entry()
+	g := lease.Graph()
+
+	if err := entry.EnsureProperties(requiredProperties(alg, g)...); err != nil {
+		s.algErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+
+	resp := algoResponse{Graph: name, Algorithm: alg}
+	start := time.Now()
+	err = runAlgorithm(alg, g, &p, &resp)
+	resp.Seconds = time.Since(start).Seconds()
+	if err != nil {
+		s.algErrors.Add(1)
+		status := http.StatusBadRequest
+		if isUnknownAlg(err) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, err.Error())
+		return
+	}
+	entry.CountAlgRun()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// requiredProperties maps an algorithm to the cached properties it wants,
+// so the registry materializes them once per graph instead of every
+// Basic-mode call racing to compute its own.
+func requiredProperties(alg string, g *lagraph.Graph[float64]) []registry.Property {
+	switch alg {
+	case "bfs", "pagerank":
+		return []registry.Property{registry.PropAT, registry.PropRowDegree}
+	case "bc":
+		return []registry.Property{registry.PropAT}
+	case "cc":
+		if g.Kind == lagraph.AdjacencyDirected {
+			return []registry.Property{registry.PropAT, registry.PropSymmetry}
+		}
+		return nil
+	case "tc":
+		return []registry.Property{registry.PropNDiag, registry.PropRowDegree}
+	default:
+		return nil
+	}
+}
+
+var errUnknownAlg = errors.New("unknown algorithm")
+
+func isUnknownAlg(err error) bool { return errors.Is(err, errUnknownAlg) }
+
+// runAlgorithm dispatches one algorithm call. Properties the algorithm
+// requires are already materialized, so only Advanced-mode (non-caching)
+// entry points run here and concurrent calls never mutate the graph.
+func runAlgorithm(alg string, g *lagraph.Graph[float64], p *algoParams, resp *algoResponse) error {
+	switch alg {
+	case "bfs":
+		parent, level, err := lagraph.BreadthFirstSearch(g, p.Source, true, p.Level)
+		if err != nil && !lagraph.IsWarning(err) {
+			return err
+		}
+		reached := parent.NVals()
+		resp.Reached = &reached
+		resp.Parent = summarize(parent, p.Limit)
+		if p.Level {
+			resp.Level = summarize(level, p.Limit)
+		}
+		return nil
+
+	case "pagerank":
+		damping, tol, iters := p.Damping, p.Tol, p.MaxIter
+		if damping == 0 {
+			damping = 0.85
+		}
+		if tol == 0 {
+			tol = 1e-4
+		}
+		if iters == 0 {
+			iters = 100
+		}
+		var (
+			ranks *grb.Vector[float64]
+			n     int
+			err   error
+		)
+		switch p.Variant {
+		case "", "gap":
+			ranks, n, err = lagraph.PageRankGAP(g, damping, tol, iters)
+		case "gx":
+			ranks, n, err = lagraph.PageRankGX(g, damping, tol, iters)
+		default:
+			return fmt.Errorf("unknown pagerank variant %q (gap|gx)", p.Variant)
+		}
+		if err != nil && !lagraph.IsWarning(err) {
+			return err
+		}
+		resp.Iterations = n
+		resp.Ranks = summarize(ranks, p.Limit)
+		return nil
+
+	case "cc":
+		labels, err := lagraph.ConnectedComponents(g)
+		if err != nil && !lagraph.IsWarning(err) {
+			return err
+		}
+		comps := map[int64]struct{}{}
+		labels.Iterate(func(_ int, x int64) { comps[x] = struct{}{} })
+		n := len(comps)
+		resp.Components = &n
+		resp.Labels = summarize(labels, p.Limit)
+		return nil
+
+	case "sssp":
+		delta := p.Delta
+		if delta <= 0 {
+			delta = 64 // the harness default for GAP-convention [1,255] weights
+		}
+		dist, err := lagraph.SSSPDeltaStepping(g, p.Source, delta)
+		if err != nil && !lagraph.IsWarning(err) {
+			return err
+		}
+		// Unreachable vertices hold +inf, which JSON cannot carry; report
+		// reachable distances only.
+		sum := &vecSummary{Entries: []vecEntry{}}
+		dist.Iterate(func(i int, d float64) {
+			if !lagraph.Reachable(d) {
+				return
+			}
+			sum.NVals++
+			if len(sum.Entries) < p.Limit {
+				sum.Entries = append(sum.Entries, vecEntry{I: i, V: d})
+			} else {
+				sum.Truncated = true
+			}
+		})
+		resp.Reached = &sum.NVals
+		resp.Distances = sum
+		return nil
+
+	case "tc":
+		count, err := lagraph.TriangleCount(g)
+		if err != nil && !lagraph.IsWarning(err) {
+			return err
+		}
+		resp.Triangles = &count
+		return nil
+
+	case "bc":
+		sources := p.Sources
+		if len(sources) == 0 {
+			sources = []int{p.Source}
+		}
+		// The frontier matrices are ns x n; bound the batch so one request
+		// cannot exhaust memory (the GAP convention is 4 sources).
+		if len(sources) > 64 {
+			return fmt.Errorf("bc source batch too large: %d > 64", len(sources))
+		}
+		cent, err := lagraph.BetweennessCentralityAdvanced(g, sources)
+		if err != nil && !lagraph.IsWarning(err) {
+			return err
+		}
+		resp.Centrality = summarize(cent, p.Limit)
+		return nil
+
+	default:
+		return fmt.Errorf("%w %q (bfs|pagerank|cc|sssp|tc|bc)", errUnknownAlg, alg)
+	}
+}
+
+// decodeJSONBody parses an optional JSON request body into v. An empty
+// body is fine (all-default parameters); trailing garbage is not.
+func decodeJSONBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("bad JSON body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("bad JSON body: trailing data")
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+	"lagraph/internal/registry"
+)
+
+// loadSpec is the JSON body of POST /graphs when loading a synthetic
+// graph from internal/gen.
+type loadSpec struct {
+	Name       string `json:"name"`
+	Class      string `json:"class"` // kron | urand | twitter | web | road
+	Scale      int    `json:"scale"`
+	EdgeFactor int    `json:"edge_factor"`
+	Seed       uint64 `json:"seed"`
+	Weights    bool   `json:"weights"`
+	WeightLo   int    `json:"weight_lo"`
+	WeightHi   int    `json:"weight_hi"`
+}
+
+// loadResponse is returned by POST /graphs.
+type loadResponse struct {
+	registry.GraphInfo
+	Source  string  `json:"source"` // "synthetic" | "matrixmarket" | "binary"
+	Seconds float64 `json:"seconds"`
+}
+
+// maxLoadScale bounds synthetic generation so one request cannot occupy
+// the machine for minutes.
+const maxLoadScale = 22
+
+// handleLoadGraph loads a graph into the registry. The load path is
+// chosen by Content-Type / ?format:
+//
+//	application/json                   → synthetic spec (internal/gen)
+//	?format=mm  (or Content-Type text) → Matrix Market upload, ?kind=
+//	?format=bin                        → LAGraph binary upload, ?kind=
+func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
+
+	var (
+		name   string
+		g      *lagraph.Graph[float64]
+		source string
+		err    error
+	)
+	format := strings.ToLower(r.URL.Query().Get("format"))
+	ctype := r.Header.Get("Content-Type")
+	switch {
+	case format == "" && strings.HasPrefix(ctype, "application/json"):
+		name, g, err = s.loadSynthetic(r)
+		source = "synthetic"
+	case format == "mm":
+		name, g, err = s.loadUpload(r, "mm")
+		source = "matrixmarket"
+	case format == "bin":
+		name, g, err = s.loadUpload(r, "bin")
+		source = "binary"
+	default:
+		writeError(w, http.StatusUnsupportedMediaType,
+			"specify a JSON synthetic spec (Content-Type: application/json) or ?format=mm|bin upload")
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	entry, err := s.reg.Add(name, g)
+	if err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, loadResponse{
+		GraphInfo: entry.Info(),
+		Source:    source,
+		Seconds:   time.Since(start).Seconds(),
+	})
+}
+
+// loadSynthetic builds a graph from a generator spec.
+func (s *Server) loadSynthetic(r *http.Request) (string, *lagraph.Graph[float64], error) {
+	var spec loadSpec
+	if err := decodeJSONBody(r, &spec); err != nil {
+		return "", nil, err
+	}
+	if spec.Name == "" {
+		return "", nil, errors.New("missing graph name")
+	}
+	if spec.Scale < 1 || spec.Scale > maxLoadScale {
+		return "", nil, fmt.Errorf("scale %d outside [1,%d]", spec.Scale, maxLoadScale)
+	}
+	if spec.EdgeFactor <= 0 {
+		spec.EdgeFactor = 8
+	}
+	var e *gen.EdgeList
+	switch strings.ToLower(spec.Class) {
+	case "kron":
+		e = gen.Kron(spec.Scale, spec.EdgeFactor, spec.Seed)
+	case "urand":
+		e = gen.Urand(spec.Scale, spec.EdgeFactor, spec.Seed)
+	case "twitter":
+		e = gen.Twitter(spec.Scale, spec.EdgeFactor, spec.Seed)
+	case "web":
+		e = gen.Web(spec.Scale, spec.EdgeFactor, spec.Seed)
+	case "road":
+		e = gen.Road(1<<(spec.Scale/2), spec.Seed)
+	default:
+		return "", nil, fmt.Errorf("unknown graph class %q (kron|urand|twitter|web|road)", spec.Class)
+	}
+	if spec.Weights {
+		lo, hi := spec.WeightLo, spec.WeightHi
+		if lo <= 0 || hi < lo {
+			lo, hi = 1, 255 // the GAP SSSP convention
+		}
+		e.AddUniformWeights(spec.Seed+17, lo, hi)
+	}
+	g, err := graphFromEdgeList(e)
+	return spec.Name, g, err
+}
+
+func graphFromEdgeList(e *gen.EdgeList) (*lagraph.Graph[float64], error) {
+	ptr, idx, vals := e.CSR()
+	A, err := grb.ImportCSR(e.N, e.N, ptr, idx, vals, false)
+	if err != nil {
+		return nil, err
+	}
+	kind := lagraph.AdjacencyUndirected
+	if e.Directed {
+		kind = lagraph.AdjacencyDirected
+	}
+	return lagraph.New(&A, kind)
+}
+
+// loadUpload reads a Matrix Market or binary matrix from the request body.
+func (s *Server) loadUpload(r *http.Request, format string) (string, *lagraph.Graph[float64], error) {
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		return "", nil, errors.New("missing ?name= for upload")
+	}
+	kind := lagraph.AdjacencyDirected
+	switch strings.ToLower(q.Get("kind")) {
+	case "", "directed":
+	case "undirected":
+		kind = lagraph.AdjacencyUndirected
+	default:
+		return "", nil, fmt.Errorf("unknown kind %q (directed|undirected)", q.Get("kind"))
+	}
+	var (
+		A   *grb.Matrix[float64]
+		err error
+	)
+	if format == "mm" {
+		A, err = lagraph.MMRead(r.Body)
+	} else {
+		A, err = lagraph.BinRead(r.Body)
+	}
+	if err != nil {
+		return "", nil, err
+	}
+	g, err := lagraph.New(&A, kind)
+	if err != nil {
+		return "", nil, err
+	}
+	// An undirected load asserts a symmetric pattern; verify rather than
+	// trust the caller (CheckGraph is the paper's safety valve for the
+	// non-opaque graph).
+	if kind == lagraph.AdjacencyUndirected {
+		if err := g.CheckGraph(); err != nil {
+			return "", nil, fmt.Errorf("undirected upload rejected: %w", err)
+		}
+	}
+	return name, g, nil
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": s.reg.List()})
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if info, ok := s.reg.Info(name); ok {
+		writeJSON(w, http.StatusOK, info)
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Sprintf("graph %q not found", name))
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := s.reg.Remove(name); err != nil {
+		writeRegistryError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
+}
+
+func writeRegistryError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, registry.ErrNotFound):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, registry.ErrExists):
+		writeError(w, http.StatusConflict, err.Error())
+	case errors.Is(err, registry.ErrNoCapacity):
+		writeError(w, http.StatusInsufficientStorage, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}

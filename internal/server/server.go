@@ -1,0 +1,142 @@
+// Package server exposes the graph registry as an HTTP/JSON service — the
+// lagraphd API. Endpoints:
+//
+//	POST   /graphs                          load a graph (JSON synthetic spec,
+//	                                        Matrix Market or binary upload)
+//	GET    /graphs                          list resident graphs
+//	GET    /graphs/{name}                   one graph's info
+//	DELETE /graphs/{name}                   drop a graph
+//	POST   /graphs/{name}/algorithms/{alg}  run bfs|pagerank|cc|sssp|tc|bc
+//	GET    /healthz                         liveness probe
+//	GET    /stats                           registry + server counters
+//
+// Requests against the same graph share its cached properties: the first
+// PageRank materializes the transpose and degree vector once (single
+// flight), every later call reuses them — visible in /stats as
+// property_hits climbing while property_computes stays flat.
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"lagraph/internal/parallel"
+	"lagraph/internal/registry"
+)
+
+// Options configures the service.
+type Options struct {
+	// MaxInFlight bounds concurrently served API requests; requests beyond
+	// the bound queue until a slot frees or the client gives up. <= 0
+	// selects 2 × the parallel worker bound (kernel-level parallelism and
+	// request-level parallelism share the same cores).
+	MaxInFlight int
+	// MaxUploadBytes caps POST /graphs request bodies. <= 0 means 64 MiB.
+	MaxUploadBytes int64
+}
+
+// Server is the lagraphd HTTP service.
+type Server struct {
+	reg  *registry.Registry
+	mux  *http.ServeMux
+	sem  chan struct{}
+	opts Options
+
+	started   time.Time
+	requests  atomic.Int64 // API requests admitted through the limiter
+	rejected  atomic.Int64 // API requests abandoned while queued
+	algErrors atomic.Int64
+}
+
+// New builds a Server around an existing registry.
+func New(reg *registry.Registry, opts Options) *Server {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 2 * parallel.MaxThreads()
+	}
+	if opts.MaxUploadBytes <= 0 {
+		opts.MaxUploadBytes = 64 << 20
+	}
+	s := &Server{
+		reg:     reg,
+		mux:     http.NewServeMux(),
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		opts:    opts,
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("POST /graphs", s.limited(s.handleLoadGraph))
+	s.mux.HandleFunc("GET /graphs", s.limited(s.handleListGraphs))
+	s.mux.HandleFunc("GET /graphs/{name}", s.limited(s.handleGetGraph))
+	s.mux.HandleFunc("DELETE /graphs/{name}", s.limited(s.handleDeleteGraph))
+	s.mux.HandleFunc("POST /graphs/{name}/algorithms/{alg}", s.limited(s.handleAlgorithm))
+	// Monitoring endpoints bypass the limiter so they answer under load.
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// limited wraps a handler with the request-concurrency limiter: a
+// semaphore sized to Options.MaxInFlight. A queued request that loses its
+// client (context cancelled) is released with 503.
+func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		case <-r.Context().Done():
+			s.rejected.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "server busy, request abandoned while queued")
+			return
+		}
+		defer func() { <-s.sem }()
+		s.requests.Add(1)
+		h(w, r)
+	}
+}
+
+// serverStats is the /stats payload.
+type serverStats struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	MaxInFlight   int            `json:"max_in_flight"`
+	InFlight      int            `json:"in_flight"`
+	Requests      int64          `json:"requests"`
+	Rejected      int64          `json:"rejected"`
+	AlgErrors     int64          `json:"algorithm_errors"`
+	Registry      registry.Stats `json:"registry"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, serverStats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		MaxInFlight:   s.opts.MaxInFlight,
+		InFlight:      len(s.sem),
+		Requests:      s.requests.Load(),
+		Rejected:      s.rejected.Load(),
+		AlgErrors:     s.algErrors.Load(),
+		Registry:      s.reg.StatsSnapshot(),
+	})
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}

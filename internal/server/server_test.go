@@ -1,0 +1,312 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"lagraph/internal/registry"
+)
+
+// newTestServer spins up the full handler stack over httptest.
+func newTestServer(t *testing.T, maxBytes int64) (*httptest.Server, *registry.Registry) {
+	t.Helper()
+	reg := registry.New(maxBytes)
+	ts := httptest.NewServer(New(reg, Options{}).Handler())
+	t.Cleanup(ts.Close)
+	return ts, reg
+}
+
+// doJSON posts a JSON body and decodes the JSON response.
+func doJSON(t *testing.T, method, url string, body any) (int, map[string]any) {
+	t.Helper()
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatalf("NewRequest: %v", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil && err != io.EOF {
+		t.Fatalf("%s %s: decode: %v", method, url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// loadSynthetic loads one generated graph and fails the test on error.
+func loadSyntheticGraph(t *testing.T, base, name, class string, scale int) {
+	t.Helper()
+	code, body := doJSON(t, "POST", base+"/graphs", map[string]any{
+		"name": name, "class": class, "scale": scale, "edge_factor": 4, "seed": 42,
+	})
+	if code != http.StatusCreated {
+		t.Fatalf("load %s: status %d, body %v", name, code, body)
+	}
+}
+
+func TestGraphLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+
+	if code, body := doJSON(t, "GET", ts.URL+"/healthz", nil); code != 200 || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+
+	loadSyntheticGraph(t, ts.URL, "k", "kron", 6)
+
+	code, body := doJSON(t, "GET", ts.URL+"/graphs", nil)
+	if code != 200 {
+		t.Fatalf("list: %d", code)
+	}
+	graphs := body["graphs"].([]any)
+	if len(graphs) != 1 {
+		t.Fatalf("list: %d graphs, want 1", len(graphs))
+	}
+	g0 := graphs[0].(map[string]any)
+	if g0["name"] != "k" || g0["kind"] != "undirected" || g0["nodes"].(float64) != 64 {
+		t.Fatalf("list entry: %v", g0)
+	}
+
+	if code, _ := doJSON(t, "GET", ts.URL+"/graphs/k", nil); code != 200 {
+		t.Fatalf("get: %d", code)
+	}
+	if code, _ := doJSON(t, "GET", ts.URL+"/graphs/zzz", nil); code != 404 {
+		t.Fatalf("get missing: %d, want 404", code)
+	}
+
+	// Duplicate names conflict.
+	code, _ = doJSON(t, "POST", ts.URL+"/graphs", map[string]any{
+		"name": "k", "class": "kron", "scale": 5,
+	})
+	if code != http.StatusConflict {
+		t.Fatalf("duplicate load: %d, want 409", code)
+	}
+
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/graphs/k", nil); code != 200 {
+		t.Fatalf("delete: %d", code)
+	}
+	if code, _ := doJSON(t, "DELETE", ts.URL+"/graphs/k", nil); code != 404 {
+		t.Fatalf("double delete: %d, want 404", code)
+	}
+}
+
+func TestAllAlgorithmEndpoints(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	loadSyntheticGraph(t, ts.URL, "und", "kron", 7)    // undirected
+	loadSyntheticGraph(t, ts.URL, "dir", "twitter", 7) // directed
+
+	for _, tc := range []struct {
+		graph, alg string
+		params     map[string]any
+		wantField  string
+	}{
+		{"und", "bfs", map[string]any{"source": 1, "level": true}, "parent"},
+		{"und", "pagerank", map[string]any{"max_iter": 20}, "ranks"},
+		{"und", "cc", nil, "components"},
+		{"und", "sssp", map[string]any{"source": 1, "delta": 2}, "distances"},
+		{"und", "tc", nil, "triangles"},
+		{"und", "bc", map[string]any{"sources": []int{0, 1, 2, 3}}, "centrality"},
+		{"dir", "bfs", map[string]any{"source": 0}, "parent"},
+		{"dir", "pagerank", map[string]any{"variant": "gx"}, "ranks"},
+		{"dir", "cc", nil, "components"},
+		{"dir", "bc", map[string]any{"sources": []int{0, 1}}, "centrality"},
+	} {
+		url := fmt.Sprintf("%s/graphs/%s/algorithms/%s", ts.URL, tc.graph, tc.alg)
+		code, body := doJSON(t, "POST", url, tc.params)
+		if code != 200 {
+			t.Errorf("%s on %s: status %d, body %v", tc.alg, tc.graph, code, body)
+			continue
+		}
+		if _, ok := body[tc.wantField]; !ok {
+			t.Errorf("%s on %s: missing %q in %v", tc.alg, tc.graph, tc.wantField, body)
+		}
+	}
+}
+
+func TestAlgorithmErrors(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	loadSyntheticGraph(t, ts.URL, "dir", "twitter", 6)
+
+	if code, _ := doJSON(t, "POST", ts.URL+"/graphs/dir/algorithms/nope", nil); code != 404 {
+		t.Fatalf("unknown algorithm: %d, want 404", code)
+	}
+	if code, _ := doJSON(t, "POST", ts.URL+"/graphs/zzz/algorithms/bfs", nil); code != 404 {
+		t.Fatalf("unknown graph: %d, want 404", code)
+	}
+	// TC needs an undirected graph.
+	if code, _ := doJSON(t, "POST", ts.URL+"/graphs/dir/algorithms/tc", nil); code != 400 {
+		t.Fatalf("tc on directed: %d, want 400", code)
+	}
+	// Out-of-range source.
+	if code, _ := doJSON(t, "POST", ts.URL+"/graphs/dir/algorithms/bfs",
+		map[string]any{"source": 1 << 30}); code != 400 {
+		t.Fatalf("bad source: %d, want 400", code)
+	}
+	// Unknown spec fields are rejected.
+	if code, _ := doJSON(t, "POST", ts.URL+"/graphs/dir/algorithms/bfs",
+		map[string]any{"sauce": 3}); code != 400 {
+		t.Fatalf("unknown param: %d, want 400", code)
+	}
+	// Missing Content-Type on POST /graphs.
+	resp, err := http.Post(ts.URL+"/graphs", "application/x-octet-stream", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusUnsupportedMediaType {
+		t.Fatalf("bodyless load: %d, want 415", resp.StatusCode)
+	}
+}
+
+// TestConcurrentAlgorithmCalls is the acceptance scenario: one resident
+// graph serving many parallel algorithm requests (run under -race in CI).
+func TestConcurrentAlgorithmCalls(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	loadSyntheticGraph(t, ts.URL, "g", "kron", 8)
+
+	algs := []struct {
+		alg    string
+		params map[string]any
+	}{
+		{"bfs", map[string]any{"source": 1}},
+		{"pagerank", map[string]any{"max_iter": 20}},
+		{"cc", nil},
+		{"sssp", map[string]any{"source": 2, "delta": 2}},
+		{"tc", nil},
+		{"bc", map[string]any{"sources": []int{0, 1, 2, 3}}},
+	}
+	const rounds = 3 // 18 parallel requests across all six algorithms
+	var wg sync.WaitGroup
+	errs := make(chan error, rounds*len(algs))
+	for round := 0; round < rounds; round++ {
+		for _, a := range algs {
+			wg.Add(1)
+			go func(alg string, params map[string]any) {
+				defer wg.Done()
+				var rd io.Reader
+				if params != nil {
+					b, _ := json.Marshal(params)
+					rd = bytes.NewReader(b)
+				}
+				resp, err := http.Post(ts.URL+"/graphs/g/algorithms/"+alg, "application/json", rd)
+				if err != nil {
+					errs <- err
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errs <- fmt.Errorf("%s: status %d: %s", alg, resp.StatusCode, body)
+				}
+			}(a.alg, a.params)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Errorf("concurrent call failed: %v", err)
+	}
+
+	// All requests served, none rejected, zero algorithm errors.
+	code, stats := doJSON(t, "GET", ts.URL+"/stats", nil)
+	if code != 200 {
+		t.Fatalf("stats: %d", code)
+	}
+	if n := stats["algorithm_errors"].(float64); n != 0 {
+		t.Fatalf("algorithm errors: %v", n)
+	}
+}
+
+// TestCachedPropertyReuse verifies the cached-property contract through
+// /stats: repeated PageRank calls on one graph must share a single
+// transpose + degree materialization, with later calls counted as hits.
+func TestCachedPropertyReuse(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	loadSyntheticGraph(t, ts.URL, "g", "twitter", 7)
+
+	const calls = 5
+	for i := 0; i < calls; i++ {
+		code, body := doJSON(t, "POST", ts.URL+"/graphs/g/algorithms/pagerank",
+			map[string]any{"max_iter": 10})
+		if code != 200 {
+			t.Fatalf("pagerank call %d: %d %v", i, code, body)
+		}
+	}
+
+	_, stats := doJSON(t, "GET", ts.URL+"/stats", nil)
+	reg := stats["registry"].(map[string]any)
+	graphs := reg["graphs"].([]any)
+	if len(graphs) != 1 {
+		t.Fatalf("graphs in stats: %d", len(graphs))
+	}
+	gi := graphs[0].(map[string]any)
+
+	// PageRank needs AT + RowDegree: exactly two computations ever, no
+	// matter how many calls, and every later demand is a cache hit.
+	if got := gi["property_computes"].(float64); got != 2 {
+		t.Fatalf("property_computes = %v, want 2 (transpose + degrees computed once)", got)
+	}
+	if got := gi["property_requests"].(float64); got != 2*calls {
+		t.Fatalf("property_requests = %v, want %d", got, 2*calls)
+	}
+	if got := gi["property_hits"].(float64); got != 2*calls-2 {
+		t.Fatalf("property_hits = %v, want %d", got, 2*calls-2)
+	}
+	if got := gi["algorithm_runs"].(float64); got != calls {
+		t.Fatalf("algorithm_runs = %v, want %d", got, calls)
+	}
+	cached := gi["cached_properties"].([]any)
+	found := map[string]bool{}
+	for _, c := range cached {
+		found[c.(string)] = true
+	}
+	if !found["AT"] || !found["RowDegree"] {
+		t.Fatalf("cached_properties = %v, want AT and RowDegree", cached)
+	}
+}
+
+// TestEvictionOverHTTP drives the LRU through the API: a small budget
+// evicts the least-recently-used graph when a new one is loaded.
+func TestEvictionOverHTTP(t *testing.T) {
+	// Learn one graph's size from a probe registry, then budget for two.
+	probe := registry.New(0)
+	srvProbe := httptest.NewServer(New(probe, Options{}).Handler())
+	loadSyntheticGraph(t, srvProbe.URL, "p", "twitter", 6)
+	per := probe.List()[0].Bytes
+	srvProbe.Close()
+
+	ts2, _ := newTestServer(t, 2*per+per/2)
+	loadSyntheticGraph(t, ts2.URL, "a", "twitter", 6)
+	loadSyntheticGraph(t, ts2.URL, "b", "twitter", 6)
+	// Touch a so b is LRU.
+	if code, _ := doJSON(t, "POST", ts2.URL+"/graphs/a/algorithms/cc", nil); code != 200 {
+		t.Fatalf("cc on a failed")
+	}
+	loadSyntheticGraph(t, ts2.URL, "c", "twitter", 6)
+
+	if code, _ := doJSON(t, "GET", ts2.URL+"/graphs/b", nil); code != 404 {
+		t.Fatalf("b should have been evicted, got %d", code)
+	}
+	if code, _ := doJSON(t, "GET", ts2.URL+"/graphs/a", nil); code != 200 {
+		t.Fatalf("a should be resident, got %d", code)
+	}
+}

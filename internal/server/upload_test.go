@@ -1,0 +1,220 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+)
+
+// postBody uploads raw bytes to POST /graphs with the given query string.
+func postBody(t *testing.T, base, query string, body []byte) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(base+"/graphs?"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /graphs?%s: %v", query, err)
+	}
+	defer resp.Body.Close()
+	out := map[string]any{}
+	decodeInto(t, resp, out)
+	return resp.StatusCode, out
+}
+
+func decodeInto(t *testing.T, resp *http.Response, out map[string]any) {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if buf.Len() == 0 {
+		return
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("decode response: %v (%s)", err, buf.String())
+	}
+}
+
+// TestMMUploadRealRoundTrip writes a weighted directed matrix with
+// MMWrite, uploads it through POST /graphs?format=mm, and verifies the
+// resident graph matches the original entry for entry (via a PageRank
+// comparison against a locally built graph).
+func TestMMUploadRealRoundTrip(t *testing.T) {
+	ts, reg := newTestServer(t, 0)
+
+	rows := []int{0, 0, 1, 2, 3, 3}
+	cols := []int{1, 2, 2, 0, 0, 1}
+	vals := []float64{1.5, 2, 0.5, 3, 1, 4}
+	A, err := grb.MatrixFromTuples(4, 4, rows, cols, vals, nil)
+	if err != nil {
+		t.Fatalf("MatrixFromTuples: %v", err)
+	}
+	var mm bytes.Buffer
+	if err := lagraph.MMWrite(&mm, A); err != nil {
+		t.Fatalf("MMWrite: %v", err)
+	}
+
+	code, body := postBody(t, ts.URL, "format=mm&name=real&kind=directed", mm.Bytes())
+	if code != http.StatusCreated {
+		t.Fatalf("upload: %d %v", code, body)
+	}
+	if body["nodes"].(float64) != 4 || body["edges"].(float64) != 6 {
+		t.Fatalf("round trip changed shape: %v", body)
+	}
+
+	// The uploaded matrix must be value-identical to the original.
+	lease, err := reg.Acquire("real")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer lease.Release()
+	eq, err := lagraph.IsAll(lease.Graph().A, A, func(a, b float64) bool { return a == b })
+	if err != nil {
+		t.Fatalf("IsAll: %v", err)
+	}
+	if !eq {
+		t.Fatal("uploaded matrix differs from original")
+	}
+
+	// And it must answer algorithm calls.
+	if code, body := doJSON(t, "POST", ts.URL+"/graphs/real/algorithms/pagerank", nil); code != 200 {
+		t.Fatalf("pagerank on upload: %d %v", code, body)
+	}
+}
+
+// TestMMUploadInteger exercises the integer field with symmetric storage:
+// the parser must expand the symmetric entries, and the undirected load
+// must pass the symmetry check.
+func TestMMUploadInteger(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+
+	mm := strings.Join([]string{
+		"%%MatrixMarket matrix coordinate integer symmetric",
+		"% a 4-vertex path plus one chord",
+		"4 4 4",
+		"2 1 5",
+		"3 2 7",
+		"4 3 2",
+		"3 1 9",
+		"",
+	}, "\n")
+	code, body := postBody(t, ts.URL, "format=mm&name=int&kind=undirected", []byte(mm))
+	if code != http.StatusCreated {
+		t.Fatalf("upload: %d %v", code, body)
+	}
+	// 4 stored off-diagonal entries expand to 8 directed edges.
+	if body["edges"].(float64) != 8 {
+		t.Fatalf("edges = %v, want 8 (symmetric expansion)", body["edges"])
+	}
+	code, res := doJSON(t, "POST", ts.URL+"/graphs/int/algorithms/tc", nil)
+	if code != 200 {
+		t.Fatalf("tc: %d %v", code, res)
+	}
+	if res["triangles"].(float64) != 1 {
+		t.Fatalf("triangles = %v, want 1 (the 1-2-3 chord)", res["triangles"])
+	}
+}
+
+// TestMMUploadPattern exercises the pattern field: entries carry no
+// values, and the resulting unit-weight graph runs CC.
+func TestMMUploadPattern(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+
+	mm := strings.Join([]string{
+		"%%MatrixMarket matrix coordinate pattern symmetric",
+		"5 5 3",
+		"2 1",
+		"3 2",
+		"5 4",
+		"",
+	}, "\n")
+	code, body := postBody(t, ts.URL, "format=mm&name=pat&kind=undirected", []byte(mm))
+	if code != http.StatusCreated {
+		t.Fatalf("upload: %d %v", code, body)
+	}
+	code, res := doJSON(t, "POST", ts.URL+"/graphs/pat/algorithms/cc", nil)
+	if code != 200 {
+		t.Fatalf("cc: %d %v", code, res)
+	}
+	// {1,2,3} and {4,5}: two components.
+	if res["components"].(float64) != 2 {
+		t.Fatalf("components = %v, want 2", res["components"])
+	}
+}
+
+// TestMMUploadRejectsAsymmetricUndirected: claiming kind=undirected for an
+// asymmetric matrix must fail CheckGraph, not load a corrupt graph.
+func TestMMUploadRejectsAsymmetricUndirected(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	mm := strings.Join([]string{
+		"%%MatrixMarket matrix coordinate real general",
+		"3 3 2",
+		"1 2 1.0",
+		"2 3 1.0",
+		"",
+	}, "\n")
+	code, body := postBody(t, ts.URL, "format=mm&name=bad&kind=undirected", []byte(mm))
+	if code != http.StatusBadRequest {
+		t.Fatalf("asymmetric undirected upload: %d %v, want 400", code, body)
+	}
+}
+
+// TestBinUploadRoundTrip writes the fast binary container with BinWrite
+// and uploads it through POST /graphs?format=bin.
+func TestBinUploadRoundTrip(t *testing.T) {
+	ts, reg := newTestServer(t, 0)
+
+	// A 6-cycle with weights.
+	n := 6
+	var rows, cols []int
+	var vals []float64
+	for i := 0; i < n; i++ {
+		rows = append(rows, i)
+		cols = append(cols, (i+1)%n)
+		vals = append(vals, float64(i+1))
+	}
+	A, err := grb.MatrixFromTuples(n, n, rows, cols, vals, nil)
+	if err != nil {
+		t.Fatalf("MatrixFromTuples: %v", err)
+	}
+	var bin bytes.Buffer
+	if err := lagraph.BinWrite(&bin, A); err != nil {
+		t.Fatalf("BinWrite: %v", err)
+	}
+
+	code, body := postBody(t, ts.URL, "format=bin&name=cycle", bin.Bytes())
+	if code != http.StatusCreated {
+		t.Fatalf("upload: %d %v", code, body)
+	}
+	if body["nodes"].(float64) != float64(n) || body["edges"].(float64) != float64(n) {
+		t.Fatalf("round trip changed shape: %v", body)
+	}
+	lease, err := reg.Acquire("cycle")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	defer lease.Release()
+	eq, err := lagraph.IsAll(lease.Graph().A, A, func(a, b float64) bool { return a == b })
+	if err != nil {
+		t.Fatalf("IsAll: %v", err)
+	}
+	if !eq {
+		t.Fatal("uploaded binary matrix differs from original")
+	}
+
+	// BFS from 0 on a directed cycle reaches everything.
+	code, res := doJSON(t, "POST", ts.URL+"/graphs/cycle/algorithms/bfs", map[string]any{"source": 0})
+	if code != 200 {
+		t.Fatalf("bfs: %d %v", code, res)
+	}
+	if res["reached"].(float64) != float64(n) {
+		t.Fatalf("reached = %v, want %d", res["reached"], n)
+	}
+
+	// A corrupted container is rejected cleanly.
+	garbage := append([]byte("XXXXXXXX"), bin.Bytes()[8:]...)
+	if code, _ := postBody(t, ts.URL, "format=bin&name=junk", garbage); code != http.StatusBadRequest {
+		t.Fatalf("corrupt upload: %d, want 400", code)
+	}
+}
