@@ -3,12 +3,19 @@
 // reusing each graph's cached properties (transpose, degrees) across
 // requests the way the paper's LAGraph_Graph amortizes them across calls.
 //
+// Algorithm execution — synchronous and asynchronous — runs on a jobs
+// engine: a worker pool of cancellable jobs with single-flight dedup and
+// a result cache keyed by each graph's registry version.
+//
 // Quickstart:
 //
 //	lagraphd -addr :8080 &
 //	curl -X POST localhost:8080/graphs -H 'Content-Type: application/json' \
 //	     -d '{"name":"kron","class":"kron","scale":10,"edge_factor":8}'
 //	curl -X POST localhost:8080/graphs/kron/algorithms/pagerank -d '{}'
+//	curl -X POST localhost:8080/graphs/kron/jobs \
+//	     -d '{"algorithm":"bc","params":{"sources":[0,1,2,3]}}'
+//	curl localhost:8080/jobs
 //	curl localhost:8080/stats
 package main
 
@@ -37,6 +44,12 @@ func main() {
 		maxUpload   = flag.Int64("max-upload-bytes", 64<<20, "max POST /graphs body size")
 		threads     = flag.Int("threads", 0, "kernel worker threads (0 = GOMAXPROCS)")
 		gracePeriod = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain period")
+
+		workers    = flag.Int("workers", 0, "jobs-engine workers: concurrently executing algorithms (0 = kernel worker threads)")
+		queueDepth = flag.Int("queue-depth", 0, "max jobs waiting for a worker (0 = 64)")
+		resultTTL  = flag.Duration("result-ttl", 0, "how long completed results stay cached (0 = 5m)")
+		maxResults = flag.Int("max-cached-results", 0, "result-cache entry bound (0 = 256)")
+		jobTimeout = flag.Duration("job-timeout", 0, "default per-job deadline when the submission sets none (0 = none)")
 	)
 	flag.Parse()
 
@@ -46,8 +59,13 @@ func main() {
 
 	reg := registry.New(*maxBytes)
 	srv := server.New(reg, server.Options{
-		MaxInFlight:    *maxInflight,
-		MaxUploadBytes: *maxUpload,
+		MaxInFlight:      *maxInflight,
+		MaxUploadBytes:   *maxUpload,
+		Workers:          *workers,
+		QueueDepth:       *queueDepth,
+		ResultTTL:        *resultTTL,
+		MaxCachedResults: *maxResults,
+		JobTimeout:       *jobTimeout,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -78,6 +96,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "lagraphd: forced shutdown: %v\n", err)
 			_ = httpSrv.Close()
 		}
+		srv.Close() // cancels running jobs, drains the worker pool
 		reg.Close()
 		log.Printf("lagraphd: stopped")
 	}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 )
 
@@ -25,6 +26,47 @@ type ServiceResult struct {
 
 // OK reports whether the request succeeded.
 func (r ServiceResult) OK() bool { return r.Err == nil && r.Status >= 200 && r.Status < 300 }
+
+// timedCall issues one timed JSON request: body (if any) is marshalled
+// and sent with a JSON content type, the response is decoded into out (or
+// drained when out is nil), and a non-2xx status becomes an error.
+func timedCall(client *http.Client, op, method, url string, body, out any) ServiceResult {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return ServiceResult{Op: op, Err: err}
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return ServiceResult{Op: op, Err: err}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	r := ServiceResult{Op: op, Seconds: time.Since(start).Seconds(), Err: err}
+	if err != nil {
+		return r
+	}
+	defer resp.Body.Close()
+	r.Status = resp.StatusCode
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil && err != io.EOF {
+			r.Err = err
+			return r
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	if !r.OK() && r.Err == nil {
+		r.Err = fmt.Errorf("%s: HTTP %d", op, resp.StatusCode)
+	}
+	return r
+}
 
 // ServiceSmokeOptions tunes the workload.
 type ServiceSmokeOptions struct {
@@ -66,33 +108,7 @@ func ServiceSmoke(baseURL string, opts ServiceSmokeOptions) []ServiceResult {
 
 	var results []ServiceResult
 	call := func(op, method, url string, body any) ServiceResult {
-		var rd io.Reader
-		if body != nil {
-			b, err := json.Marshal(body)
-			if err != nil {
-				return ServiceResult{Op: op, Err: err}
-			}
-			rd = bytes.NewReader(b)
-		}
-		req, err := http.NewRequest(method, url, rd)
-		if err != nil {
-			return ServiceResult{Op: op, Err: err}
-		}
-		if body != nil {
-			req.Header.Set("Content-Type", "application/json")
-		}
-		start := time.Now()
-		resp, err := client.Do(req)
-		r := ServiceResult{Op: op, Seconds: time.Since(start).Seconds(), Err: err}
-		if err == nil {
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			r.Status = resp.StatusCode
-			if !r.OK() {
-				r.Err = fmt.Errorf("%s: HTTP %d", op, resp.StatusCode)
-			}
-		}
-		return r
+		return timedCall(client, op, method, url, body, nil)
 	}
 
 	for _, class := range GraphNames {
@@ -109,11 +125,170 @@ func ServiceSmoke(baseURL string, opts ServiceSmokeOptions) []ServiceResult {
 			url := fmt.Sprintf("%s/graphs/%s/algorithms/%s", baseURL, name, a.alg)
 			results = append(results, call(class+"/"+a.alg, "POST", url, a.params))
 		}
-		// Repeat PageRank: served from the cached transpose + degrees.
+		// Repeat PageRank: identical parameters, so it is served straight
+		// from the jobs engine's result cache (and, underneath, the warmed
+		// transpose + degree properties).
 		url := fmt.Sprintf("%s/graphs/%s/algorithms/pagerank", baseURL, name)
 		results = append(results, call(class+"/pagerank(cached)", "POST", url,
 			map[string]any{"max_iter": 20}))
 		results = append(results, call("delete "+class, "DELETE", baseURL+"/graphs/"+name, nil))
 	}
 	return results
+}
+
+// JobsBurstOptions tunes the async-jobs workload.
+type JobsBurstOptions struct {
+	Scale      int // synthetic graph scale (default 8)
+	EdgeFactor int
+	Burst      int // identical submissions per wave (default 8)
+	Client     *http.Client
+}
+
+// JobsBurstReport summarizes what the engine did with the duplicate
+// submissions, read from /stats deltas.
+type JobsBurstReport struct {
+	Results []ServiceResult
+
+	Submitted int64 // async submissions issued by the workload
+	Computed  int64 // jobs that actually executed
+	DedupHits int64 // submissions attached to an in-flight job
+	CacheHits int64 // submissions served from the result cache
+}
+
+// Deduplicated reports whether the engine collapsed every duplicate: one
+// computation per wave, everything else a dedup or cache hit.
+func (r JobsBurstReport) Deduplicated() bool {
+	return r.Computed == 1 && r.DedupHits+r.CacheHits == r.Submitted-1
+}
+
+// ServiceJobsBurst drives the asynchronous jobs API the way an impatient
+// dashboard does: burst-submit Burst identical PageRank jobs against one
+// graph, poll each to completion, then submit one more wave after the
+// result landed. The report's counters prove deduplication — the burst
+// must cost a single computation, with the stragglers attaching to the
+// in-flight job and the second wave hitting the result cache.
+func ServiceJobsBurst(baseURL string, opts JobsBurstOptions) (JobsBurstReport, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 8
+	}
+	if opts.EdgeFactor <= 0 {
+		opts.EdgeFactor = 4
+	}
+	if opts.Burst <= 0 {
+		opts.Burst = 8
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var rep JobsBurstReport
+
+	do := func(op, method, url string, body any, out any) ServiceResult {
+		return timedCall(client, op, method, url, body, out)
+	}
+	record := func(r ServiceResult) bool {
+		rep.Results = append(rep.Results, r)
+		return r.OK()
+	}
+	jobsCounters := func() (map[string]float64, error) {
+		var stats struct {
+			Jobs map[string]float64 `json:"jobs"`
+		}
+		r := do("stats", "GET", baseURL+"/stats", nil, &stats)
+		if !record(r) {
+			return nil, r.Err
+		}
+		return stats.Jobs, nil
+	}
+
+	const name = "jobs-burst"
+	if !record(do("load "+name, "POST", baseURL+"/graphs", map[string]any{
+		"name": name, "class": "kron", "scale": opts.Scale,
+		"edge_factor": opts.EdgeFactor, "seed": 42,
+	}, nil)) {
+		return rep, fmt.Errorf("load failed")
+	}
+	defer func() { record(do("delete "+name, "DELETE", baseURL+"/graphs/"+name, nil, nil)) }()
+
+	before, err := jobsCounters()
+	if err != nil {
+		return rep, err
+	}
+
+	// Wave 1: Burst identical submissions, concurrently.
+	spec := map[string]any{
+		"algorithm": "pagerank",
+		// tol < 0 forces the full sweep budget so the burst overlaps.
+		"params": map[string]any{"tol": -1.0, "max_iter": 200},
+	}
+	submitURL := fmt.Sprintf("%s/graphs/%s/jobs", baseURL, name)
+	ids := make([]string, opts.Burst)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for i := 0; i < opts.Burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var job struct {
+				ID string `json:"id"`
+			}
+			r := do(fmt.Sprintf("submit[%d]", i), "POST", submitURL, spec, &job)
+			mu.Lock()
+			rep.Results = append(rep.Results, r)
+			mu.Unlock()
+			if r.OK() {
+				ids[i] = job.ID
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Poll every job to a terminal state.
+	deadline := time.Now().Add(2 * time.Minute)
+	for _, id := range ids {
+		if id == "" {
+			return rep, fmt.Errorf("a burst submission failed")
+		}
+		for {
+			var job struct {
+				State string `json:"state"`
+			}
+			r := do("poll "+id, "GET", baseURL+"/jobs/"+id, nil, &job)
+			if !r.OK() {
+				return rep, r.Err
+			}
+			if job.State == "done" {
+				break
+			}
+			if job.State == "failed" || job.State == "cancelled" {
+				return rep, fmt.Errorf("job %s ended %s", id, job.State)
+			}
+			if time.Now().After(deadline) {
+				return rep, fmt.Errorf("job %s still %s at deadline", id, job.State)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	// Wave 2: one more identical submission — a pure result-cache hit.
+	var again struct {
+		State    string `json:"state"`
+		CacheHit bool   `json:"cache_hit"`
+	}
+	if r := do("resubmit", "POST", submitURL, spec, &again); !record(r) {
+		return rep, r.Err
+	}
+	if again.State != "done" || !again.CacheHit {
+		return rep, fmt.Errorf("resubmission not a cache hit: %+v", again)
+	}
+
+	after, err := jobsCounters()
+	if err != nil {
+		return rep, err
+	}
+	rep.Submitted = int64(opts.Burst) + 1
+	rep.Computed = int64(after["completed"] - before["completed"])
+	rep.DedupHits = int64(after["dedup_hits"] - before["dedup_hits"])
+	rep.CacheHits = int64(after["cache_hits"] - before["cache_hits"])
+	return rep, nil
 }

@@ -13,7 +13,9 @@ import (
 // repeat PageRank is served from the warmed property cache.
 func TestServiceSmoke(t *testing.T) {
 	reg := registry.New(0)
-	ts := httptest.NewServer(server.New(reg, server.Options{}).Handler())
+	srv := server.New(reg, server.Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
 	results := ServiceSmoke(ts.URL, ServiceSmokeOptions{Scale: 6})
@@ -30,5 +32,34 @@ func TestServiceSmoke(t *testing.T) {
 	want := 5 + 5 + 2*6 + 3*5 + 5 // + one cached pagerank per class
 	if len(results) != want {
 		t.Fatalf("results = %d, want %d", len(results), want)
+	}
+}
+
+// TestServiceJobsBurst runs the async-jobs workload: a burst of identical
+// submissions must collapse into one computation, verified through the
+// engine's dedup/cache-hit counters, and the follow-up wave must be served
+// from the result cache.
+func TestServiceJobsBurst(t *testing.T) {
+	reg := registry.New(0)
+	srv := server.New(reg, server.Options{})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := ServiceJobsBurst(ts.URL, JobsBurstOptions{Scale: 7, Burst: 6})
+	if err != nil {
+		t.Fatalf("ServiceJobsBurst: %v", err)
+	}
+	for _, r := range rep.Results {
+		if !r.OK() {
+			t.Errorf("%s failed: status %d err %v", r.Op, r.Status, r.Err)
+		}
+	}
+	if !rep.Deduplicated() {
+		t.Fatalf("burst not deduplicated: computed=%d dedup=%d cache=%d of %d submitted",
+			rep.Computed, rep.DedupHits, rep.CacheHits, rep.Submitted)
+	}
+	if rep.CacheHits < 1 {
+		t.Fatalf("second wave should hit the result cache: %+v", rep)
 	}
 }

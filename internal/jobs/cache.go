@@ -1,0 +1,108 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// resultCache is the versioned result store: completed job results keyed
+// by the full (graph, version, algorithm, params) tuple, bounded by a TTL
+// and an LRU entry count. Because the graph version is part of the key,
+// a reload under the same name starts from a cold cache for that graph —
+// stale results are unreachable, and the TTL/LRU bounds reclaim them.
+type resultCache struct {
+	mu      sync.Mutex
+	max     int
+	ttl     time.Duration
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	key     Key
+	value   any
+	expires time.Time
+}
+
+func newResultCache(max int, ttl time.Duration) *resultCache {
+	return &resultCache{
+		max:     max,
+		ttl:     ttl,
+		entries: make(map[Key]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// get returns the cached value for key if present and unexpired, bumping
+// its LRU position. Expired entries are removed on sight.
+func (c *resultCache) get(key Key, now time.Time) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	ent := el.Value.(*cacheEntry)
+	if now.After(ent.expires) {
+		c.removeLocked(el)
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return ent.value, true
+}
+
+// put stores a result, evicting expired then least-recently-used entries
+// beyond the bound.
+func (c *resultCache) put(key Key, value any, now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*cacheEntry)
+		ent.value = value
+		ent.expires = now.Add(c.ttl)
+		c.lru.MoveToFront(el)
+		return
+	}
+	ent := &cacheEntry{key: key, value: value, expires: now.Add(c.ttl)}
+	c.entries[key] = c.lru.PushFront(ent)
+	// Prefer reclaiming dead entries before live ones.
+	for el := c.lru.Back(); el != nil && len(c.entries) > c.max; {
+		prev := el.Prev()
+		if now.After(el.Value.(*cacheEntry).expires) {
+			c.removeLocked(el)
+		}
+		el = prev
+	}
+	for len(c.entries) > c.max {
+		c.removeLocked(c.lru.Back())
+	}
+}
+
+// invalidateGraph drops every entry for a graph name, returning the count.
+func (c *resultCache) invalidateGraph(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if el.Value.(*cacheEntry).key.Graph == name {
+			c.removeLocked(el)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+func (c *resultCache) removeLocked(el *list.Element) {
+	delete(c.entries, el.Value.(*cacheEntry).key)
+	c.lru.Remove(el)
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

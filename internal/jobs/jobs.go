@@ -1,0 +1,653 @@
+// Package jobs is the asynchronous execution engine behind lagraphd's
+// algorithm endpoints: a worker pool running cancellable jobs with a
+// versioned result cache.
+//
+// A job moves queued → running → done | failed | cancelled. Each running
+// job gets its own context (derived from the engine's, with an optional
+// per-job deadline), so DELETE /jobs/{id} — or the engine shutting down —
+// actually stops the underlying computation, provided the work function
+// checks its context (the internal/lagraph iteration loops do, once per
+// iteration).
+//
+// Submissions are deduplicated single-flight by Key: while a job for
+// (graph, graph version, algorithm, params) is queued or running, an
+// identical submission attaches to it instead of spawning a second
+// computation. Completed results enter an in-memory cache bounded by TTL
+// and LRU entry count, keyed by the same tuple; because the key carries
+// the registry's per-graph version, replacing a graph under the same name
+// can never serve a stale result.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Key identifies a computation for deduplication and result caching. Two
+// submissions with equal keys are the same work; Version ties the key to
+// one loaded incarnation of the graph, so cache entries die with it.
+type Key struct {
+	Graph     string
+	Version   uint64
+	Algorithm string
+	Params    string // canonical (JSON) encoding of the parameters
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s@v%d/%s?%s", k.Graph, k.Version, k.Algorithm, k.Params)
+}
+
+// Request describes one submission.
+type Request struct {
+	Key Key
+
+	// Run performs the computation. It must honor ctx: return ctx.Err()
+	// promptly once the context is cancelled.
+	Run func(ctx context.Context) (any, error)
+
+	// OnDone, if non-nil, is called exactly once when the job reaches a
+	// terminal state — whether it ran, failed, or was cancelled while
+	// still queued. Submissions that attach to an existing job (dedup or
+	// cache hit) have their OnDone invoked before Submit returns. When
+	// Submit returns an error, OnDone is NOT called; the caller keeps
+	// ownership of whatever it guards (typically a registry lease).
+	OnDone func()
+
+	// Timeout bounds the job's run time (0 = Options.DefaultTimeout;
+	// negative = no deadline even if the engine has a default).
+	Timeout time.Duration
+
+	// Pin marks the submission asynchronous: the client intends to poll,
+	// so the job must survive even with no waiter attached. An unpinned
+	// (synchronous) submission registers the caller as a waiter on the
+	// job — atomically with the dedup attach, so no window exists in
+	// which another waiter's abandonment can cancel it — and the caller
+	// must balance the registration with exactly one WaitOrAbandon call.
+	// A job whose last waiter abandons it, and which no asynchronous
+	// submission pinned, is cancelled: a disconnected HTTP client
+	// reclaims its worker.
+	Pin bool
+}
+
+// Engine errors.
+var (
+	ErrClosed    = errors.New("jobs: engine closed")
+	ErrQueueFull = errors.New("jobs: queue full")
+	ErrNotFound  = errors.New("jobs: job not found")
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the worker-pool size. <= 0 means 2.
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker. <= 0 means 64.
+	QueueDepth int
+	// DefaultTimeout applies to jobs that do not set one (0 = none).
+	DefaultTimeout time.Duration
+	// ResultTTL is how long completed results stay cached. <= 0 means
+	// 5 minutes.
+	ResultTTL time.Duration
+	// MaxCachedResults bounds the result cache (LRU beyond it). <= 0
+	// means 256. The bound is an entry count, not bytes — results are
+	// opaque to the engine — so operators serving very large responses
+	// should size this (and ResultTTL) accordingly.
+	MaxCachedResults int
+	// MaxJobs bounds retained job records; the oldest terminal jobs are
+	// pruned beyond it. <= 0 means 1024.
+	MaxJobs int
+}
+
+func (o *Options) fill() {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.ResultTTL <= 0 {
+		o.ResultTTL = 5 * time.Minute
+	}
+	if o.MaxCachedResults <= 0 {
+		o.MaxCachedResults = 256
+	}
+	if o.MaxJobs <= 0 {
+		o.MaxJobs = 1024
+	}
+}
+
+// Job is one tracked computation. All mutable fields are guarded by the
+// engine's mutex; read them through Info / State / Err / Result.
+type Job struct {
+	e   *Engine
+	id  string
+	key Key
+
+	state    State
+	err      error
+	result   any
+	cacheHit bool
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	timeout time.Duration
+	run     func(ctx context.Context) (any, error)
+	cancel  context.CancelFunc // set while running
+	onDone  []func()
+
+	pinned  bool
+	waiters int
+
+	done chan struct{} // closed on terminal transition
+}
+
+// ID returns the job's engine-unique id.
+func (j *Job) ID() string { return j.id }
+
+// Key returns the job's dedup/cache key.
+func (j *Job) Key() Key { return j.key }
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// State returns the current state.
+func (j *Job) State() State {
+	j.e.mu.Lock()
+	defer j.e.mu.Unlock()
+	return j.state
+}
+
+// Err returns the terminal error (nil unless failed or cancelled).
+func (j *Job) Err() error {
+	j.e.mu.Lock()
+	defer j.e.mu.Unlock()
+	return j.err
+}
+
+// Result returns the computation's value; ok is false unless the job is
+// done. The value is shared between deduplicated submissions and cache
+// hits — treat it as immutable.
+func (j *Job) Result() (v any, ok bool) {
+	j.e.mu.Lock()
+	defer j.e.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// Info is the JSON-facing snapshot of a job.
+type Info struct {
+	ID           string  `json:"id"`
+	Graph        string  `json:"graph"`
+	GraphVersion uint64  `json:"graph_version"`
+	Algorithm    string  `json:"algorithm"`
+	State        State   `json:"state"`
+	CacheHit     bool    `json:"cache_hit"`
+	Error        string  `json:"error,omitempty"`
+	SubmittedAt  string  `json:"submitted_at"`
+	WaitSeconds  float64 `json:"wait_seconds"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+}
+
+// Info snapshots the job.
+func (j *Job) Info() Info {
+	j.e.mu.Lock()
+	defer j.e.mu.Unlock()
+	return j.infoLocked()
+}
+
+func (j *Job) infoLocked() Info {
+	in := Info{
+		ID:           j.id,
+		Graph:        j.key.Graph,
+		GraphVersion: j.key.Version,
+		Algorithm:    j.key.Algorithm,
+		State:        j.state,
+		CacheHit:     j.cacheHit,
+		SubmittedAt:  j.submitted.UTC().Format(time.RFC3339Nano),
+	}
+	if j.err != nil {
+		in.Error = j.err.Error()
+	}
+	switch {
+	case !j.started.IsZero():
+		in.WaitSeconds = j.started.Sub(j.submitted).Seconds()
+	case j.state.Terminal():
+		in.WaitSeconds = j.finished.Sub(j.submitted).Seconds()
+	default:
+		in.WaitSeconds = time.Since(j.submitted).Seconds()
+	}
+	if !j.started.IsZero() && !j.finished.IsZero() {
+		in.RunSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	return in
+}
+
+// Stats is the engine-wide counter snapshot for /stats.
+type Stats struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+	DedupHits int64 `json:"dedup_hits"`
+	CacheHits int64 `json:"cache_hits"`
+
+	CachedResults int `json:"cached_results"`
+}
+
+// Engine is the worker-pool job engine.
+type Engine struct {
+	opts Options
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*Job
+	order  []*Job       // submission order, for pruning
+	byKey  map[Key]*Job // queued/running jobs, for dedup
+	nextID int64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queuedN, runningN int
+	submitted         atomic.Int64
+	completed         atomic.Int64
+	failed            atomic.Int64
+	cancelled         atomic.Int64
+	dedupHits         atomic.Int64
+	cacheHits         atomic.Int64
+
+	cache *resultCache
+}
+
+// NewEngine builds and starts an engine.
+func NewEngine(opts Options) *Engine {
+	opts.fill()
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		opts:       opts,
+		jobs:       make(map[string]*Job),
+		byKey:      make(map[Key]*Job),
+		queue:      make(chan *Job, opts.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		cache:      newResultCache(opts.MaxCachedResults, opts.ResultTTL),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Close stops the engine: running jobs are cancelled through their
+// contexts, queued jobs finish as cancelled, and workers drain. Further
+// submissions fail with ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.queue) // safe: submissions send while holding e.mu
+	e.mu.Unlock()
+	e.baseCancel()
+	e.wg.Wait()
+}
+
+// Submit enqueues a computation, deduplicating against in-flight jobs and
+// the result cache. isNew reports whether a new computation was scheduled;
+// when false the returned job is an existing in-flight job (dedup) or a
+// fresh already-done record carrying a cached result.
+func (e *Engine) Submit(req Request) (j *Job, isNew bool, err error) {
+	if req.Run == nil {
+		return nil, false, errors.New("jobs: nil Run")
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+
+	timeout := req.Timeout
+	if timeout == 0 {
+		timeout = e.opts.DefaultTimeout
+	}
+
+	// Single flight: attach to an identical queued/running job.
+	if cur, ok := e.byKey[req.Key]; ok {
+		if req.Pin {
+			cur.pinned = true
+		} else if !cur.state.Terminal() {
+			cur.waiters++ // balanced by the caller's WaitOrAbandon
+		}
+		// Widen a still-queued job's deadline to the most generous
+		// attached request (<= 0 = none). A running job's context is
+		// already armed and cannot be extended.
+		if cur.state == StateQueued && cur.timeout > 0 && (timeout <= 0 || timeout > cur.timeout) {
+			cur.timeout = timeout
+		}
+		e.submitted.Add(1)
+		e.dedupHits.Add(1)
+		e.mu.Unlock()
+		if req.OnDone != nil {
+			req.OnDone()
+		}
+		return cur, false, nil
+	}
+
+	// Result cache: materialize a completed job record so async clients
+	// get a pollable id with a uniform shape.
+	if v, ok := e.cache.get(req.Key, time.Now()); ok {
+		e.submitted.Add(1)
+		e.cacheHits.Add(1)
+		now := time.Now()
+		j := &Job{
+			e: e, id: e.newIDLocked(), key: req.Key,
+			state: StateDone, result: v, cacheHit: true,
+			submitted: now, finished: now,
+			done: make(chan struct{}),
+		}
+		close(j.done)
+		e.recordLocked(j)
+		e.mu.Unlock()
+		if req.OnDone != nil {
+			req.OnDone()
+		}
+		return j, false, nil
+	}
+
+	j = &Job{
+		e: e, id: e.newIDLocked(), key: req.Key,
+		state:     StateQueued,
+		submitted: time.Now(),
+		timeout:   timeout,
+		run:       req.Run,
+		pinned:    req.Pin,
+		done:      make(chan struct{}),
+	}
+	if !req.Pin {
+		j.waiters = 1 // the submitting caller; balanced by WaitOrAbandon
+	}
+	if req.OnDone != nil {
+		j.onDone = append(j.onDone, req.OnDone)
+	}
+	select {
+	case e.queue <- j:
+	default:
+		e.mu.Unlock()
+		return nil, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, e.opts.QueueDepth)
+	}
+	e.submitted.Add(1)
+	e.recordLocked(j)
+	e.byKey[req.Key] = j
+	e.queuedN++
+	e.mu.Unlock()
+	return j, true, nil
+}
+
+// newIDLocked mints the next job id.
+func (e *Engine) newIDLocked() string {
+	e.nextID++
+	return fmt.Sprintf("j-%06d", e.nextID)
+}
+
+// recordLocked registers a job and prunes records beyond the retention
+// bound: oldest cache-hit records first (each is a mere alias of a cached
+// result), then oldest other terminal records — so a polling client's
+// real computation is not evicted by a flood of identical resubmissions.
+func (e *Engine) recordLocked(j *Job) {
+	e.jobs[j.id] = j
+	e.order = append(e.order, j)
+	excess := len(e.jobs) - e.opts.MaxJobs
+	if excess <= 0 {
+		return
+	}
+	prunable := func(old *Job, hitsOnly bool) bool {
+		if hitsOnly {
+			return old.cacheHit
+		}
+		return old.state.Terminal()
+	}
+	for _, hitsOnly := range []bool{true, false} {
+		if excess <= 0 {
+			break
+		}
+		kept := e.order[:0]
+		for _, old := range e.order {
+			if excess > 0 && prunable(old, hitsOnly) {
+				delete(e.jobs, old.id)
+				excess--
+				continue
+			}
+			kept = append(kept, old)
+		}
+		e.order = kept
+	}
+}
+
+// worker runs queued jobs until the queue closes.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for j := range e.queue {
+		e.runJob(j)
+	}
+}
+
+// runJob transitions one job queued → running, executes it, and records
+// the terminal state.
+func (e *Engine) runJob(j *Job) {
+	e.mu.Lock()
+	if j.state != StateQueued { // cancelled while waiting for a worker
+		e.mu.Unlock()
+		return
+	}
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if j.timeout > 0 {
+		ctx, cancel = context.WithTimeout(e.baseCtx, j.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(e.baseCtx)
+	}
+	j.cancel = cancel
+	j.state = StateRunning
+	j.started = time.Now()
+	e.queuedN--
+	e.runningN++
+	e.mu.Unlock()
+
+	v, err := j.run(ctx)
+	cancel()
+
+	e.mu.Lock()
+	j.cancel = nil
+	e.runningN--
+	hooks := e.finishLocked(j, v, err)
+	e.mu.Unlock()
+	runHooks(hooks)
+}
+
+// finishLocked moves a job to its terminal state and feeds the result
+// cache. It returns the completion hooks for the caller to invoke after
+// releasing the engine mutex — a hook is free to call back into the
+// engine.
+func (e *Engine) finishLocked(j *Job, v any, err error) []func() {
+	if cur, ok := e.byKey[j.key]; ok && cur == j {
+		delete(e.byKey, j.key)
+	}
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.result = v
+		e.completed.Add(1)
+		e.cache.put(j.key, v, j.finished)
+	case errors.Is(err, context.Canceled):
+		j.state = StateCancelled
+		j.err = err
+		e.cancelled.Add(1)
+	default:
+		j.state = StateFailed
+		j.err = err
+		e.failed.Add(1)
+	}
+	// The run closure typically captures the graph; drop it so a retained
+	// terminal record cannot pin a deleted graph's memory.
+	j.run = nil
+	close(j.done)
+	hooks := j.onDone
+	j.onDone = nil
+	return hooks
+}
+
+func runHooks(hooks []func()) {
+	for _, f := range hooks {
+		f()
+	}
+}
+
+// Cancel requests cancellation of a job. A queued job is finalized
+// immediately; a running job has its context cancelled and reaches the
+// cancelled state when its Run observes ctx.Err() and returns. Cancelling
+// a terminal job is a no-op. Returns ErrNotFound for unknown ids.
+func (e *Engine) Cancel(id string) (*Job, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	if !ok {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	hooks := e.cancelLocked(j)
+	e.mu.Unlock()
+	runHooks(hooks)
+	return j, nil
+}
+
+// cancelLocked requests cancellation; the returned hooks (non-empty only
+// when a queued job was finalized on the spot) must be run after the
+// engine mutex is released.
+func (e *Engine) cancelLocked(j *Job) []func() {
+	switch j.state {
+	case StateQueued:
+		e.queuedN--
+		return e.finishLocked(j, nil, context.Canceled)
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	return nil
+}
+
+// Get returns a job by id.
+func (e *Engine) Get(id string) (*Job, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	return j, ok
+}
+
+// List snapshots every retained job, newest first.
+func (e *Engine) List() []Info {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Info, 0, len(e.order))
+	for i := len(e.order) - 1; i >= 0; i-- {
+		j := e.order[i]
+		if _, ok := e.jobs[j.id]; !ok {
+			continue
+		}
+		out = append(out, j.infoLocked())
+	}
+	return out
+}
+
+// WaitOrAbandon blocks until the job is terminal or ctx is done,
+// balancing the waiter registration made by an unpinned Submit (call it
+// exactly once per such submission). When the last waiter's context
+// expires before completion and the job is not pinned by an asynchronous
+// submission, the job is cancelled — a disconnected client stops paying
+// for work nobody will read. Returns true when the job reached a
+// terminal state, false when the wait was abandoned.
+func (e *Engine) WaitOrAbandon(ctx context.Context, j *Job) bool {
+	select {
+	case <-j.done:
+		e.mu.Lock()
+		if j.waiters > 0 {
+			j.waiters--
+		}
+		e.mu.Unlock()
+		return true
+	case <-ctx.Done():
+		e.mu.Lock()
+		if j.waiters > 0 {
+			j.waiters--
+		}
+		var hooks []func()
+		if j.waiters == 0 && !j.pinned && !j.state.Terminal() {
+			hooks = e.cancelLocked(j)
+		}
+		e.mu.Unlock()
+		runHooks(hooks)
+		return false
+	}
+}
+
+// InvalidateGraph drops cached results for a graph name (any version).
+// Correctness never depends on this — keys carry the graph version — but
+// dropping a deleted graph's results frees their memory immediately.
+func (e *Engine) InvalidateGraph(name string) int {
+	return e.cache.invalidateGraph(name)
+}
+
+// StatsSnapshot returns the engine counters.
+func (e *Engine) StatsSnapshot() Stats {
+	e.mu.Lock()
+	queued, running := e.queuedN, e.runningN
+	e.mu.Unlock()
+	return Stats{
+		Workers:       e.opts.Workers,
+		QueueDepth:    e.opts.QueueDepth,
+		Queued:        queued,
+		Running:       running,
+		Submitted:     e.submitted.Load(),
+		Completed:     e.completed.Load(),
+		Failed:        e.failed.Load(),
+		Cancelled:     e.cancelled.Load(),
+		DedupHits:     e.dedupHits.Load(),
+		CacheHits:     e.cacheHits.Load(),
+		CachedResults: e.cache.len(),
+	}
+}

@@ -1,0 +1,558 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func testKey(graph string, version uint64, alg, params string) Key {
+	return Key{Graph: graph, Version: version, Algorithm: alg, Params: params}
+}
+
+// waitState polls until the job reaches want or the deadline passes.
+func waitState(t *testing.T, j *Job, want State) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if j.State() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("job %s: state %s, want %s", j.ID(), j.State(), want)
+}
+
+func TestSubmitRunsToDone(t *testing.T) {
+	e := NewEngine(Options{Workers: 2})
+	defer e.Close()
+
+	j, isNew, err := e.Submit(Request{
+		Key: testKey("g", 1, "alg", "{}"),
+		Run: func(ctx context.Context) (any, error) { return 42, nil },
+	})
+	if err != nil || !isNew {
+		t.Fatalf("Submit: isNew=%v err=%v", isNew, err)
+	}
+	<-j.Done()
+	if st := j.State(); st != StateDone {
+		t.Fatalf("state = %s, want done", st)
+	}
+	v, ok := j.Result()
+	if !ok || v.(int) != 42 {
+		t.Fatalf("result = %v ok=%v", v, ok)
+	}
+	in := j.Info()
+	if in.State != StateDone || in.CacheHit || in.Graph != "g" || in.GraphVersion != 1 {
+		t.Fatalf("info = %+v", in)
+	}
+}
+
+func TestFailedJob(t *testing.T) {
+	e := NewEngine(Options{Workers: 1})
+	defer e.Close()
+
+	boom := errors.New("boom")
+	j, _, err := e.Submit(Request{
+		Key: testKey("g", 1, "alg", "{}"),
+		Run: func(ctx context.Context) (any, error) { return nil, boom },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != StateFailed || !errors.Is(j.Err(), boom) {
+		t.Fatalf("state=%s err=%v", j.State(), j.Err())
+	}
+	// Failures are not cached: a resubmission runs again.
+	_, isNew, err := e.Submit(Request{
+		Key: testKey("g", 1, "alg", "{}"),
+		Run: func(ctx context.Context) (any, error) { return 1, nil },
+	})
+	if err != nil || !isNew {
+		t.Fatalf("resubmit after failure: isNew=%v err=%v", isNew, err)
+	}
+}
+
+func TestCancelRunningJobReleasesOnDone(t *testing.T) {
+	e := NewEngine(Options{Workers: 1})
+	defer e.Close()
+
+	started := make(chan struct{})
+	var released atomic.Bool
+	j, _, err := e.Submit(Request{
+		Key:    testKey("g", 1, "slow", "{}"),
+		OnDone: func() { released.Store(true) },
+		Run: func(ctx context.Context) (any, error) {
+			close(started)
+			<-ctx.Done() // a well-behaved algorithm loop observes this
+			return nil, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := e.Cancel(j.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j, StateCancelled)
+	if !errors.Is(j.Err(), context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", j.Err())
+	}
+	if !released.Load() {
+		t.Fatal("OnDone not called on cancellation")
+	}
+	if s := e.StatsSnapshot(); s.Cancelled != 1 {
+		t.Fatalf("cancelled counter = %d", s.Cancelled)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	e := NewEngine(Options{Workers: 1, QueueDepth: 4})
+	defer e.Close()
+
+	// Occupy the only worker.
+	block := make(chan struct{})
+	busy, _, err := e.Submit(Request{
+		Key: testKey("g", 1, "busy", "{}"),
+		Run: func(ctx context.Context) (any, error) { <-block; return nil, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var released atomic.Bool
+	queued, _, err := e.Submit(Request{
+		Key:    testKey("g", 1, "queued", "{}"),
+		OnDone: func() { released.Store(true) },
+		Run:    func(ctx context.Context) (any, error) { return nil, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Cancel(queued.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if queued.State() != StateCancelled {
+		t.Fatalf("queued job state = %s, want cancelled immediately", queued.State())
+	}
+	if !released.Load() {
+		t.Fatal("OnDone not called for job cancelled while queued")
+	}
+	close(block)
+	<-busy.Done()
+	// The worker must skip the cancelled record, not re-run it.
+	if queued.State() != StateCancelled {
+		t.Fatalf("state flipped to %s after worker drain", queued.State())
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	e := NewEngine(Options{Workers: 1})
+	defer e.Close()
+
+	j, _, err := e.Submit(Request{
+		Key:     testKey("g", 1, "slow", "{}"),
+		Timeout: 10 * time.Millisecond,
+		Run: func(ctx context.Context) (any, error) {
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-j.Done()
+	if j.State() != StateFailed || !errors.Is(j.Err(), context.DeadlineExceeded) {
+		t.Fatalf("state=%s err=%v, want failed/deadline", j.State(), j.Err())
+	}
+}
+
+func TestDedupSingleFlight(t *testing.T) {
+	e := NewEngine(Options{Workers: 2})
+	defer e.Close()
+
+	var runs atomic.Int64
+	release := make(chan struct{})
+	key := testKey("g", 1, "alg", `{"x":1}`)
+	run := func(ctx context.Context) (any, error) {
+		runs.Add(1)
+		<-release
+		return "v", nil
+	}
+	first, isNew, err := e.Submit(Request{Key: key, Run: run})
+	if err != nil || !isNew {
+		t.Fatalf("first: isNew=%v err=%v", isNew, err)
+	}
+	var dupDone atomic.Bool
+	dup, isNew, err := e.Submit(Request{Key: key, Run: run, OnDone: func() { dupDone.Store(true) }})
+	if err != nil || isNew {
+		t.Fatalf("dup: isNew=%v err=%v", isNew, err)
+	}
+	if dup != first {
+		t.Fatal("dedup returned a different job")
+	}
+	if !dupDone.Load() {
+		t.Fatal("attaching submission's OnDone must fire immediately")
+	}
+	close(release)
+	<-first.Done()
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("runs = %d, want 1", n)
+	}
+	if s := e.StatsSnapshot(); s.DedupHits != 1 {
+		t.Fatalf("dedup_hits = %d", s.DedupHits)
+	}
+
+	// After completion the same key is a cache hit: no new computation,
+	// a fresh done job record carrying the result.
+	hit, isNew, err := e.Submit(Request{Key: key, Run: run})
+	if err != nil || isNew {
+		t.Fatalf("cache hit: isNew=%v err=%v", isNew, err)
+	}
+	if hit.ID() == first.ID() {
+		t.Fatal("cache hit should mint a new job record")
+	}
+	v, ok := hit.Result()
+	if !ok || v.(string) != "v" || !hit.Info().CacheHit {
+		t.Fatalf("cached result = %v ok=%v info=%+v", v, ok, hit.Info())
+	}
+	if n := runs.Load(); n != 1 {
+		t.Fatalf("runs after cache hit = %d, want 1", n)
+	}
+	if s := e.StatsSnapshot(); s.CacheHits != 1 {
+		t.Fatalf("cache_hits = %d", s.CacheHits)
+	}
+
+	// A different version of the same graph misses.
+	_, isNew, err = e.Submit(Request{Key: testKey("g", 2, "alg", `{"x":1}`), Run: func(ctx context.Context) (any, error) { return "v2", nil }})
+	if err != nil || !isNew {
+		t.Fatalf("new version: isNew=%v err=%v", isNew, err)
+	}
+}
+
+func TestResultTTLExpiry(t *testing.T) {
+	e := NewEngine(Options{Workers: 1, ResultTTL: 20 * time.Millisecond})
+	defer e.Close()
+
+	key := testKey("g", 1, "alg", "{}")
+	var runs atomic.Int64
+	run := func(ctx context.Context) (any, error) { runs.Add(1); return 1, nil }
+	j, _, _ := e.Submit(Request{Key: key, Run: run})
+	<-j.Done()
+	time.Sleep(40 * time.Millisecond)
+	_, isNew, err := e.Submit(Request{Key: key, Run: run})
+	if err != nil || !isNew {
+		t.Fatalf("expired entry should recompute: isNew=%v err=%v", isNew, err)
+	}
+}
+
+func TestCacheLRUBound(t *testing.T) {
+	c := newResultCache(2, time.Hour)
+	now := time.Now()
+	c.put(testKey("a", 1, "x", ""), 1, now)
+	c.put(testKey("b", 1, "x", ""), 2, now)
+	c.get(testKey("a", 1, "x", ""), now) // a is now MRU
+	c.put(testKey("c", 1, "x", ""), 3, now)
+	if _, ok := c.get(testKey("b", 1, "x", ""), now); ok {
+		t.Fatal("b should have been LRU-evicted")
+	}
+	if _, ok := c.get(testKey("a", 1, "x", ""), now); !ok {
+		t.Fatal("a should survive")
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d", c.len())
+	}
+}
+
+func TestInvalidateGraph(t *testing.T) {
+	c := newResultCache(8, time.Hour)
+	now := time.Now()
+	c.put(testKey("a", 1, "x", ""), 1, now)
+	c.put(testKey("a", 2, "y", ""), 2, now)
+	c.put(testKey("b", 1, "x", ""), 3, now)
+	if n := c.invalidateGraph("a"); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if _, ok := c.get(testKey("b", 1, "x", ""), now); !ok {
+		t.Fatal("b should survive invalidation of a")
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	e := NewEngine(Options{Workers: 1, QueueDepth: 1})
+	defer e.Close()
+
+	block := make(chan struct{})
+	defer close(block)
+	slow := func(ctx context.Context) (any, error) { <-block; return nil, nil }
+	if _, _, err := e.Submit(Request{Key: testKey("g", 1, "a", ""), Run: slow}); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked up the first job so the single queue
+	// slot is deterministically free for the second.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.StatsSnapshot().Running != 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if _, _, err := e.Submit(Request{Key: testKey("g", 1, "b", ""), Run: slow}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := e.Submit(Request{Key: testKey("g", 1, "c", ""), Run: slow})
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestWaitOrAbandonCancelsSoleWaiter(t *testing.T) {
+	e := NewEngine(Options{Workers: 1})
+	defer e.Close()
+
+	started := make(chan struct{})
+	j, _, err := e.Submit(Request{
+		Key: testKey("g", 1, "slow", ""),
+		Run: func(ctx context.Context) (any, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if done := e.WaitOrAbandon(ctx, j); done {
+		t.Fatal("wait should have been abandoned")
+	}
+	waitState(t, j, StateCancelled)
+}
+
+func TestWaitOrAbandonKeepsPinnedJob(t *testing.T) {
+	e := NewEngine(Options{Workers: 1})
+	defer e.Close()
+
+	release := make(chan struct{})
+	j, _, err := e.Submit(Request{
+		Key: testKey("g", 1, "slow", ""),
+		Pin: true, // an async client still intends to poll
+		Run: func(ctx context.Context) (any, error) {
+			select {
+			case <-release:
+				return "ok", nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if done := e.WaitOrAbandon(ctx, j); done {
+		t.Fatal("wait should have timed out")
+	}
+	close(release)
+	waitState(t, j, StateDone)
+}
+
+func TestWaitOrAbandonSecondWaiterKeepsJob(t *testing.T) {
+	e := NewEngine(Options{Workers: 1})
+	defer e.Close()
+
+	release := make(chan struct{})
+	run := func(ctx context.Context) (any, error) {
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	key := testKey("g", 1, "slow", "")
+	first, _, err := e.Submit(Request{Key: key, Run: run})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second synchronous client submits the identical request: the
+	// dedup attach registers its waiter atomically with Submit, so the
+	// first client abandoning — even before the second ever calls
+	// WaitOrAbandon — must not cancel the job (the race the registration
+	// ordering exists to close).
+	second, isNew, err := e.Submit(Request{Key: key, Run: run})
+	if err != nil || isNew || second != first {
+		t.Fatalf("dedup: isNew=%v err=%v", isNew, err)
+	}
+	abandoned, cancel := context.WithCancel(context.Background())
+	cancel()
+	e.WaitOrAbandon(abandoned, first)
+	if first.State() == StateCancelled {
+		t.Fatal("job cancelled while a dedup-attached waiter had not yet waited")
+	}
+	done := make(chan bool, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		done <- e.WaitOrAbandon(context.Background(), second)
+	}()
+	close(release)
+	wg.Wait()
+	if !<-done {
+		t.Fatal("surviving waiter should observe completion")
+	}
+	if first.State() != StateDone {
+		t.Fatalf("state = %s", first.State())
+	}
+}
+
+// TestDedupAttachWidensQueuedDeadline: attaching a more patient request
+// to a still-queued job relaxes its deadline.
+func TestDedupAttachWidensQueuedDeadline(t *testing.T) {
+	e := NewEngine(Options{Workers: 1, QueueDepth: 4})
+	defer e.Close()
+
+	// Occupy the worker so the interesting job stays queued.
+	block := make(chan struct{})
+	defer close(block)
+	if _, _, err := e.Submit(Request{
+		Key: testKey("g", 1, "busy", ""),
+		Run: func(ctx context.Context) (any, error) { <-block; return nil, nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("g", 1, "slow", "")
+	sleeper := func(ctx context.Context) (any, error) {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(200 * time.Millisecond):
+			return "ok", nil
+		}
+	}
+	j, _, err := e.Submit(Request{Key: key, Pin: true, Timeout: 10 * time.Millisecond, Run: sleeper})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isNew, err := e.Submit(Request{Key: key, Pin: true, Timeout: 5 * time.Second, Run: sleeper}); err != nil || isNew {
+		t.Fatalf("attach: isNew=%v err=%v", isNew, err)
+	}
+	// Free the worker; the queued job now runs under the widened
+	// deadline and needs 200ms — far past the original 10ms.
+	block <- struct{}{}
+	<-j.Done()
+	if j.State() != StateDone {
+		t.Fatalf("state = %s err = %v; the widened deadline should outlast the run", j.State(), j.Err())
+	}
+}
+
+func TestCloseCancelsRunningAndQueued(t *testing.T) {
+	e := NewEngine(Options{Workers: 1, QueueDepth: 4})
+
+	started := make(chan struct{})
+	running, _, err := e.Submit(Request{
+		Key: testKey("g", 1, "run", ""),
+		Run: func(ctx context.Context) (any, error) {
+			close(started)
+			<-ctx.Done()
+			return nil, ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, _, err := e.Submit(Request{
+		Key: testKey("g", 1, "wait", ""),
+		Run: func(ctx context.Context) (any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	if running.State() != StateCancelled {
+		t.Fatalf("running job state = %s", running.State())
+	}
+	if st := queued.State(); st != StateCancelled {
+		t.Fatalf("queued job state = %s", st)
+	}
+	if _, _, err := e.Submit(Request{Key: testKey("g", 1, "x", ""), Run: func(ctx context.Context) (any, error) { return nil, nil }}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("submit after close: %v", err)
+	}
+}
+
+func TestJobRetentionPrunesTerminal(t *testing.T) {
+	e := NewEngine(Options{Workers: 2, MaxJobs: 4})
+	defer e.Close()
+
+	for i := 0; i < 10; i++ {
+		j, _, err := e.Submit(Request{
+			Key: testKey("g", 1, fmt.Sprintf("alg%d", i), ""),
+			Run: func(ctx context.Context) (any, error) { return i, nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-j.Done()
+	}
+	if n := len(e.List()); n > 5 { // bound + at most the in-flight one
+		t.Fatalf("retained %d job records, want <= 5", n)
+	}
+}
+
+// TestConcurrentSubmitters hammers Submit/Cancel/WaitOrAbandon from many
+// goroutines; run under -race in CI.
+func TestConcurrentSubmitters(t *testing.T) {
+	e := NewEngine(Options{Workers: 4, QueueDepth: 256})
+	defer e.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				key := testKey("g", uint64(k%3), "alg", fmt.Sprintf(`{"k":%d}`, k%5))
+				j, _, err := e.Submit(Request{
+					Key: key,
+					Pin: i%2 == 0,
+					Run: func(ctx context.Context) (any, error) {
+						if err := ctx.Err(); err != nil {
+							return nil, err
+						}
+						return k, nil
+					},
+				})
+				if err != nil {
+					continue // queue full under burst is fine
+				}
+				switch k % 3 {
+				case 0:
+					e.WaitOrAbandon(context.Background(), j)
+				case 1:
+					ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+					e.WaitOrAbandon(ctx, j)
+					cancel()
+				case 2:
+					e.Cancel(j.ID())
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := e.StatsSnapshot()
+	if s.Submitted != 8*50 {
+		t.Fatalf("submitted = %d", s.Submitted)
+	}
+}

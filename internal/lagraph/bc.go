@@ -1,6 +1,10 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"context"
+
+	"lagraph/internal/grb"
+)
 
 // Betweenness centrality (paper §IV-B, Algorithm 3): Brandes' algorithm
 // batched over ns source vertices. The forward (BFS) phase counts shortest
@@ -31,6 +35,13 @@ func BetweennessCentrality[T grb.Value](g *Graph[T], sources []int) (*grb.Vector
 // BetweennessCentralityAdvanced is Algorithm 3 (Advanced mode): G.AT must
 // be cached.
 func BetweennessCentralityAdvanced[T grb.Value](g *Graph[T], sources []int) (*grb.Vector[float64], error) {
+	return BetweennessCentralityAdvancedCtx(context.Background(), g, sources)
+}
+
+// BetweennessCentralityAdvancedCtx is the cancellable Advanced-mode BC:
+// ctx is polled once per BFS level in the forward phase and once per
+// level in the backtrack phase, returning ctx.Err() once it is done.
+func BetweennessCentralityAdvancedCtx[T grb.Value](ctx context.Context, g *Graph[T], sources []int) (*grb.Vector[float64], error) {
 	if g == nil || g.A == nil {
 		return nil, errf(StatusInvalidGraph, "BetweennessCentralityAdvanced: nil graph")
 	}
@@ -65,6 +76,9 @@ func BetweennessCentralityAdvanced[T grb.Value](g *Graph[T], sources []int) (*gr
 	var S []*grb.Matrix[bool]
 	plus := func(a, b float64) float64 { return a + b }
 	for depth := 0; depth < n; depth++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if F.NVals() == 0 {
 			break
 		}
@@ -92,6 +106,9 @@ func BetweennessCentralityAdvanced[T grb.Value](g *Graph[T], sources []int) (*gr
 	}
 	backSemiring := grb.PlusFirst[float64, T]()
 	for i := len(S) - 1; i >= 1; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// W⟨s(S[i]), r⟩ = B div∩ P.
 		W := grb.MustMatrix[float64](ns, n)
 		if err := grb.EWiseMult(W, grb.StructMaskOf(S[i]), nil, grb.DivOp[float64](), B, P, grb.DescR); err != nil {

@@ -1,6 +1,10 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"context"
+
+	"lagraph/internal/grb"
+)
 
 // Breadth-first search (paper §IV-A, Algorithms 1 and 2).
 //
@@ -69,7 +73,7 @@ func BFSParent[T grb.Value](g *Graph[T], src int) (*grb.Vector[int64], error) {
 	if rowDegree == nil {
 		return nil, errf(StatusPropertyMissing, "BFSParent: G.RowDegree not cached (call PropertyRowDegree)")
 	}
-	p, _, err := bfsDirOpt(g, at, rowDegree, src, true, false)
+	p, _, err := bfsDirOpt(context.Background(), g, at, rowDegree, src, true, false)
 	return p, err
 }
 
@@ -84,7 +88,7 @@ func BFSLevel[T grb.Value](g *Graph[T], src int) (*grb.Vector[int32], error) {
 	if at == nil || rowDegree == nil {
 		return nil, errf(StatusPropertyMissing, "BFSLevel: G.AT and G.RowDegree must be cached")
 	}
-	_, l, err := bfsDirOpt(g, at, rowDegree, src, false, true)
+	_, l, err := bfsDirOpt(context.Background(), g, at, rowDegree, src, false, true)
 	return l, err
 }
 
@@ -93,6 +97,13 @@ func BFSLevel[T grb.Value](g *Graph[T], src int) (*grb.Vector[int32], error) {
 // can notice), then runs the direction-optimizing algorithm. Either output
 // may be requested; pass false to skip one.
 func BreadthFirstSearch[T grb.Value](g *Graph[T], src int, wantParent, wantLevel bool) (*grb.Vector[int64], *grb.Vector[int32], error) {
+	return BreadthFirstSearchCtx(context.Background(), g, src, wantParent, wantLevel)
+}
+
+// BreadthFirstSearchCtx is the cancellable Basic-mode BFS: identical to
+// BreadthFirstSearch, but the traversal polls ctx once per level and
+// returns ctx.Err() when it is done.
+func BreadthFirstSearchCtx[T grb.Value](ctx context.Context, g *Graph[T], src int, wantParent, wantLevel bool) (*grb.Vector[int64], *grb.Vector[int32], error) {
 	if err := validateSource(g, src, "BreadthFirstSearch"); err != nil {
 		return nil, nil, err
 	}
@@ -109,7 +120,7 @@ func BreadthFirstSearch[T grb.Value](g *Graph[T], src int, wantParent, wantLevel
 		}
 		warned = true
 	}
-	p, l, err := bfsDirOpt(g, g.CachedAT(), g.CachedRowDegree(), src, wantParent, wantLevel)
+	p, l, err := bfsDirOpt(ctx, g, g.CachedAT(), g.CachedRowDegree(), src, wantParent, wantLevel)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -122,8 +133,9 @@ func BreadthFirstSearch[T grb.Value](g *Graph[T], src int, wantParent, wantLevel
 // bfsDirOpt runs the direction-optimizing BFS, producing the parent and/or
 // level vectors. at and rowDegree are the caller's snapshots of the cached
 // properties, taken through the Cached* accessors so concurrent property
-// materialization on g cannot race with the traversal.
-func bfsDirOpt[T grb.Value](g *Graph[T], at *grb.Matrix[T], rowDegree *grb.Vector[int64], src int, wantParent, wantLevel bool) (*grb.Vector[int64], *grb.Vector[int32], error) {
+// materialization on g cannot race with the traversal. ctx is polled once
+// per BFS level.
+func bfsDirOpt[T grb.Value](ctx context.Context, g *Graph[T], at *grb.Matrix[T], rowDegree *grb.Vector[int64], src int, wantParent, wantLevel bool) (*grb.Vector[int64], *grb.Vector[int32], error) {
 	n := g.NumNodes()
 	var p *grb.Vector[int64]
 	var l *grb.Vector[int32]
@@ -146,6 +158,9 @@ func bfsDirOpt[T grb.Value](g *Graph[T], at *grb.Matrix[T], rowDegree *grb.Vecto
 	doPush := true
 	nq := 1
 	for level := int32(1); level < int32(n); level++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		// GAP heuristic: compare the frontier's outgoing edges with the
 		// edges left to explore.
 		if doPush {

@@ -1,0 +1,98 @@
+package lagraph
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"lagraph/internal/gen"
+)
+
+// Cancellation contract: every *Ctx algorithm polls its context inside the
+// iteration loop and returns context.Canceled — the raw sentinel, not a
+// wrapped lagraph error — once the context is done.
+
+// cancelledCtx returns an already-cancelled context.
+func cancelledCtx() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	return ctx
+}
+
+func TestAllAlgorithmsObservePreCancelledContext(t *testing.T) {
+	g := graphFromEdges(t, gen.Kron(7, 8, 1)) // undirected, so TC runs too
+	if err := g.PropertyAT(); err != nil && !IsWarning(err) {
+		t.Fatal(err)
+	}
+	if err := g.PropertyRowDegree(); err != nil && !IsWarning(err) {
+		t.Fatal(err)
+	}
+	ctx := cancelledCtx()
+
+	for _, tc := range []struct {
+		name string
+		run  func() error
+	}{
+		{"bfs", func() error { _, _, err := BreadthFirstSearchCtx(ctx, g, 0, true, true); return err }},
+		{"pagerank-gap", func() error { _, _, err := PageRankGAPCtx(ctx, g, 0.85, 1e-4, 100); return err }},
+		{"pagerank-gx", func() error { _, _, err := PageRankGXCtx(ctx, g, 0.85, 1e-4, 100); return err }},
+		{"cc", func() error { _, err := ConnectedComponentsCtx(ctx, g); return err }},
+		{"sssp", func() error { _, err := SSSPDeltaSteppingCtx(ctx, g, 0, 2); return err }},
+		{"tc", func() error { _, err := TriangleCountCtx(ctx, g); return err }},
+		{"bc", func() error { _, err := BetweennessCentralityAdvancedCtx(ctx, g, []int{0, 1}); return err }},
+	} {
+		if err := tc.run(); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", tc.name, err)
+		}
+	}
+}
+
+// TestPageRankCancelledMidIteration cancels a PageRank that can never
+// converge (negative tolerance, effectively unbounded iteration budget)
+// and requires the loop to stop promptly with context.Canceled — the
+// "cancelled job stops consuming CPU" half of the jobs-engine contract.
+func TestPageRankCancelledMidIteration(t *testing.T) {
+	g := graphFromEdges(t, gen.Kron(8, 8, 1))
+	if err := g.PropertyAT(); err != nil && !IsWarning(err) {
+		t.Fatal(err)
+	}
+	if err := g.PropertyRowDegree(); err != nil && !IsWarning(err) {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, iters, err := PageRankGXCtx(ctx, g, 0.85, -1 /* never converges */, 1<<30)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v after %d iters, want context.Canceled", err, iters)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %s; the loop is not polling its context", elapsed)
+	}
+	if iters == 0 {
+		t.Fatal("expected at least one completed iteration before cancellation")
+	}
+}
+
+// TestContextFreeEntryPointsStillWork pins the compatibility contract: the
+// original signatures delegate to the Ctx variants with a background
+// context and behave exactly as before.
+func TestContextFreeEntryPointsStillWork(t *testing.T) {
+	g := graphFromEdges(t, gen.Kron(6, 8, 1))
+	if _, _, err := BreadthFirstSearch(g, 0, true, false); err != nil && !IsWarning(err) {
+		t.Fatalf("bfs: %v", err)
+	}
+	if _, _, err := PageRank(g, 0.85, 1e-4, 50); err != nil && !IsWarning(err) {
+		t.Fatalf("pagerank: %v", err)
+	}
+	if _, err := ConnectedComponents(g); err != nil && !IsWarning(err) {
+		t.Fatalf("cc: %v", err)
+	}
+	if _, err := TriangleCount(g); err != nil && !IsWarning(err) {
+		t.Fatalf("tc: %v", err)
+	}
+}

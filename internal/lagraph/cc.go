@@ -1,6 +1,10 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"context"
+
+	"lagraph/internal/grb"
+)
 
 // Connected components (paper §IV-F, Algorithm 7): the FastSV algorithm of
 // Zhang, Azad and Buluç. A forest of trees is kept in a parent vector f;
@@ -12,6 +16,13 @@ import "lagraph/internal/grb"
 // handled by operating on the symmetrised pattern A ∪ Aᵀ (weak
 // components), which may require computing the transpose.
 func ConnectedComponents[T grb.Value](g *Graph[T]) (*grb.Vector[int64], error) {
+	return ConnectedComponentsCtx(context.Background(), g)
+}
+
+// ConnectedComponentsCtx is the cancellable Basic-mode FastSV: ctx is
+// polled once per hooking/shortcutting round, returning ctx.Err() once it
+// is done.
+func ConnectedComponentsCtx[T grb.Value](ctx context.Context, g *Graph[T]) (*grb.Vector[int64], error) {
 	if g == nil || g.A == nil {
 		return nil, errf(StatusInvalidGraph, "ConnectedComponents: nil graph")
 	}
@@ -22,7 +33,7 @@ func ConnectedComponents[T grb.Value](g *Graph[T]) (*grb.Vector[int64], error) {
 	if err != nil {
 		return nil, err
 	}
-	return fastSV(S)
+	return fastSV(ctx, S)
 }
 
 // ConnectedComponentsAdvanced runs FastSV directly on G.A, requiring the
@@ -40,7 +51,7 @@ func ConnectedComponentsAdvanced[T grb.Value](g *Graph[T]) (*grb.Vector[int64], 
 	if err != nil {
 		return nil, err
 	}
-	return fastSV(S)
+	return fastSV(context.Background(), S)
 }
 
 // symmetricPattern returns pattern(A) for symmetric inputs, else
@@ -68,8 +79,9 @@ func symmetricPattern[T grb.Value](g *Graph[T]) (*grb.Matrix[bool], error) {
 	return p, nil
 }
 
-// fastSV is Algorithm 7 on a boolean symmetric-pattern matrix.
-func fastSV(S *grb.Matrix[bool]) (*grb.Vector[int64], error) {
+// fastSV is Algorithm 7 on a boolean symmetric-pattern matrix. ctx is
+// polled once per round.
+func fastSV(ctx context.Context, S *grb.Matrix[bool]) (*grb.Vector[int64], error) {
 	n := S.NRows()
 	if n == 0 {
 		return grb.MustVector[int64](0), nil
@@ -96,6 +108,9 @@ func fastSV(S *grb.Matrix[bool]) (*grb.Vector[int64], error) {
 	}
 	semiring := grb.MinSecond[bool, int64]()
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// mngf(i) = min over neighbours k of gf(k), keeping the previous
 		// value (accumulate with min): steps 1's first two lines.
 		if err := grb.MxV(mngf, grb.NoVMask, minOp, semiring, S, gf, nil); err != nil {

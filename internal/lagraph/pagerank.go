@@ -1,6 +1,10 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"context"
+
+	"lagraph/internal/grb"
+)
 
 // PageRank (paper §IV-C, Algorithm 4). Two variants are provided, exactly
 // as the paper describes: PageRankGAP reproduces the GAP benchmark's
@@ -14,6 +18,12 @@ import "lagraph/internal/grb"
 // and RowDegree properties. It returns the rank vector and the number of
 // iterations performed.
 func PageRankGAP[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*grb.Vector[float64], int, error) {
+	return PageRankGAPCtx(context.Background(), g, damping, tol, itermax)
+}
+
+// PageRankGAPCtx is the cancellable PageRankGAP: the power iteration polls
+// ctx once per sweep and returns ctx.Err() when it is done.
+func PageRankGAPCtx[T grb.Value](ctx context.Context, g *Graph[T], damping, tol float64, itermax int) (*grb.Vector[float64], int, error) {
 	if g == nil || g.A == nil {
 		return nil, 0, errf(StatusInvalidGraph, "PageRankGAP: nil graph")
 	}
@@ -21,13 +31,18 @@ func PageRankGAP[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*
 	if at == nil || rowDegree == nil {
 		return nil, 0, errf(StatusPropertyMissing, "PageRankGAP: G.AT and G.RowDegree must be cached")
 	}
-	return pagerank(g, at, rowDegree, damping, tol, itermax, false)
+	return pagerank(ctx, g, at, rowDegree, damping, tol, itermax, false)
 }
 
 // PageRankGX is the Graphalytics variant (Advanced mode): dangling
 // vertices' rank is gathered each iteration and redistributed uniformly,
 // so the ranks remain a probability distribution.
 func PageRankGX[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*grb.Vector[float64], int, error) {
+	return PageRankGXCtx(context.Background(), g, damping, tol, itermax)
+}
+
+// PageRankGXCtx is the cancellable PageRankGX.
+func PageRankGXCtx[T grb.Value](ctx context.Context, g *Graph[T], damping, tol float64, itermax int) (*grb.Vector[float64], int, error) {
 	if g == nil || g.A == nil {
 		return nil, 0, errf(StatusInvalidGraph, "PageRankGX: nil graph")
 	}
@@ -35,7 +50,7 @@ func PageRankGX[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*g
 	if at == nil || rowDegree == nil {
 		return nil, 0, errf(StatusPropertyMissing, "PageRankGX: G.AT and G.RowDegree must be cached")
 	}
-	return pagerank(g, at, rowDegree, damping, tol, itermax, true)
+	return pagerank(ctx, g, at, rowDegree, damping, tol, itermax, true)
 }
 
 // PageRank is the Basic-mode entry point: properties are computed and
@@ -58,7 +73,7 @@ func PageRank[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*grb
 		}
 		warned = true
 	}
-	r, it, err := pagerank(g, g.CachedAT(), g.CachedRowDegree(), damping, tol, itermax, true)
+	r, it, err := pagerank(context.Background(), g, g.CachedAT(), g.CachedRowDegree(), damping, tol, itermax, true)
 	if err == nil && warned {
 		return r, it, &Warning{Status: WarnCacheNotComputed, Msg: "PageRank cached graph properties"}
 	}
@@ -68,7 +83,8 @@ func PageRank[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*grb
 // pagerank runs Algorithm 4 against the caller's snapshots of the cached
 // transpose and out-degree vector (taken via the Cached* accessors, so
 // concurrent property materialization cannot race with the iteration).
-func pagerank[T grb.Value](g *Graph[T], at *grb.Matrix[T], rowDegree *grb.Vector[int64], damping, tol float64, itermax int, handleDangling bool) (*grb.Vector[float64], int, error) {
+// ctx is polled once per power-iteration sweep.
+func pagerank[T grb.Value](ctx context.Context, g *Graph[T], at *grb.Matrix[T], rowDegree *grb.Vector[int64], damping, tol float64, itermax int, handleDangling bool) (*grb.Vector[float64], int, error) {
 	n := g.NumNodes()
 	if n == 0 {
 		return grb.MustVector[float64](0), 0, nil
@@ -107,6 +123,9 @@ func pagerank[T grb.Value](g *Graph[T], at *grb.Matrix[T], rowDegree *grb.Vector
 
 	iters := 0
 	for k := 0; k < itermax; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, iters, err
+		}
 		iters = k + 1
 		// swap t and r: t is now the prior rank.
 		t, r = r, t

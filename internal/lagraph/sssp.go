@@ -1,6 +1,10 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"context"
+
+	"lagraph/internal/grb"
+)
 
 // Single-source shortest paths (paper §IV-D, Algorithm 5): delta-stepping
 // on the min.plus semiring, after Sridhar et al. Edges are partitioned
@@ -51,6 +55,13 @@ func defaultDelta[T grb.Number](g *Graph[T]) T {
 // floating-point weight types (callers on integer graphs should use
 // Reachable to interpret the result: unreached entries hold MaxOf[T]).
 func SSSPDeltaStepping[T grb.Number](g *Graph[T], src int, delta T) (*grb.Vector[T], error) {
+	return SSSPDeltaSteppingCtx(context.Background(), g, src, delta)
+}
+
+// SSSPDeltaSteppingCtx is the cancellable delta-stepping SSSP: ctx is
+// polled at every bucket epoch and every inner light-edge relaxation
+// round, returning ctx.Err() once it is done.
+func SSSPDeltaSteppingCtx[T grb.Number](ctx context.Context, g *Graph[T], src int, delta T) (*grb.Vector[T], error) {
 	if err := validateSource(g, src, "SSSPDeltaStepping"); err != nil {
 		return nil, err
 	}
@@ -100,6 +111,9 @@ func SSSPDeltaStepping[T grb.Number](g *Graph[T], src int, delta T) (*grb.Vector
 	}
 
 	for i := 0; ; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		lo := T(i) * delta
 		hi := lo + delta
 		// tB = t⟨iΔ ≤ t < (i+1)Δ⟩ (line 8).
@@ -111,6 +125,9 @@ func SSSPDeltaStepping[T grb.Number](g *Graph[T], src int, delta T) (*grb.Vector
 		// role): those get one heavy relaxation when the bucket closes.
 		e := grb.MustVector[bool](n)
 		for tB.NVals() != 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			tB.Iterate(func(k int, _ T) { lagTry(e.SetElement(true, k)) })
 			// tReq = ALᵀ min.plus tB, expressed as the push tBᵀ·AL
 			// (line 10-11).

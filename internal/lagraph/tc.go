@@ -1,6 +1,10 @@
 package lagraph
 
-import "lagraph/internal/grb"
+import (
+	"context"
+
+	"lagraph/internal/grb"
+)
 
 // Triangle counting (paper §IV-E, Algorithm 6): count unique 3-cliques of
 // an undirected graph. The paper's method masks a plus.pair matrix
@@ -28,6 +32,14 @@ const (
 // needed), caches RowDegree for the sort heuristic, and runs Algorithm 6
 // with the presort decided by SampleDegree.
 func TriangleCount[T grb.Value](g *Graph[T]) (int64, error) {
+	return TriangleCountCtx(context.Background(), g)
+}
+
+// TriangleCountCtx is the cancellable Basic-mode triangle count. TC has no
+// iteration loop — it is a handful of O(nnz)+ phases (diagonal strip,
+// degree sort, masked multiply) — so ctx is polled between phases, the
+// finest granularity the formulation admits.
+func TriangleCountCtx[T grb.Value](ctx context.Context, g *Graph[T]) (int64, error) {
 	if g == nil || g.A == nil {
 		return 0, errf(StatusInvalidGraph, "TriangleCount: nil graph")
 	}
@@ -38,6 +50,9 @@ func TriangleCount[T grb.Value](g *Graph[T]) (int64, error) {
 		if err := g.PropertyNDiag(); err != nil && !IsWarning(err) {
 			return 0, err
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	work := g
 	if g.CachedNDiag() > 0 {
@@ -64,13 +79,18 @@ func TriangleCount[T grb.Value](g *Graph[T]) (int64, error) {
 		return 0, err
 	}
 	presort := mean > 4*median
-	return TriangleCountAdvanced(work, TCSandiaLUT, presort)
+	return triangleCount(ctx, work, TCSandiaLUT, presort)
 }
 
 // TriangleCountAdvanced runs a chosen method (Advanced mode: RowDegree
 // must be cached when presort is requested; nothing is computed or cached
 // on the graph).
 func TriangleCountAdvanced[T grb.Value](g *Graph[T], method TCMethod, presort bool) (int64, error) {
+	return triangleCount(context.Background(), g, method, presort)
+}
+
+// triangleCount runs a chosen method, polling ctx between phases.
+func triangleCount[T grb.Value](ctx context.Context, g *Graph[T], method TCMethod, presort bool) (int64, error) {
 	if g == nil || g.A == nil {
 		return 0, errf(StatusInvalidGraph, "TriangleCountAdvanced: nil graph")
 	}
@@ -89,6 +109,9 @@ func TriangleCountAdvanced[T grb.Value](g *Graph[T], method TCMethod, presort bo
 			return 0, wrap(StatusInvalidValue, err, "TriangleCountAdvanced permute")
 		}
 		A = permuted
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	var zero T
 	tril := func() (*grb.Matrix[T], error) {
@@ -115,6 +138,9 @@ func TriangleCountAdvanced[T grb.Value](g *Graph[T], method TCMethod, presort bo
 		}
 		U, err := triu()
 		if err != nil {
+			return 0, err
+		}
+		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
 		// C⟨s(L)⟩ = L plus.pair Uᵀ — SS:GrB uses a dot product here

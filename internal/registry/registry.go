@@ -70,9 +70,10 @@ type flight struct {
 // Entry is one resident graph. All counters are atomics so /stats can
 // snapshot them without taking the registry lock.
 type Entry struct {
-	name  string
-	graph *lagraph.Graph[float64]
-	bytes int64
+	name    string
+	graph   *lagraph.Graph[float64]
+	bytes   int64
+	version uint64 // monotonic per name; see Registry.versions
 
 	refs     atomic.Int64 // outstanding leases
 	loadedAt time.Time
@@ -100,6 +101,13 @@ func (e *Entry) Graph() *lagraph.Graph[float64] { return e.graph }
 
 // Bytes returns the entry's estimated memory footprint.
 func (e *Entry) Bytes() int64 { return e.bytes }
+
+// Version returns this entry's per-name graph version: a monotonically
+// increasing counter bumped every time the name is loaded, replaced or
+// deleted. Results computed against (name, version) — the jobs engine's
+// cache key — can therefore never be served for a different incarnation
+// of the graph.
+func (e *Entry) Version() uint64 { return e.version }
 
 // CountAlgRun records one algorithm invocation against this graph.
 func (e *Entry) CountAlgRun() { e.algRuns.Add(1) }
@@ -171,6 +179,11 @@ type Registry struct {
 	curBytes int64
 	closed   bool
 
+	// versions survives the entries themselves: it is bumped on every
+	// load, replacement and delete of a name, so a re-added graph always
+	// carries a version the old one never had.
+	versions map[string]uint64
+
 	evictions atomic.Int64
 	loads     atomic.Int64
 }
@@ -182,6 +195,7 @@ func New(maxBytes int64) *Registry {
 		entries:  make(map[string]*Entry),
 		lru:      list.New(),
 		maxBytes: maxBytes,
+		versions: make(map[string]uint64),
 	}
 }
 
@@ -229,7 +243,8 @@ func (r *Registry) Add(name string, g *lagraph.Graph[float64]) (*Entry, error) {
 			return nil, fmt.Errorf("%w: %q needs %d bytes, %d in use and pinned", ErrNoCapacity, name, bytes, r.curBytes)
 		}
 	}
-	e := &Entry{name: name, graph: g, bytes: bytes, loadedAt: time.Now()}
+	r.versions[name]++
+	e := &Entry{name: name, graph: g, bytes: bytes, version: r.versions[name], loadedAt: time.Now()}
 	e.lastUsed.Store(time.Now().UnixNano())
 	e.elem = r.lru.PushFront(e)
 	r.entries[name] = e
@@ -267,6 +282,9 @@ func (r *Registry) removeLocked(e *Entry) {
 	delete(r.entries, e.name)
 	r.lru.Remove(e.elem)
 	r.curBytes -= e.bytes
+	// Deletion retires the version: any still-cached result for it is
+	// unreachable from a future Acquire of the same name.
+	r.versions[e.name]++
 }
 
 // Acquire leases the named graph, bumping its ref-count and LRU position.
@@ -313,6 +331,7 @@ func (r *Registry) Close() {
 // GraphInfo is the per-graph stats snapshot.
 type GraphInfo struct {
 	Name       string   `json:"name"`
+	Version    uint64   `json:"version"`
 	Kind       string   `json:"kind"`
 	Nodes      int      `json:"nodes"`
 	Edges      int      `json:"edges"`
@@ -374,6 +393,7 @@ func infoOf(e *Entry) GraphInfo {
 	comp := e.propComputes.Load()
 	return GraphInfo{
 		Name:             e.name,
+		Version:          e.version,
 		Kind:             lagraph.KindName(g.Kind),
 		Nodes:            g.NumNodes(),
 		Edges:            g.NumEdges(),

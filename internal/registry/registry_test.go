@@ -202,3 +202,69 @@ func TestStatsSnapshot(t *testing.T) {
 		t.Fatalf("bytes in use %d != entry bytes %d", s.CurBytes, gi.Bytes)
 	}
 }
+
+// TestGraphVersioning pins the version contract the jobs engine's result
+// cache keys on: every load, replacement and delete of a name bumps its
+// version, and versions are never reused across incarnations.
+func TestGraphVersioning(t *testing.T) {
+	r := New(0)
+	e1, err := r.Add("g", loadGraph(t, "g", 5, false))
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if e1.Version() != 1 {
+		t.Fatalf("first version = %d, want 1", e1.Version())
+	}
+	if info, _ := r.Info("g"); info.Version != 1 {
+		t.Fatalf("Info version = %d, want 1", info.Version)
+	}
+	if err := r.Remove("g"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	// Delete bumps, so the re-add lands two past the original.
+	e2, err := r.Add("g", loadGraph(t, "g", 5, false))
+	if err != nil {
+		t.Fatalf("re-Add: %v", err)
+	}
+	if e2.Version() <= e1.Version() {
+		t.Fatalf("re-added version %d not past %d", e2.Version(), e1.Version())
+	}
+	if e2.Version() != 3 {
+		t.Fatalf("re-added version = %d, want 3 (load, delete, load)", e2.Version())
+	}
+	// An unrelated name starts its own sequence.
+	o, err := r.Add("other", loadGraph(t, "other", 5, true))
+	if err != nil {
+		t.Fatalf("Add other: %v", err)
+	}
+	if o.Version() != 1 {
+		t.Fatalf("other version = %d, want 1", o.Version())
+	}
+}
+
+// TestVersionBumpOnEviction: LRU eviction retires the version exactly like
+// an explicit delete.
+func TestVersionBumpOnEviction(t *testing.T) {
+	g := loadGraph(t, "a", 5, false)
+	per := EstimateBytes(g)
+	r := New(per + per/2) // room for one graph only
+	ea, err := r.Add("a", g)
+	if err != nil {
+		t.Fatalf("Add a: %v", err)
+	}
+	if _, err := r.Add("b", loadGraph(t, "b", 5, false)); err != nil {
+		t.Fatalf("Add b (evicting a): %v", err)
+	}
+	if _, ok := r.Info("a"); ok {
+		t.Fatal("a should have been evicted")
+	}
+	// Re-adding evicts b in turn; the new "a" must carry a version past
+	// the evicted one (load=1, eviction bumps to 2, reload=3).
+	ea2, err := r.Add("a", loadGraph(t, "a", 5, false))
+	if err != nil {
+		t.Fatalf("re-Add after eviction: %v", err)
+	}
+	if ea2.Version() <= ea.Version() {
+		t.Fatalf("post-eviction version %d not past %d", ea2.Version(), ea.Version())
+	}
+}

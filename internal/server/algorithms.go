@@ -1,20 +1,22 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
-	"time"
 
 	"lagraph/internal/grb"
+	"lagraph/internal/jobs"
 	"lagraph/internal/lagraph"
 	"lagraph/internal/registry"
 )
 
-// algoParams is the JSON body of POST /graphs/{name}/algorithms/{alg}.
-// Every field is optional; algorithms pick sensible defaults.
+// algoParams is the JSON body of POST /graphs/{name}/algorithms/{alg} and
+// the "params" object of an async job submission. Every field is optional;
+// algorithms pick sensible defaults.
 type algoParams struct {
 	Source  int   `json:"source"`
 	Sources []int `json:"sources"` // bc batch
@@ -29,6 +31,29 @@ type algoParams struct {
 	Level bool `json:"level"` // bfs: also return levels
 
 	Limit int `json:"limit"` // max entries echoed per vector (default 32)
+}
+
+// normalize clamps the echo limit; the result doubles as the canonical
+// parameter encoding for the jobs engine's dedup/cache key, so two
+// requests that differ only in an out-of-range limit share one
+// computation.
+func (p *algoParams) normalize() {
+	if p.Limit <= 0 {
+		p.Limit = 32
+	}
+	if p.Limit > 1<<20 {
+		p.Limit = 1 << 20
+	}
+}
+
+// canonical returns the dedup/cache key encoding of the parameters
+// (struct-order JSON, deterministic for a fixed struct definition).
+func (p *algoParams) canonical() string {
+	b, err := json.Marshal(p)
+	if err != nil { // unreachable: plain struct of scalars
+		return fmt.Sprintf("%+v", *p)
+	}
+	return string(b)
 }
 
 // vecSummary is the JSON shape of a sparse result vector: total entry
@@ -59,7 +84,10 @@ func summarize[T grb.Number](v *grb.Vector[T], limit int) *vecSummary {
 	return s
 }
 
-// algoResponse is the common envelope of algorithm results.
+// algoResponse is the common envelope of algorithm results. Completed
+// responses are stored in the jobs engine's result cache and may be
+// served to several requests — they are immutable once the computation
+// returns (Seconds is the original compute time, not the serve time).
 type algoResponse struct {
 	Graph     string `json:"graph"`
 	Algorithm string `json:"algorithm"`
@@ -79,9 +107,11 @@ type algoResponse struct {
 	Centrality *vecSummary `json:"centrality,omitempty"`
 }
 
-// handleAlgorithm leases the named graph, materializes the properties the
-// algorithm needs through the registry's single flight, runs it, and
-// returns a JSON summary.
+// handleAlgorithm is the synchronous algorithm endpoint, re-implemented as
+// submit-and-wait on the jobs engine: the request becomes a job (sharing
+// dedup and the versioned result cache with async submissions), the
+// handler waits with the request context, and a disconnected client whose
+// job has no other audience cancels the underlying computation.
 func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	name, alg := r.PathValue("name"), r.PathValue("alg")
 
@@ -93,43 +123,44 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if p.Limit <= 0 {
-		p.Limit = 32
-	}
-	if p.Limit > 1<<20 {
-		p.Limit = 1 << 20
-	}
 
-	lease, err := s.reg.Acquire(name)
+	job, err := s.submitAlgorithmJob(name, alg, &p, false, 0)
 	if err != nil {
-		writeRegistryError(w, err)
+		writeSubmitError(w, err)
 		return
 	}
-	defer lease.Release()
-	entry := lease.Entry()
-	g := lease.Graph()
+	if !s.jobs.WaitOrAbandon(r.Context(), job) {
+		// The client is gone; if it was the job's only audience the job is
+		// already cancelled. Nobody will read this response.
+		writeError(w, http.StatusServiceUnavailable, "request abandoned")
+		return
+	}
+	s.writeJobOutcome(w, job)
+}
 
-	if err := entry.EnsureProperties(requiredProperties(alg, g)...); err != nil {
-		s.algErrors.Add(1)
+// writeJobOutcome renders a terminal job the way the synchronous API
+// always has: the bare result envelope on success, a mapped error
+// otherwise.
+func (s *Server) writeJobOutcome(w http.ResponseWriter, j *jobs.Job) {
+	if v, ok := j.Result(); ok {
+		writeJSON(w, http.StatusOK, v)
+		return
+	}
+	err := j.Err()
+	switch {
+	case err == nil: // terminal without result or error: cancelled race
+		writeError(w, http.StatusServiceUnavailable, "job cancelled")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "job cancelled")
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "job deadline exceeded")
+	case isUnknownAlg(err):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, errInternalFailure):
 		writeError(w, http.StatusInternalServerError, err.Error())
-		return
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
 	}
-
-	resp := algoResponse{Graph: name, Algorithm: alg}
-	start := time.Now()
-	err = runAlgorithm(alg, g, &p, &resp)
-	resp.Seconds = time.Since(start).Seconds()
-	if err != nil {
-		s.algErrors.Add(1)
-		status := http.StatusBadRequest
-		if isUnknownAlg(err) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, err.Error())
-		return
-	}
-	entry.CountAlgRun()
-	writeJSON(w, http.StatusOK, resp)
 }
 
 // requiredProperties maps an algorithm to the cached properties it wants,
@@ -157,13 +188,29 @@ var errUnknownAlg = errors.New("unknown algorithm")
 
 func isUnknownAlg(err error) bool { return errors.Is(err, errUnknownAlg) }
 
-// runAlgorithm dispatches one algorithm call. Properties the algorithm
-// requires are already materialized, so only Advanced-mode (non-caching)
-// entry points run here and concurrent calls never mutate the graph.
-func runAlgorithm(alg string, g *lagraph.Graph[float64], p *algoParams, resp *algoResponse) error {
+// errInternalFailure tags job errors that are the server's fault (e.g. a
+// property materialization failing), mapping them to 500 instead of the
+// 400 that parameter errors earn.
+var errInternalFailure = errors.New("internal failure")
+
+// knownAlg validates an algorithm name before a job is minted for it.
+func knownAlg(alg string) bool {
+	switch alg {
+	case "bfs", "pagerank", "cc", "sssp", "tc", "bc":
+		return true
+	}
+	return false
+}
+
+// runAlgorithm dispatches one algorithm call through the cancellable Ctx
+// entry points; the iteration loops poll ctx so a cancelled job stops
+// computing within one iteration. Properties the algorithm requires are
+// already materialized, so only Advanced-mode (non-caching) entry points
+// run here and concurrent calls never mutate the graph.
+func runAlgorithm(ctx context.Context, alg string, g *lagraph.Graph[float64], p *algoParams, resp *algoResponse) error {
 	switch alg {
 	case "bfs":
-		parent, level, err := lagraph.BreadthFirstSearch(g, p.Source, true, p.Level)
+		parent, level, err := lagraph.BreadthFirstSearchCtx(ctx, g, p.Source, true, p.Level)
 		if err != nil && !lagraph.IsWarning(err) {
 			return err
 		}
@@ -193,9 +240,9 @@ func runAlgorithm(alg string, g *lagraph.Graph[float64], p *algoParams, resp *al
 		)
 		switch p.Variant {
 		case "", "gap":
-			ranks, n, err = lagraph.PageRankGAP(g, damping, tol, iters)
+			ranks, n, err = lagraph.PageRankGAPCtx(ctx, g, damping, tol, iters)
 		case "gx":
-			ranks, n, err = lagraph.PageRankGX(g, damping, tol, iters)
+			ranks, n, err = lagraph.PageRankGXCtx(ctx, g, damping, tol, iters)
 		default:
 			return fmt.Errorf("unknown pagerank variant %q (gap|gx)", p.Variant)
 		}
@@ -207,7 +254,7 @@ func runAlgorithm(alg string, g *lagraph.Graph[float64], p *algoParams, resp *al
 		return nil
 
 	case "cc":
-		labels, err := lagraph.ConnectedComponents(g)
+		labels, err := lagraph.ConnectedComponentsCtx(ctx, g)
 		if err != nil && !lagraph.IsWarning(err) {
 			return err
 		}
@@ -223,7 +270,7 @@ func runAlgorithm(alg string, g *lagraph.Graph[float64], p *algoParams, resp *al
 		if delta <= 0 {
 			delta = 64 // the harness default for GAP-convention [1,255] weights
 		}
-		dist, err := lagraph.SSSPDeltaStepping(g, p.Source, delta)
+		dist, err := lagraph.SSSPDeltaSteppingCtx(ctx, g, p.Source, delta)
 		if err != nil && !lagraph.IsWarning(err) {
 			return err
 		}
@@ -246,7 +293,7 @@ func runAlgorithm(alg string, g *lagraph.Graph[float64], p *algoParams, resp *al
 		return nil
 
 	case "tc":
-		count, err := lagraph.TriangleCount(g)
+		count, err := lagraph.TriangleCountCtx(ctx, g)
 		if err != nil && !lagraph.IsWarning(err) {
 			return err
 		}
@@ -263,7 +310,7 @@ func runAlgorithm(alg string, g *lagraph.Graph[float64], p *algoParams, resp *al
 		if len(sources) > 64 {
 			return fmt.Errorf("bc source batch too large: %d > 64", len(sources))
 		}
-		cent, err := lagraph.BetweennessCentralityAdvanced(g, sources)
+		cent, err := lagraph.BetweennessCentralityAdvancedCtx(ctx, g, sources)
 		if err != nil && !lagraph.IsWarning(err) {
 			return err
 		}

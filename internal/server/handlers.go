@@ -201,6 +201,9 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		writeRegistryError(w, err)
 		return
 	}
+	// Version keys make the dead graph's cached results unreachable;
+	// dropping them eagerly returns their memory too.
+	s.jobs.InvalidateGraph(name)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }
 

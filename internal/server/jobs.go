@@ -1,0 +1,198 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lagraph/internal/jobs"
+	"lagraph/internal/registry"
+)
+
+// Asynchronous jobs API:
+//
+//	POST   /graphs/{name}/jobs   submit an algorithm job (202 + job record)
+//	GET    /jobs                 list retained jobs, newest first
+//	GET    /jobs/{id}            one job's status
+//	GET    /jobs/{id}/result     the result once the job is done
+//	DELETE /jobs/{id}            cancel (queued jobs die instantly; running
+//	                             jobs stop at their next iteration check)
+//
+// Submissions are deduplicated against in-flight jobs and completed
+// results by (graph, graph version, algorithm, params); the synchronous
+// /algorithms endpoints ride the same engine, so a burst of identical
+// requests — sync, async or mixed — costs one computation.
+
+// jobSpec is the JSON body of POST /graphs/{name}/jobs.
+type jobSpec struct {
+	Algorithm      string     `json:"algorithm"`
+	Params         algoParams `json:"params"`
+	TimeoutSeconds float64    `json:"timeout_seconds"` // 0 = server default
+}
+
+// maxJobTimeout bounds client-requested deadlines.
+const maxJobTimeout = time.Hour
+
+// submitAlgorithmJob leases the named graph, keys the work by its current
+// version, and submits it to the engine. pin marks an asynchronous
+// submission (the job survives with no waiter attached). The lease is
+// held for the job's whole life — a resident graph cannot be evicted out
+// from under a queued job — and released by the engine at any terminal
+// state, including cancellation before the job ever ran.
+func (s *Server) submitAlgorithmJob(name, alg string, p *algoParams, pin bool, timeout time.Duration) (*jobs.Job, error) {
+	if !knownAlg(alg) {
+		return nil, fmt.Errorf("%w %q (bfs|pagerank|cc|sssp|tc|bc)", errUnknownAlg, alg)
+	}
+	p.normalize()
+
+	lease, err := s.reg.Acquire(name)
+	if err != nil {
+		return nil, err
+	}
+	entry := lease.Entry()
+	g := lease.Graph()
+	key := jobs.Key{
+		Graph:     name,
+		Version:   entry.Version(),
+		Algorithm: alg,
+		Params:    p.canonical(),
+	}
+	job, _, err := s.jobs.Submit(jobs.Request{
+		Key:     key,
+		Pin:     pin,
+		Timeout: timeout,
+		OnDone:  lease.Release,
+		Run: func(ctx context.Context) (any, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := entry.EnsureProperties(requiredProperties(alg, g)...); err != nil {
+				s.algErrors.Add(1)
+				// A property materialization failing is a server-side
+				// fault, not a bad request; tag it so the HTTP layer
+				// reports 500 (the pre-engine behavior).
+				return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
+			}
+			resp := &algoResponse{Graph: name, Algorithm: alg}
+			start := time.Now()
+			err := runAlgorithm(ctx, alg, g, p, resp)
+			resp.Seconds = time.Since(start).Seconds()
+			if err != nil {
+				if !errors.Is(err, context.Canceled) {
+					s.algErrors.Add(1)
+				}
+				return nil, err
+			}
+			entry.CountAlgRun()
+			return resp, nil
+		},
+	})
+	if err != nil {
+		lease.Release() // Submit failed: the engine never took ownership
+		return nil, err
+	}
+	return job, nil
+}
+
+// writeSubmitError maps submission failures onto HTTP statuses.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case isUnknownAlg(err):
+		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, jobs.ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+	case errors.Is(err, jobs.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, registry.ErrNotFound), errors.Is(err, registry.ErrClosed):
+		writeRegistryError(w, err)
+	default:
+		writeError(w, http.StatusBadRequest, err.Error())
+	}
+}
+
+// handleSubmitJob is POST /graphs/{name}/jobs.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	var spec jobSpec
+	if err := decodeJSONBody(r, &spec); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if spec.Algorithm == "" {
+		writeError(w, http.StatusBadRequest, "missing algorithm")
+		return
+	}
+	if spec.TimeoutSeconds < 0 {
+		writeError(w, http.StatusBadRequest, "timeout_seconds must be >= 0")
+		return
+	}
+	// Clamp before converting: a huge float would overflow the int64
+	// Duration to a negative value, which the engine reads as "no
+	// deadline" — an escape hatch from the operator's -job-timeout.
+	if spec.TimeoutSeconds > maxJobTimeout.Seconds() {
+		spec.TimeoutSeconds = maxJobTimeout.Seconds()
+	}
+	timeout := time.Duration(spec.TimeoutSeconds * float64(time.Second))
+	job, err := s.submitAlgorithmJob(name, spec.Algorithm, &spec.Params, true, timeout)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Info())
+}
+
+// handleListJobs is GET /jobs.
+func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+}
+
+// handleGetJob is GET /jobs/{id}.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("job %q not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+// handleJobResult is GET /jobs/{id}/result: the full algorithm response
+// once the job is done; 409 with the job record while it is still queued
+// or running; 410 after cancellation; the mapped algorithm error after a
+// failure.
+func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("job %q not found", id))
+		return
+	}
+	info := job.Info()
+	switch info.State {
+	case jobs.StateDone:
+		v, _ := job.Result()
+		writeJSON(w, http.StatusOK, v)
+	case jobs.StateCancelled:
+		writeError(w, http.StatusGone, fmt.Sprintf("job %q was cancelled", id))
+	case jobs.StateFailed:
+		s.writeJobOutcome(w, job)
+	default:
+		writeJSON(w, http.StatusConflict, info)
+	}
+}
+
+// handleCancelJob is DELETE /jobs/{id}. Cancellation is idempotent: a
+// terminal job is returned as-is.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, err := s.jobs.Cancel(id)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}

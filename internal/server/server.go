@@ -7,13 +7,24 @@
 //	GET    /graphs/{name}                   one graph's info
 //	DELETE /graphs/{name}                   drop a graph
 //	POST   /graphs/{name}/algorithms/{alg}  run bfs|pagerank|cc|sssp|tc|bc
+//	POST   /graphs/{name}/jobs              submit an asynchronous job
+//	GET    /jobs                            list jobs
+//	GET    /jobs/{id}                       job status
+//	GET    /jobs/{id}/result                job result once done
+//	DELETE /jobs/{id}                       cancel a job
 //	GET    /healthz                         liveness probe
-//	GET    /stats                           registry + server counters
+//	GET    /stats                           registry + jobs + server counters
 //
 // Requests against the same graph share its cached properties: the first
 // PageRank materializes the transpose and degree vector once (single
 // flight), every later call reuses them — visible in /stats as
 // property_hits climbing while property_computes stays flat.
+//
+// All algorithm execution — synchronous and asynchronous — flows through
+// one jobs engine (internal/jobs): a worker pool of cancellable jobs with
+// single-flight deduplication and a result cache keyed by the graph's
+// registry version, so identical requests cost one computation and a
+// disconnected synchronous client cancels work nobody will read.
 package server
 
 import (
@@ -22,6 +33,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lagraph/internal/jobs"
 	"lagraph/internal/parallel"
 	"lagraph/internal/registry"
 )
@@ -35,11 +47,27 @@ type Options struct {
 	MaxInFlight int
 	// MaxUploadBytes caps POST /graphs request bodies. <= 0 means 64 MiB.
 	MaxUploadBytes int64
+	// Workers is the jobs-engine worker-pool size — the bound on
+	// concurrently executing algorithms. <= 0 selects the parallel worker
+	// bound (one algorithm per core set).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker. <= 0 means 64.
+	QueueDepth int
+	// ResultTTL is how long completed algorithm results stay cached for
+	// identical resubmissions. <= 0 selects the engine default (5m).
+	ResultTTL time.Duration
+	// MaxCachedResults bounds the result cache entry count. <= 0 selects
+	// the engine default (256).
+	MaxCachedResults int
+	// JobTimeout is the default per-job deadline when a submission sets
+	// none (0 = no deadline).
+	JobTimeout time.Duration
 }
 
 // Server is the lagraphd HTTP service.
 type Server struct {
 	reg  *registry.Registry
+	jobs *jobs.Engine
 	mux  *http.ServeMux
 	sem  chan struct{}
 	opts Options
@@ -58,8 +86,18 @@ func New(reg *registry.Registry, opts Options) *Server {
 	if opts.MaxUploadBytes <= 0 {
 		opts.MaxUploadBytes = 64 << 20
 	}
+	if opts.Workers <= 0 {
+		opts.Workers = parallel.MaxThreads()
+	}
 	s := &Server{
-		reg:     reg,
+		reg: reg,
+		jobs: jobs.NewEngine(jobs.Options{
+			Workers:          opts.Workers,
+			QueueDepth:       opts.QueueDepth,
+			DefaultTimeout:   opts.JobTimeout,
+			ResultTTL:        opts.ResultTTL,
+			MaxCachedResults: opts.MaxCachedResults,
+		}),
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, opts.MaxInFlight),
 		opts:    opts,
@@ -70,7 +108,14 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.mux.HandleFunc("GET /graphs/{name}", s.limited(s.handleGetGraph))
 	s.mux.HandleFunc("DELETE /graphs/{name}", s.limited(s.handleDeleteGraph))
 	s.mux.HandleFunc("POST /graphs/{name}/algorithms/{alg}", s.limited(s.handleAlgorithm))
-	// Monitoring endpoints bypass the limiter so they answer under load.
+	s.mux.HandleFunc("POST /graphs/{name}/jobs", s.limited(s.handleSubmitJob))
+	// Job polling, cancellation and monitoring bypass the limiter so they
+	// answer under load — a client must be able to cancel the very jobs
+	// that are saturating the server.
+	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -78,6 +123,14 @@ func New(reg *registry.Registry, opts Options) *Server {
 
 // Handler returns the root handler.
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Jobs exposes the underlying engine (tests and embedding daemons).
+func (s *Server) Jobs() *jobs.Engine { return s.jobs }
+
+// Close stops the jobs engine: running jobs are cancelled and workers
+// drain. The HTTP handler keeps answering (submissions fail with 503),
+// so Close is safe to call before the listener stops.
+func (s *Server) Close() { s.jobs.Close() }
 
 // limited wraps a handler with the request-concurrency limiter: a
 // semaphore sized to Options.MaxInFlight. A queued request that loses its
@@ -105,6 +158,7 @@ type serverStats struct {
 	Requests      int64          `json:"requests"`
 	Rejected      int64          `json:"rejected"`
 	AlgErrors     int64          `json:"algorithm_errors"`
+	Jobs          jobs.Stats     `json:"jobs"`
 	Registry      registry.Stats `json:"registry"`
 }
 
@@ -120,6 +174,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Requests:      s.requests.Load(),
 		Rejected:      s.rejected.Load(),
 		AlgErrors:     s.algErrors.Load(),
+		Jobs:          s.jobs.StatsSnapshot(),
 		Registry:      s.reg.StatsSnapshot(),
 	})
 }

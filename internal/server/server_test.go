@@ -18,8 +18,10 @@ import (
 func newTestServer(t *testing.T, maxBytes int64) (*httptest.Server, *registry.Registry) {
 	t.Helper()
 	reg := registry.New(maxBytes)
-	ts := httptest.NewServer(New(reg, Options{}).Handler())
+	srv := New(reg, Options{})
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
 	return ts, reg
 }
 
@@ -243,10 +245,13 @@ func TestCachedPropertyReuse(t *testing.T) {
 	ts, _ := newTestServer(t, 0)
 	loadSyntheticGraph(t, ts.URL, "g", "twitter", 7)
 
+	// Distinct parameters per call: each one is a fresh computation (the
+	// jobs engine would dedup identical bodies into one run), so the
+	// assertions below isolate property-cache reuse from result caching.
 	const calls = 5
 	for i := 0; i < calls; i++ {
 		code, body := doJSON(t, "POST", ts.URL+"/graphs/g/algorithms/pagerank",
-			map[string]any{"max_iter": 10})
+			map[string]any{"max_iter": 10 + i})
 		if code != 200 {
 			t.Fatalf("pagerank call %d: %d %v", i, code, body)
 		}
