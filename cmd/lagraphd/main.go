@@ -15,6 +15,8 @@
 //	curl -X POST localhost:8080/graphs/kron/algorithms/pagerank -d '{}'
 //	curl -X POST localhost:8080/graphs/kron/jobs \
 //	     -d '{"algorithm":"bc","params":{"sources":[0,1,2,3]}}'
+//	curl -X POST localhost:8080/graphs/kron/edges \
+//	     -d '{"ops":[{"op":"upsert","src":0,"dst":5,"weight":2}]}'
 //	curl localhost:8080/jobs
 //	curl localhost:8080/stats
 package main
@@ -50,6 +52,10 @@ func main() {
 		resultTTL  = flag.Duration("result-ttl", 0, "how long completed results stay cached (0 = 5m)")
 		maxResults = flag.Int("max-cached-results", 0, "result-cache entry bound (0 = 256)")
 		jobTimeout = flag.Duration("job-timeout", 0, "default per-job deadline when the submission sets none (0 = none)")
+
+		compactThreshold = flag.Int("compact-threshold", 0, "delta-log ops per graph before background compaction (0 = 4096)")
+		compactRatio     = flag.Float64("compact-ratio", 0, "delta-log/graph-size ratio that triggers compaction (0 = 0.25)")
+		maxBatchOps      = flag.Int("max-batch-ops", 0, "max edge operations per mutation batch (0 = 65536)")
 	)
 	flag.Parse()
 
@@ -66,6 +72,9 @@ func main() {
 		ResultTTL:        *resultTTL,
 		MaxCachedResults: *maxResults,
 		JobTimeout:       *jobTimeout,
+		CompactThreshold: *compactThreshold,
+		CompactRatio:     *compactRatio,
+		MaxBatchOps:      *maxBatchOps,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

@@ -12,69 +12,81 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"lagraph/internal/grb"
 	"lagraph/internal/lagraph"
 )
 
+// config is one conversion request, parsed from flags (or built directly
+// by tests).
+type config struct {
+	in, out  string
+	from, to string
+	info     bool
+}
+
 func main() {
-	var (
-		in   = flag.String("in", "", "input file")
-		out  = flag.String("out", "", "output file (omit with -info)")
-		from = flag.String("from", "mm", "input format: mm or bin")
-		to   = flag.String("to", "bin", "output format: mm or bin")
-		info = flag.Bool("info", false, "print matrix summary only")
-	)
+	var cfg config
+	flag.StringVar(&cfg.in, "in", "", "input file")
+	flag.StringVar(&cfg.out, "out", "", "output file (omit with -info)")
+	flag.StringVar(&cfg.from, "from", "mm", "input format: mm or bin")
+	flag.StringVar(&cfg.to, "to", "bin", "output format: mm or bin")
+	flag.BoolVar(&cfg.info, "info", false, "print matrix summary only")
 	flag.Parse()
-	if *in == "" {
+	if cfg.in == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
+	if err := run(cfg, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "mmconvert: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// run performs one conversion, writing the summary line to summary.
+func run(cfg config, summary io.Writer) error {
+	f, err := os.Open(cfg.in)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	defer f.Close()
 
 	var m *grb.Matrix[float64]
-	switch *from {
+	switch cfg.from {
 	case "mm":
 		m, err = lagraph.MMRead(f)
 	case "bin":
 		m, err = lagraph.BinRead(f)
 	default:
-		fatal("unknown input format %q", *from)
+		return fmt.Errorf("unknown input format %q", cfg.from)
 	}
 	if err != nil {
-		fatal("reading %s: %v", *in, err)
+		return fmt.Errorf("reading %s: %w", cfg.in, err)
 	}
-	fmt.Fprintf(os.Stderr, "%s: %dx%d, %d entries\n", *in, m.NRows(), m.NCols(), m.NVals())
-	if *info {
-		return
+	fmt.Fprintf(summary, "%s: %dx%d, %d entries\n", cfg.in, m.NRows(), m.NCols(), m.NVals())
+	if cfg.info {
+		return nil
 	}
-	if *out == "" {
-		fatal("missing -out")
+	if cfg.out == "" {
+		return fmt.Errorf("missing -out")
 	}
-	g, err := os.Create(*out)
+	g, err := os.Create(cfg.out)
 	if err != nil {
-		fatal("%v", err)
+		return err
 	}
 	defer g.Close()
-	switch *to {
+	switch cfg.to {
 	case "mm":
 		err = lagraph.MMWrite(g, m)
 	case "bin":
 		err = lagraph.BinWrite(g, m)
 	default:
-		fatal("unknown output format %q", *to)
+		return fmt.Errorf("unknown output format %q", cfg.to)
 	}
 	if err != nil {
-		fatal("writing %s: %v", *out, err)
+		return fmt.Errorf("writing %s: %w", cfg.out, err)
 	}
-}
-
-func fatal(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "mmconvert: "+format+"\n", args...)
-	os.Exit(1)
+	return g.Close()
 }

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+)
+
+// writeTestMatrix writes a small weighted matrix (with a self-loop and a
+// comment line, the awkward Matrix Market cases) to path.
+func writeTestMatrix(t *testing.T, path string) *grb.Matrix[float64] {
+	t.Helper()
+	rows := []int{0, 0, 1, 2, 3, 2}
+	cols := []int{1, 3, 2, 2, 0, 0}
+	vals := []float64{1.5, -2, 0.25, 3, 42, 0.5}
+	m, err := grb.MatrixFromTuples(4, 4, rows, cols, vals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := lagraph.MMWrite(f, m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// readBack loads a converted file in the given format.
+func readBack(t *testing.T, path, format string) *grb.Matrix[float64] {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var m *grb.Matrix[float64]
+	if format == "mm" {
+		m, err = lagraph.MMRead(f)
+	} else {
+		m, err = lagraph.BinRead(f)
+	}
+	if err != nil {
+		t.Fatalf("read %s (%s): %v", path, format, err)
+	}
+	return m
+}
+
+// sameMatrix compares two matrices entry for entry.
+func sameMatrix(t *testing.T, a, b *grb.Matrix[float64]) {
+	t.Helper()
+	if a.NRows() != b.NRows() || a.NCols() != b.NCols() {
+		t.Fatalf("dims %dx%d vs %dx%d", a.NRows(), a.NCols(), b.NRows(), b.NCols())
+	}
+	ar, ac, av := a.ExtractTuples()
+	br, bc, bv := b.ExtractTuples()
+	if !reflect.DeepEqual(ar, br) || !reflect.DeepEqual(ac, bc) || !reflect.DeepEqual(av, bv) {
+		t.Fatalf("entries differ:\n(%v, %v, %v)\n(%v, %v, %v)", ar, ac, av, br, bc, bv)
+	}
+}
+
+func TestRoundTripMMToBinToMM(t *testing.T) {
+	dir := t.TempDir()
+	mtx := filepath.Join(dir, "g.mtx")
+	bin := filepath.Join(dir, "g.grb")
+	mtx2 := filepath.Join(dir, "g2.mtx")
+
+	orig := writeTestMatrix(t, mtx)
+
+	// mm -> bin
+	var sum bytes.Buffer
+	if err := run(config{in: mtx, out: bin, from: "mm", to: "bin"}, &sum); err != nil {
+		t.Fatalf("mm->bin: %v", err)
+	}
+	if !strings.Contains(sum.String(), "4x4, 6 entries") {
+		t.Fatalf("summary = %q", sum.String())
+	}
+	sameMatrix(t, orig, readBack(t, bin, "bin"))
+
+	// bin -> mm
+	if err := run(config{in: bin, out: mtx2, from: "bin", to: "mm"}, &sum); err != nil {
+		t.Fatalf("bin->mm: %v", err)
+	}
+	sameMatrix(t, orig, readBack(t, mtx2, "mm"))
+
+	// The full circle reproduces the original text file's matrix exactly.
+	sameMatrix(t, readBack(t, mtx, "mm"), readBack(t, mtx2, "mm"))
+}
+
+func TestInfoOnlyWritesNothing(t *testing.T) {
+	dir := t.TempDir()
+	mtx := filepath.Join(dir, "g.mtx")
+	writeTestMatrix(t, mtx)
+
+	var sum bytes.Buffer
+	if err := run(config{in: mtx, from: "mm", info: true}, &sum); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if !strings.Contains(sum.String(), "4x4, 6 entries") {
+		t.Fatalf("summary = %q", sum.String())
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("info mode created files: %v", entries)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	mtx := filepath.Join(dir, "g.mtx")
+	writeTestMatrix(t, mtx)
+	var sum bytes.Buffer
+
+	if err := run(config{in: filepath.Join(dir, "nope.mtx"), from: "mm", info: true}, &sum); err == nil {
+		t.Fatal("missing input accepted")
+	}
+	if err := run(config{in: mtx, from: "tsv", info: true}, &sum); err == nil {
+		t.Fatal("unknown input format accepted")
+	}
+	if err := run(config{in: mtx, from: "mm", to: "tsv", out: filepath.Join(dir, "o")}, &sum); err == nil {
+		t.Fatal("unknown output format accepted")
+	}
+	if err := run(config{in: mtx, from: "mm", to: "bin"}, &sum); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	// A binary reader pointed at Matrix Market text must fail cleanly.
+	if err := run(config{in: mtx, from: "bin", info: true}, &sum); err == nil {
+		t.Fatal("bin reader accepted mm text")
+	}
+}

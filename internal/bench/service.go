@@ -136,6 +136,174 @@ func ServiceSmoke(baseURL string, opts ServiceSmokeOptions) []ServiceResult {
 	return results
 }
 
+// MutateChurnOptions tunes the mixed mutate+query workload.
+type MutateChurnOptions struct {
+	Scale      int // synthetic graph scale (default 7)
+	EdgeFactor int
+	Rounds     int // mutate+query rounds (default 12)
+	BatchOps   int // edge operations per mutation batch (default 16)
+	Client     *http.Client
+}
+
+// MutateChurnReport summarizes the mixed workload: how the graph version
+// climbed under mutation and what the engines did, read from /stats
+// deltas and the final graph info.
+type MutateChurnReport struct {
+	Results []ServiceResult
+
+	Rounds       int
+	StartVersion uint64
+	EndVersion   uint64
+	EndEdges     int64
+
+	Batches     int64 // mutation batches the stream engine applied
+	OpsApplied  int64
+	Compactions int64 // background compactions (thresholds permitting)
+	CacheHits   int64 // jobs-engine result-cache hits from repeat queries
+}
+
+// Versioned reports whether every mutation batch published a new graph
+// version — the cache-rekey signal the snapshot-isolation design rests on.
+func (r MutateChurnReport) Versioned() bool {
+	return r.EndVersion == r.StartVersion+uint64(r.Rounds)
+}
+
+// ServiceMutateChurn drives the streaming-mutation API the way a live
+// feed does: each round issues one edge-mutation batch and, concurrently,
+// one BFS query — queries overlap mutation batches, exercising snapshot
+// handout under churn — then repeats the query to measure per-version
+// result-cache reuse. The report's counters come from /stats deltas.
+func ServiceMutateChurn(baseURL string, opts MutateChurnOptions) (MutateChurnReport, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 7
+	}
+	if opts.EdgeFactor <= 0 {
+		opts.EdgeFactor = 4
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 12
+	}
+	if opts.BatchOps <= 0 {
+		opts.BatchOps = 16
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	n := 1 << opts.Scale
+	var rep MutateChurnReport
+	rep.Rounds = opts.Rounds
+
+	do := func(op, method, url string, body, out any) ServiceResult {
+		return timedCall(client, op, method, url, body, out)
+	}
+	var mu sync.Mutex
+	record := func(r ServiceResult) bool {
+		mu.Lock()
+		rep.Results = append(rep.Results, r)
+		mu.Unlock()
+		return r.OK()
+	}
+	type statsPayload struct {
+		Jobs   map[string]float64 `json:"jobs"`
+		Stream map[string]float64 `json:"stream"`
+	}
+	stats := func() (statsPayload, error) {
+		var s statsPayload
+		r := do("stats", "GET", baseURL+"/stats", nil, &s)
+		if !record(r) {
+			return s, r.Err
+		}
+		return s, nil
+	}
+
+	const name = "mutate-churn"
+	var info struct {
+		Version uint64  `json:"version"`
+		Edges   float64 `json:"edges"`
+	}
+	if !record(do("load "+name, "POST", baseURL+"/graphs", map[string]any{
+		"name": name, "class": "kron", "scale": opts.Scale,
+		"edge_factor": opts.EdgeFactor, "seed": 42, "weights": true,
+	}, nil)) {
+		return rep, fmt.Errorf("load failed")
+	}
+	defer func() { record(do("delete "+name, "DELETE", baseURL+"/graphs/"+name, nil, nil)) }()
+	if r := do("info", "GET", baseURL+"/graphs/"+name, nil, &info); !record(r) {
+		return rep, r.Err
+	}
+	rep.StartVersion = info.Version
+
+	before, err := stats()
+	if err != nil {
+		return rep, err
+	}
+
+	mutateURL := baseURL + "/graphs/" + name + "/edges"
+	queryURL := baseURL + "/graphs/" + name + "/algorithms/bfs"
+	queryBody := map[string]any{"source": 0}
+	for round := 0; round < opts.Rounds; round++ {
+		// Deterministic churn: mostly upserts, every fourth op deletes an
+		// edge an earlier round (or the generator) may have created.
+		ops := make([]map[string]any, 0, opts.BatchOps)
+		for k := 0; k < opts.BatchOps; k++ {
+			src := (round*31 + k*7 + 1) % n
+			dst := (round*17 + k*13 + 3) % n
+			if k%4 == 3 {
+				ops = append(ops, map[string]any{"op": "delete", "src": src, "dst": dst})
+			} else {
+				ops = append(ops, map[string]any{
+					"op": "upsert", "src": src, "dst": dst,
+					"weight": float64(1 + (round+k)%9),
+				})
+			}
+		}
+
+		// Fire the batch and a query concurrently: the query lands on
+		// whichever snapshot the registry hands out, never a torn one.
+		var wg sync.WaitGroup
+		wg.Add(2)
+		var mutateOK, queryOK bool
+		go func() {
+			defer wg.Done()
+			mutateOK = record(do(fmt.Sprintf("mutate[%d]", round), "POST", mutateURL,
+				map[string]any{"ops": ops}, nil))
+		}()
+		go func() {
+			defer wg.Done()
+			queryOK = record(do(fmt.Sprintf("query[%d]", round), "POST", queryURL, queryBody, nil))
+		}()
+		wg.Wait()
+		if !mutateOK || !queryOK {
+			return rep, fmt.Errorf("round %d: mutate ok=%v query ok=%v", round, mutateOK, queryOK)
+		}
+		// Repeat the query after the batch: identical params on the new
+		// version compute once, then the next repeat is a cache hit.
+		if !record(do(fmt.Sprintf("requery[%d]", round), "POST", queryURL, queryBody, nil)) {
+			return rep, fmt.Errorf("round %d requery failed", round)
+		}
+		if !record(do(fmt.Sprintf("requery2[%d]", round), "POST", queryURL, queryBody, nil)) {
+			return rep, fmt.Errorf("round %d second requery failed", round)
+		}
+	}
+
+	if r := do("info", "GET", baseURL+"/graphs/"+name, nil, &info); !record(r) {
+		return rep, r.Err
+	}
+	rep.EndVersion = info.Version
+	rep.EndEdges = int64(info.Edges)
+
+	after, err := stats()
+	if err != nil {
+		return rep, err
+	}
+	rep.Batches = int64(after.Stream["batches"] - before.Stream["batches"])
+	rep.OpsApplied = int64(after.Stream["ops_applied"] - before.Stream["ops_applied"])
+	rep.Compactions = int64(after.Stream["compactions"] - before.Stream["compactions"])
+	rep.CacheHits = int64(after.Jobs["cache_hits"] - before.Jobs["cache_hits"])
+	return rep, nil
+}
+
 // JobsBurstOptions tunes the async-jobs workload.
 type JobsBurstOptions struct {
 	Scale      int // synthetic graph scale (default 8)

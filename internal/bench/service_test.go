@@ -3,6 +3,7 @@ package bench
 import (
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"lagraph/internal/registry"
 	"lagraph/internal/server"
@@ -32,6 +33,58 @@ func TestServiceSmoke(t *testing.T) {
 	want := 5 + 5 + 2*6 + 3*5 + 5 // + one cached pagerank per class
 	if len(results) != want {
 		t.Fatalf("results = %d, want %d", len(results), want)
+	}
+}
+
+// TestServiceMutateChurn runs the mixed mutate+query workload with a low
+// compaction threshold: every round must publish a new version, queries
+// must keep answering while batches land, repeat queries must hit the
+// per-version result cache, and the background compactor must fire.
+func TestServiceMutateChurn(t *testing.T) {
+	reg := registry.New(0)
+	srv := server.New(reg, server.Options{CompactThreshold: 24})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := ServiceMutateChurn(ts.URL, MutateChurnOptions{
+		Scale: 6, Rounds: 8, BatchOps: 8,
+	})
+	if err != nil {
+		t.Fatalf("ServiceMutateChurn: %v", err)
+	}
+	for _, r := range rep.Results {
+		if !r.OK() {
+			t.Errorf("%s failed: status %d err %v", r.Op, r.Status, r.Err)
+		}
+	}
+	if !rep.Versioned() {
+		t.Fatalf("versions did not climb one per batch: %d -> %d over %d rounds",
+			rep.StartVersion, rep.EndVersion, rep.Rounds)
+	}
+	if rep.Batches != int64(rep.Rounds) {
+		t.Fatalf("stream batches = %d, want %d", rep.Batches, rep.Rounds)
+	}
+	if rep.OpsApplied != int64(rep.Rounds*8) {
+		t.Fatalf("ops applied = %d, want %d", rep.OpsApplied, rep.Rounds*8)
+	}
+	// Each round's requery pair guarantees at least one per-version cache
+	// hit (the concurrent query may or may not share a version with them).
+	if rep.CacheHits < int64(rep.Rounds) {
+		t.Fatalf("cache hits = %d, want >= %d", rep.CacheHits, rep.Rounds)
+	}
+	// 8 rounds x 8 ops with threshold 24 crosses the compaction trigger;
+	// the compactor is asynchronous, so give it a moment to drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for rep.Compactions < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no compactions observed: %+v", rep)
+		}
+		time.Sleep(5 * time.Millisecond)
+		rep.Compactions = srv.Stream().StatsSnapshot().Compactions
+	}
+	if rep.EndEdges <= 0 {
+		t.Fatalf("graph ended with %d edges", rep.EndEdges)
 	}
 }
 

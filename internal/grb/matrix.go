@@ -32,7 +32,14 @@ type Matrix[T Value] struct {
 	jumbled    bool
 	nzombies   int
 	pend       []pending[T]
+	ndel       int          // tombstones among pend (pending deletions)
 	pendingDup func(T, T) T // nil = second (last insert wins)
+
+	// frozen marks a copy-on-write snapshot (see Snapshot): the CSR arrays
+	// are shared with other matrices and must never be mutated in place.
+	// Mutations buffer as pending tuples and tombstones; the first Wait
+	// assembles fresh private arrays and clears the flag.
+	frozen bool
 }
 
 // NewMatrix returns an empty sparse nr-by-nc matrix.
@@ -68,8 +75,17 @@ func (m *Matrix[T]) Format() Format { return m.format }
 // outstanding). Exposed for the substrate ablation benchmarks.
 func (m *Matrix[T]) Jumbled() bool { return m.jumbled }
 
-// PendingTuples reports the number of unassembled insertions.
+// PendingTuples reports the number of unassembled operations (insertions
+// plus tombstones).
 func (m *Matrix[T]) PendingTuples() int { return len(m.pend) }
+
+// PendingDeletes reports how many of the pending operations are
+// tombstones (buffered deletions on a copy-on-write snapshot).
+func (m *Matrix[T]) PendingDeletes() int { return m.ndel }
+
+// Frozen reports whether the matrix is a copy-on-write snapshot whose CSR
+// arrays are still shared with its source.
+func (m *Matrix[T]) Frozen() bool { return m.frozen }
 
 // Zombies reports the number of lazily deleted entries.
 func (m *Matrix[T]) Zombies() int { return m.nzombies }
@@ -108,6 +124,8 @@ func (m *Matrix[T]) Clear() {
 	m.nvalsB, m.nzombies = 0, 0
 	m.jumbled = false
 	m.pend = nil
+	m.ndel = 0
+	m.frozen = false
 }
 
 // Dup returns a deep copy. Pending work is finished first so the copy is
@@ -120,6 +138,34 @@ func (m *Matrix[T]) Dup() *Matrix[T] {
 	c.val = append([]T(nil), m.val...)
 	c.b = append([]int8(nil), m.b...)
 	return c
+}
+
+// Snapshot returns a copy-on-write clone of a finished sparse matrix. The
+// clone shares the receiver's CSR arrays without copying; mutations on the
+// clone buffer as pending tuples (SetElement) and tombstones
+// (RemoveElement) and never touch the shared arrays, so the receiver — and
+// every other snapshot of it — keeps reading a stable structure. The first
+// Wait on the clone merges the buffered delta into fresh private arrays,
+// after which the clone behaves like any other matrix.
+//
+// The receiver must be finished (no zombies, pending tuples, or jumbled
+// rows) and sparse; Snapshot does not call Wait itself because the
+// receiver may be concurrently read by other goroutines.
+func (m *Matrix[T]) Snapshot() (*Matrix[T], error) {
+	if m.format != FormatSparse {
+		return nil, errf(InvalidValue, "Snapshot: matrix is not sparse")
+	}
+	if m.nzombies > 0 || m.jumbled || len(m.pend) > 0 {
+		return nil, errf(InvalidValue,
+			"Snapshot: matrix has unfinished work (%d zombies, %d pending, jumbled=%v)",
+			m.nzombies, len(m.pend), m.jumbled)
+	}
+	return &Matrix[T]{
+		nr: m.nr, nc: m.nc, format: FormatSparse,
+		ptr: m.ptr, idx: m.idx, val: m.val,
+		pendingDup: m.pendingDup,
+		frozen:     true,
+	}, nil
 }
 
 // SetPendingDup sets the operator used to combine duplicate pending tuples
@@ -144,14 +190,17 @@ func (m *Matrix[T]) SetElement(x T, i, j int) error {
 		}
 		m.val[p] = x
 	default:
-		if p, ok := m.findSparse(i, j); ok {
-			if isZombie(m.idx[p]) {
-				m.idx[p] = zombieFlip(m.idx[p])
-				m.nzombies--
+		if !m.frozen {
+			if p, ok := m.findSparse(i, j); ok {
+				if isZombie(m.idx[p]) {
+					m.idx[p] = zombieFlip(m.idx[p])
+					m.nzombies--
+				}
+				m.val[p] = x
+				return nil
 			}
-			m.val[p] = x
-			return nil
 		}
+		// Frozen snapshots never update in place — the arrays are shared.
 		m.pend = append(m.pend, pending[T]{i: i, j: j, x: x})
 	}
 	return nil
@@ -177,6 +226,14 @@ func (m *Matrix[T]) RemoveElement(i, j int) error {
 			m.nvalsB--
 		}
 	default:
+		if m.frozen {
+			// Tombstone: the shared arrays cannot take a zombie flip, and
+			// assembly resolves the order of this delete against pending
+			// inserts on the same position.
+			m.pend = append(m.pend, pending[T]{i: i, j: j, del: true})
+			m.ndel++
+			return nil
+		}
 		if len(m.pend) > 0 {
 			m.Wait() // a pending tuple may target (i,j); assemble first
 		}
@@ -286,6 +343,17 @@ func (m *Matrix[T]) sortRows() {
 	m.jumbled = false
 }
 
+// foldedOp is the net effect of every pending operation on one position:
+// has/x carry the surviving inserted value (combined with the dup
+// operator), kill records that a tombstone severed the position from any
+// pre-existing CSR entry (so the base value must not be combined in).
+type foldedOp[T Value] struct {
+	i, j int
+	x    T
+	has  bool
+	kill bool
+}
+
 func (m *Matrix[T]) assemblePending() {
 	dup := m.pendingDup
 	if dup == nil {
@@ -293,51 +361,80 @@ func (m *Matrix[T]) assemblePending() {
 	}
 	pend := m.pend
 	m.pend = nil
+	m.ndel = 0
 	sort.SliceStable(pend, func(a, b int) bool {
 		if pend[a].i != pend[b].i {
 			return pend[a].i < pend[b].i
 		}
 		return pend[a].j < pend[b].j
 	})
-	// Combine duplicate pending tuples.
-	w := 0
-	for r := 0; r < len(pend); r++ {
-		if w > 0 && pend[w-1].i == pend[r].i && pend[w-1].j == pend[r].j {
-			pend[w-1].x = dup(pend[w-1].x, pend[r].x)
-		} else {
-			pend[w] = pend[r]
-			w++
+	// Fold each position's operations in call order (the sort is stable):
+	// inserts combine through dup, a tombstone clears what came before it
+	// and disconnects the position from its existing CSR value.
+	fold := make([]foldedOp[T], 0, len(pend))
+	for _, op := range pend {
+		if n := len(fold); n > 0 && fold[n-1].i == op.i && fold[n-1].j == op.j {
+			f := &fold[n-1]
+			if op.del {
+				f.has = false
+				f.kill = true
+			} else if f.has {
+				f.x = dup(f.x, op.x)
+			} else {
+				f.x, f.has = op.x, true
+			}
+			continue
 		}
+		f := foldedOp[T]{i: op.i, j: op.j}
+		if op.del {
+			f.kill = true
+		} else {
+			f.x, f.has = op.x, true
+		}
+		fold = append(fold, f)
 	}
-	pend = pend[:w]
-	// Merge the sorted pending list with the CSR rows.
-	newIdx := make([]int, 0, len(m.idx)+len(pend))
-	newVal := make([]T, 0, len(m.val)+len(pend))
+	// Merge the folded operations with the CSR rows into fresh arrays
+	// (never in place: a frozen snapshot shares its arrays with its
+	// source).
+	newIdx := make([]int, 0, len(m.idx)+len(fold))
+	newVal := make([]T, 0, len(m.val)+len(fold))
 	newPtr := make([]int, m.nr+1)
 	q := 0
 	for i := 0; i < m.nr; i++ {
 		newPtr[i] = len(newIdx)
 		p, pe := m.ptr[i], m.ptr[i+1]
-		for p < pe || (q < len(pend) && pend[q].i == i) {
+		for p < pe || (q < len(fold) && fold[q].i == i) {
 			switch {
-			case p < pe && (q >= len(pend) || pend[q].i != i || m.idx[p] < pend[q].j):
+			case p < pe && (q >= len(fold) || fold[q].i != i || m.idx[p] < fold[q].j):
 				newIdx = append(newIdx, m.idx[p])
 				newVal = append(newVal, m.val[p])
 				p++
-			case p < pe && q < len(pend) && pend[q].i == i && m.idx[p] == pend[q].j:
-				newIdx = append(newIdx, m.idx[p])
-				newVal = append(newVal, dup(m.val[p], pend[q].x))
+			case p < pe && q < len(fold) && fold[q].i == i && m.idx[p] == fold[q].j:
+				f := fold[q]
+				switch {
+				case !f.kill: // pure inserts onto an existing entry
+					newIdx = append(newIdx, m.idx[p])
+					newVal = append(newVal, dup(m.val[p], f.x))
+				case f.has: // deleted, then re-inserted: base value gone
+					newIdx = append(newIdx, f.j)
+					newVal = append(newVal, f.x)
+				}
+				// else: net deletion — drop the entry.
 				p++
 				q++
 			default:
-				newIdx = append(newIdx, pend[q].j)
-				newVal = append(newVal, pend[q].x)
+				if fold[q].has {
+					newIdx = append(newIdx, fold[q].j)
+					newVal = append(newVal, fold[q].x)
+				}
+				// else: tombstone on an absent entry — a no-op.
 				q++
 			}
 		}
 	}
 	newPtr[m.nr] = len(newIdx)
 	m.ptr, m.idx, m.val = newPtr, newIdx, newVal
+	m.frozen = false // the arrays above are private now
 }
 
 // markJumbled flags the matrix rows as possibly unsorted; if the lazy sort

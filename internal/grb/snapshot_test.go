@@ -1,0 +1,247 @@
+package grb
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tuplesOf flattens a matrix into comparable (i, j, x) triples.
+func tuplesOf[T Value](t *testing.T, m *Matrix[T]) ([]int, []int, []T) {
+	t.Helper()
+	r, c, v := m.ExtractTuples()
+	return r, c, v
+}
+
+func buildSnapshotBase(t *testing.T) *Matrix[float64] {
+	t.Helper()
+	m, err := MatrixFromTuples(4, 4,
+		[]int{0, 0, 1, 2, 3},
+		[]int{1, 3, 2, 0, 3},
+		[]float64{1, 2, 3, 4, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSnapshotIsCopyOnWrite(t *testing.T) {
+	base := buildSnapshotBase(t)
+	br, bc, bv := tuplesOf(t, base)
+
+	snap, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.Frozen() {
+		t.Fatal("snapshot not frozen")
+	}
+
+	// Mutate the snapshot: update an existing entry, insert a new one,
+	// delete an existing one. None of it may touch the base.
+	if err := snap.SetElement(9, 0, 1); err != nil { // update in place would corrupt base
+		t.Fatal(err)
+	}
+	if err := snap.SetElement(7, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.RemoveElement(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if snap.PendingTuples() != 3 || snap.PendingDeletes() != 1 {
+		t.Fatalf("pending = %d (deletes %d), want 3 (1)",
+			snap.PendingTuples(), snap.PendingDeletes())
+	}
+	if base.PendingTuples() != 0 || base.Zombies() != 0 {
+		t.Fatal("mutating the snapshot dirtied the base")
+	}
+
+	// Assemble the snapshot and check the delta applied.
+	if n := snap.NVals(); n != 5 { // 5 - 1 delete + 1 insert
+		t.Fatalf("snapshot nvals = %d, want 5", n)
+	}
+	if snap.Frozen() {
+		t.Fatal("snapshot still frozen after Wait")
+	}
+	if x, err := snap.ExtractElement(0, 1); err != nil || x != 9 {
+		t.Fatalf("snap(0,1) = %v, %v; want 9", x, err)
+	}
+	if x, err := snap.ExtractElement(3, 0); err != nil || x != 7 {
+		t.Fatalf("snap(3,0) = %v, %v; want 7", x, err)
+	}
+	if _, err := snap.ExtractElement(1, 2); err == nil {
+		t.Fatal("snap(1,2) survived its tombstone")
+	}
+
+	// The base is byte-for-byte what it was.
+	ar, ac, av := tuplesOf(t, base)
+	if !reflect.DeepEqual(ar, br) || !reflect.DeepEqual(ac, bc) || !reflect.DeepEqual(av, bv) {
+		t.Fatalf("base changed: had (%v,%v,%v), now (%v,%v,%v)", br, bc, bv, ar, ac, av)
+	}
+}
+
+func TestSnapshotDeleteThenReinsertDropsBaseValue(t *testing.T) {
+	base := buildSnapshotBase(t)
+	snap, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a combining dup, a plain upsert merges with the base value, but
+	// a delete severs the position: the re-inserted value must stand alone.
+	snap.SetPendingDup(func(old, new float64) float64 { return old + new })
+	snap.RemoveElement(0, 1) // base holds 1
+	snap.SetElement(10, 0, 1)
+	snap.Wait()
+	if x, _ := snap.ExtractElement(0, 1); x != 10 {
+		t.Fatalf("delete+reinsert = %v, want 10 (base value must not combine)", x)
+	}
+
+	// Control: without the delete the same dup combines with the base.
+	snap2, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2.SetPendingDup(func(old, new float64) float64 { return old + new })
+	snap2.SetElement(10, 0, 1)
+	snap2.Wait()
+	if x, _ := snap2.ExtractElement(0, 1); x != 11 {
+		t.Fatalf("upsert onto base = %v, want 11", x)
+	}
+}
+
+func TestSnapshotUpsertThenDelete(t *testing.T) {
+	base := buildSnapshotBase(t)
+	snap, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.SetElement(42, 2, 2) // brand-new entry...
+	snap.RemoveElement(2, 2)  // ...deleted in the same batch
+	snap.RemoveElement(3, 3)  // existing entry deleted
+	snap.RemoveElement(1, 1)  // tombstone on an absent entry: no-op
+	if n := snap.NVals(); n != 4 {
+		t.Fatalf("nvals = %d, want 4", n)
+	}
+	if _, err := snap.ExtractElement(2, 2); err == nil {
+		t.Fatal("insert+delete left an entry behind")
+	}
+	if _, err := snap.ExtractElement(3, 3); err == nil {
+		t.Fatal("deleted base entry still present")
+	}
+}
+
+func TestSnapshotOfSnapshotChains(t *testing.T) {
+	base := buildSnapshotBase(t)
+	s1, err := base.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.SetElement(1, 1, 1)
+	s1.Wait() // private arrays now
+
+	s2, err := s1.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.RemoveElement(1, 1)
+	s2.Wait()
+	if _, err := s1.ExtractElement(1, 1); err != nil {
+		t.Fatal("s2's delete leaked into s1")
+	}
+	if _, err := s2.ExtractElement(1, 1); err == nil {
+		t.Fatal("s2 kept the deleted entry")
+	}
+}
+
+func TestSnapshotRequiresFinishedSparse(t *testing.T) {
+	m := MustMatrix[float64](2, 2)
+	m.SetElement(1, 0, 0)
+	if _, err := m.Snapshot(); err == nil {
+		t.Fatal("snapshot of a matrix with pending tuples accepted")
+	}
+	m.Wait()
+	if _, err := m.Snapshot(); err != nil {
+		t.Fatalf("snapshot of finished matrix rejected: %v", err)
+	}
+	m.ConvertTo(FormatBitmap)
+	if _, err := m.Snapshot(); err == nil {
+		t.Fatal("snapshot of a bitmap matrix accepted")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// pending-tuple duplicate semantics (non-snapshot): SetPendingDup combining
+// across finalize, and MatrixFromTuples dup handling with self-loops.
+
+func TestSetPendingDupCombinesAcrossFinalize(t *testing.T) {
+	m := MustMatrix[int64](3, 3)
+	m.SetPendingDup(func(old, new int64) int64 { return old + new })
+
+	// Round 1: two pending tuples on the same position combine.
+	m.SetElement(1, 0, 2)
+	m.SetElement(2, 0, 2)
+	m.Wait()
+	if x, _ := m.ExtractElement(0, 2); x != 3 {
+		t.Fatalf("after first finalize: %d, want 3", x)
+	}
+
+	// Round 2: a fresh pending tuple lands on the assembled entry. The
+	// non-frozen fast path updates in place (last write wins, as
+	// SetElement on an existing entry is an assignment, not a dup)...
+	m.SetElement(10, 0, 2)
+	m.Wait()
+	if x, _ := m.ExtractElement(0, 2); x != 10 {
+		t.Fatalf("in-place overwrite: %d, want 10", x)
+	}
+
+	// ...but pending tuples minted while other pending work exists still
+	// combine with the existing entry through dup at the next finalize.
+	m.SetElement(5, 1, 1) // unrelated pending tuple
+	m.SetElement(4, 0, 2) // (0,2) exists: in-place assignment
+	m.SetElement(6, 2, 0) // new pending
+	m.SetElement(8, 2, 0) // duplicate pending: combines to 14
+	m.Wait()
+	if x, _ := m.ExtractElement(0, 2); x != 4 {
+		t.Fatalf("existing-entry assignment: %d, want 4", x)
+	}
+	if x, _ := m.ExtractElement(2, 0); x != 14 {
+		t.Fatalf("pending dup across finalize: %d, want 14", x)
+	}
+	if x, _ := m.ExtractElement(1, 1); x != 5 {
+		t.Fatalf("unrelated tuple: %d, want 5", x)
+	}
+}
+
+func TestMatrixFromTuplesDupWithSelfLoops(t *testing.T) {
+	// Three copies of the self-loop (1,1), two of (0,2), one plain entry.
+	rows := []int{1, 0, 1, 2, 0, 1}
+	cols := []int{1, 2, 1, 0, 2, 1}
+	vals := []int64{1, 10, 2, 100, 20, 4}
+
+	// dup = plus: duplicates sum, including on the diagonal.
+	m, err := MatrixFromTuples(3, 3, rows, cols, vals,
+		func(a, b int64) int64 { return a + b })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := m.NVals(); n != 3 {
+		t.Fatalf("nvals = %d, want 3", n)
+	}
+	if x, _ := m.ExtractElement(1, 1); x != 7 {
+		t.Fatalf("self-loop sum = %d, want 7", x)
+	}
+	if x, _ := m.ExtractElement(0, 2); x != 30 {
+		t.Fatalf("(0,2) sum = %d, want 30", x)
+	}
+
+	// dup = nil keeps the last tuple in input order.
+	m2, err := MatrixFromTuples(3, 3, rows, cols, vals, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _ := m2.ExtractElement(1, 1); x != 4 {
+		t.Fatalf("self-loop last-wins = %d, want 4", x)
+	}
+	if x, _ := m2.ExtractElement(0, 2); x != 20 {
+		t.Fatalf("(0,2) last-wins = %d, want 20", x)
+	}
+}

@@ -98,10 +98,15 @@ var All []int
 // isAll reports whether an index list means the whole range [0, n).
 func isAll(idx []int) bool { return idx == nil }
 
-// pending is one unassembled (row, col, value) insertion.
+// pending is one unassembled (row, col, value) operation. del marks a
+// tombstone: a deletion buffered out-of-structure, the complement of a
+// pending insertion. Tombstones are used by copy-on-write snapshots
+// (Matrix.Snapshot), where the zombie mechanism is unavailable because it
+// would mutate the shared CSR arrays in place.
 type pending[T Value] struct {
 	i, j int
 	x    T
+	del  bool
 }
 
 // zombieFlip encodes a column index as a zombie (lazily deleted entry).

@@ -556,3 +556,83 @@ func TestConcurrentSubmitters(t *testing.T) {
 		t.Fatalf("submitted = %d", s.Submitted)
 	}
 }
+
+// TestVersionInterplayRekeysCacheAndDedup is the streaming-mutation
+// contract at the engine level: a graph-version bump (what registry.Swap
+// does after a mutation batch) splits the dedup and cache key space. Work
+// submitted under the old version keeps serving from its cache entry, the
+// first submission under the new version computes fresh, and identical
+// new-version resubmissions hit the re-keyed cache.
+func TestVersionInterplayRekeysCacheAndDedup(t *testing.T) {
+	e := NewEngine(Options{Workers: 2})
+	defer e.Close()
+
+	var computes atomic.Int64
+	run := func(result string) func(context.Context) (any, error) {
+		return func(context.Context) (any, error) {
+			computes.Add(1)
+			return result, nil
+		}
+	}
+
+	// v1 computes and caches.
+	j1, isNew, err := e.Submit(Request{
+		Key: testKey("g", 1, "bfs", "{}"), Pin: true, Run: run("v1-result"),
+	})
+	if err != nil || !isNew {
+		t.Fatalf("v1 submit: new=%v err=%v", isNew, err)
+	}
+	waitState(t, j1, StateDone)
+
+	// Identical v1 resubmission: cache hit, no compute.
+	j1b, isNew, err := e.Submit(Request{
+		Key: testKey("g", 1, "bfs", "{}"), Pin: true, Run: run("never"),
+	})
+	if err != nil || isNew {
+		t.Fatalf("v1 resubmit: new=%v err=%v", isNew, err)
+	}
+	if v, ok := j1b.Result(); !ok || v != "v1-result" {
+		t.Fatalf("v1 resubmit result: %v, %v", v, ok)
+	}
+
+	// The graph mutates: same name, version 2. The key differs, so this
+	// is new work, not a dedup attach or cache hit.
+	j2, isNew, err := e.Submit(Request{
+		Key: testKey("g", 2, "bfs", "{}"), Pin: true, Run: run("v2-result"),
+	})
+	if err != nil || !isNew {
+		t.Fatalf("v2 submit: new=%v err=%v", isNew, err)
+	}
+	waitState(t, j2, StateDone)
+	if v, _ := j2.Result(); v != "v2-result" {
+		t.Fatalf("v2 result: %v", v)
+	}
+
+	// Both versions' results now coexist in the cache; each serves its own.
+	j2b, _, err := e.Submit(Request{
+		Key: testKey("g", 2, "bfs", "{}"), Pin: true, Run: run("never"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := j2b.Result(); v != "v2-result" {
+		t.Fatalf("v2 cache: %v", v)
+	}
+	j1c, _, err := e.Submit(Request{
+		Key: testKey("g", 1, "bfs", "{}"), Pin: true, Run: run("never"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := j1c.Result(); v != "v1-result" {
+		t.Fatalf("v1 cache after v2: %v", v)
+	}
+
+	if got := computes.Load(); got != 2 {
+		t.Fatalf("computes = %d, want 2 (one per version)", got)
+	}
+	st := e.StatsSnapshot()
+	if st.CacheHits != 3 || st.DedupHits != 0 {
+		t.Fatalf("cache hits %d (want 3), dedup hits %d (want 0)", st.CacheHits, st.DedupHits)
+	}
+}

@@ -118,6 +118,34 @@ func (g *Graph[T]) DeleteProperties() {
 	}
 }
 
+// Snapshot returns a copy-on-write clone of the graph for streaming
+// mutation: the clone's adjacency matrix shares A's finished CSR arrays
+// (grb.Matrix.Snapshot), buffering edge upserts and deletions as pending
+// tuples and tombstones that never touch the shared structure — so the
+// receiver, and every algorithm still reading it, keeps its view.
+//
+// Cached properties are invalidated on the clone, with two exceptions the
+// mutation layer can maintain more cheaply than a recompute: an
+// undirected clone keeps ASymmetricPattern = true by construction
+// (mirrored mutations preserve it), and the caller may re-seed the degree
+// vectors and NDiag from incremental bookkeeping by assigning the fields
+// before the clone is shared. A must be finished; Snapshot does not call
+// Wait because the receiver may be concurrently read.
+func (g *Graph[T]) Snapshot() (*Graph[T], error) {
+	if g == nil || g.A == nil {
+		return nil, errf(StatusInvalidGraph, "Snapshot: graph has no matrix")
+	}
+	a, err := g.A.Snapshot()
+	if err != nil {
+		return nil, wrap(StatusInvalidGraph, err, "Snapshot")
+	}
+	ng := &Graph[T]{A: a, Kind: g.Kind, NDiag: -1}
+	if g.Kind == AdjacencyUndirected {
+		ng.ASymmetricPattern = BoolTrue
+	}
+	return ng, nil
+}
+
 // NumNodes returns the number of vertices.
 func (g *Graph[T]) NumNodes() int { return g.A.NRows() }
 

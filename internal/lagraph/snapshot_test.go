@@ -1,0 +1,83 @@
+package lagraph
+
+import (
+	"testing"
+
+	"lagraph/internal/grb"
+)
+
+func TestGraphSnapshotIsolation(t *testing.T) {
+	A, err := grb.MatrixFromTuples(4, 4,
+		[]int{0, 1, 2},
+		[]int{1, 2, 3},
+		[]float64{1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(&A, AdjacencyDirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.PropertyRowDegree(); err != nil && !IsWarning(err) {
+		t.Fatal(err)
+	}
+
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Kind != AdjacencyDirected {
+		t.Fatalf("snapshot kind %v", snap.Kind)
+	}
+	// Properties are invalidated on the clone, untouched on the source.
+	if snap.CachedRowDegree() != nil || snap.CachedAT() != nil {
+		t.Fatal("snapshot inherited cached properties")
+	}
+	if g.CachedRowDegree() == nil {
+		t.Fatal("source lost its cached degree")
+	}
+
+	// Mutations on the clone stay invisible to the source.
+	if err := snap.A.SetElement(1, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.A.RemoveElement(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := snap.NumEdges(); n != 3 {
+		t.Fatalf("snapshot edges = %d, want 3", n)
+	}
+	if n := g.NumEdges(); n != 3 {
+		t.Fatalf("source edges = %d, want 3", n)
+	}
+	if _, err := g.A.ExtractElement(0, 1); err != nil {
+		t.Fatal("source lost edge (0,1) to the snapshot's tombstone")
+	}
+	if _, err := g.A.ExtractElement(3, 0); err == nil {
+		t.Fatal("source gained the snapshot's new edge")
+	}
+}
+
+func TestGraphSnapshotUndirectedKeepsSymmetryFlag(t *testing.T) {
+	A, err := grb.MatrixFromTuples(3, 3,
+		[]int{0, 1, 1, 2},
+		[]int{1, 0, 2, 1},
+		[]float64{1, 1, 1, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(&A, AdjacencyUndirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.CachedSymmetry() != BoolTrue {
+		t.Fatalf("undirected snapshot symmetry = %v, want true", snap.CachedSymmetry())
+	}
+	if snap.CachedNDiag() != -1 {
+		t.Fatalf("snapshot NDiag = %d, want -1 (unknown)", snap.CachedNDiag())
+	}
+}

@@ -59,6 +59,7 @@ var (
 	ErrNoCapacity  = errors.New("registry: graph does not fit in memory budget")
 	ErrClosed      = errors.New("registry: closed")
 	ErrInvalidName = errors.New("registry: invalid graph name")
+	ErrConflict    = errors.New("registry: entry replaced concurrently")
 )
 
 // flight is the single-flight slot for one property of one graph.
@@ -75,9 +76,28 @@ type Entry struct {
 	bytes   int64
 	version uint64 // monotonic per name; see Registry.versions
 
+	// nodes and edges are captured when the entry is created (Add or
+	// Swap), so stats paths never have to touch the graph's matrix — a
+	// streamed-in snapshot may still carry unassembled delta operations,
+	// and counting its entries would finalize it out from under the
+	// EnsureFinalized single flight.
+	nodes int
+	edges int
+	// pendingOps is the number of delta-log operations layered over the
+	// snapshot's shared base CSR (0 for directly loaded graphs and for
+	// freshly compacted snapshots).
+	pendingOps int64
+
 	refs     atomic.Int64 // outstanding leases
 	loadedAt time.Time
 	lastUsed atomic.Int64 // unix nanos of the last Acquire
+
+	// finalizeOnce makes the first reader's lazy finalization of a
+	// streamed snapshot (assembling pending deltas into private CSR
+	// arrays) a single flight: every algorithm run passes through
+	// EnsureFinalized before touching the matrix, so the assembly
+	// happens-before any concurrent kernel read.
+	finalizeOnce sync.Once
 
 	flights [numProperties]flight
 
@@ -112,11 +132,32 @@ func (e *Entry) Version() uint64 { return e.version }
 // CountAlgRun records one algorithm invocation against this graph.
 func (e *Entry) CountAlgRun() { e.algRuns.Add(1) }
 
+// PendingDeltaOps returns the number of unassembled delta-log operations
+// this snapshot was published with.
+func (e *Entry) PendingDeltaOps() int64 { return e.pendingOps }
+
+// EnsureFinalized assembles any pending delta operations in the graph's
+// adjacency matrix into private CSR arrays, exactly once per entry. Every
+// reader that will touch the matrix structure (algorithm runs, property
+// materialization) must call it first; the sync.Once gives the assembly a
+// happens-before edge over all subsequent reads.
+func (e *Entry) EnsureFinalized() {
+	e.finalizeOnce.Do(func() {
+		e.graph.A.Wait()
+	})
+}
+
 // EnsureProperties materializes the requested properties, sharing one
 // computation among concurrent callers (single flight per graph per
 // property). Requests that find the property already materialized are
 // cache hits; both totals are exported through Stats.
+//
+// The entry is finalized first: property computations read the adjacency
+// matrix, and two properties have independent single-flight slots, so
+// without the up-front EnsureFinalized they could race to assemble a
+// streamed snapshot's pending deltas.
 func (e *Entry) EnsureProperties(props ...Property) error {
+	e.EnsureFinalized()
 	for _, p := range props {
 		if p < 0 || p >= numProperties {
 			return fmt.Errorf("registry: unknown property %d", int(p))
@@ -184,8 +225,16 @@ type Registry struct {
 	// carries a version the old one never had.
 	versions map[string]uint64
 
+	// onRemove, if set, is called whenever a name stops resolving —
+	// explicit Remove or LRU eviction (not Swap, which re-binds the name
+	// immediately). It runs under the registry mutex: the listener must
+	// not call back into the registry. The streaming-mutation engine uses
+	// it to drop its per-graph delta state.
+	onRemove func(name string)
+
 	evictions atomic.Int64
 	loads     atomic.Int64
+	swaps     atomic.Int64
 }
 
 // New creates a registry with the given memory budget in bytes. A budget
@@ -205,12 +254,19 @@ func New(maxBytes int64) *Registry {
 // load time and deliberately includes the not-yet-materialized properties,
 // so eviction decisions do not shift under a graph as its cache warms.
 func EstimateBytes(g *lagraph.Graph[float64]) int64 {
-	n := int64(g.NumNodes())
-	nnz := int64(g.NumEdges())
+	return EstimateBytesFor(g.NumNodes(), g.NumEdges(), g.Kind == lagraph.AdjacencyDirected)
+}
+
+// EstimateBytesFor is EstimateBytes from raw counts, for callers — the
+// streaming-mutation engine — that track node/edge counts themselves and
+// must not touch a shared matrix to obtain them.
+func EstimateBytesFor(nodes, edges int, directed bool) int64 {
+	n := int64(nodes)
+	nnz := int64(edges)
 	// CSR: ptr (n+1)*8 + idx nnz*8 + val nnz*8.
 	matrix := (n+1)*8 + nnz*16
 	total := matrix
-	if g.Kind == lagraph.AdjacencyDirected {
+	if directed {
 		total += matrix // explicit AT
 	}
 	total += 2 * n * 16 // row/col degree vectors (idx + val)
@@ -244,7 +300,10 @@ func (r *Registry) Add(name string, g *lagraph.Graph[float64]) (*Entry, error) {
 		}
 	}
 	r.versions[name]++
-	e := &Entry{name: name, graph: g, bytes: bytes, version: r.versions[name], loadedAt: time.Now()}
+	e := &Entry{
+		name: name, graph: g, bytes: bytes, version: r.versions[name],
+		nodes: g.NumNodes(), edges: g.NumEdges(), loadedAt: time.Now(),
+	}
 	e.lastUsed.Store(time.Now().UnixNano())
 	e.elem = r.lru.PushFront(e)
 	r.entries[name] = e
@@ -255,10 +314,22 @@ func (r *Registry) Add(name string, g *lagraph.Graph[float64]) (*Entry, error) {
 
 // evictLocked removes least-recently-used entries with no outstanding
 // leases until curBytes <= budget. Returns an error when the budget cannot
-// be met because every remaining entry is leased.
+// be met because every remaining entry is leased. Feasibility is checked
+// before anything is evicted, so a failing call leaves the registry
+// untouched — an Add or Swap that cannot fit must not evict innocent
+// graphs on its way to failing.
 func (r *Registry) evictLocked(budget int64) error {
 	if budget < 0 {
 		budget = 0
+	}
+	reclaimable := int64(0)
+	for el := r.lru.Back(); el != nil; el = el.Prev() {
+		if e := el.Value.(*Entry); e.refs.Load() == 0 {
+			reclaimable += e.bytes
+		}
+	}
+	if r.curBytes-reclaimable > budget {
+		return ErrNoCapacity
 	}
 	for r.curBytes > budget {
 		victim := (*Entry)(nil)
@@ -285,6 +356,17 @@ func (r *Registry) removeLocked(e *Entry) {
 	// Deletion retires the version: any still-cached result for it is
 	// unreachable from a future Acquire of the same name.
 	r.versions[e.name]++
+	if r.onRemove != nil {
+		r.onRemove(e.name)
+	}
+}
+
+// SetRemoveListener installs the removal callback (see the onRemove field
+// for its contract). Call it before the registry is shared.
+func (r *Registry) SetRemoveListener(fn func(name string)) {
+	r.mu.Lock()
+	r.onRemove = fn
+	r.mu.Unlock()
 }
 
 // Acquire leases the named graph, bumping its ref-count and LRU position.
@@ -318,6 +400,87 @@ func (r *Registry) Remove(name string) error {
 	return nil
 }
 
+// SwapStats describes the snapshot being published by Swap. Bytes should
+// include the footprint of any pending delta operations layered over the
+// snapshot's shared base (<= 0 falls back to EstimateBytesFor).
+type SwapStats struct {
+	Bytes      int64
+	Nodes      int
+	Edges      int   // exact edge count of the snapshot, delta applied
+	PendingOps int64 // unassembled delta-log operations it carries
+
+	// KeepVersion publishes the snapshot under the replaced entry's
+	// version instead of bumping it. Compaction uses this: the compacted
+	// snapshot is logically identical to what it replaces, so results
+	// cached under the version stay valid and new readers simply get the
+	// cheaper representation.
+	KeepVersion bool
+
+	// Prev, when non-nil, asserts which entry the snapshot was derived
+	// from: Swap fails with ErrConflict if the name now resolves to a
+	// different entry (the graph was deleted and re-uploaded mid-flight),
+	// so a stale mutation can never overwrite a fresh incarnation.
+	Prev *Entry
+}
+
+// Swap atomically replaces the named graph with a new snapshot, bumping
+// the per-name version (unless st.KeepVersion). Outstanding leases keep
+// the old entry's graph alive and untouched — that is the snapshot
+// isolation the streaming-mutation engine builds on: in-flight jobs read
+// the incarnation they acquired, new acquisitions see the new one. If the
+// new snapshot does not fit the memory budget even after evicting
+// unleased LRU entries, Swap fails with ErrNoCapacity and the registry is
+// unchanged.
+func (r *Registry) Swap(name string, g *lagraph.Graph[float64], st SwapStats) (*Entry, error) {
+	if st.Bytes <= 0 {
+		st.Bytes = EstimateBytesFor(st.Nodes, st.Edges, g.Kind == lagraph.AdjacencyDirected)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	old, ok := r.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if st.Prev != nil && st.Prev != old {
+		return nil, fmt.Errorf("%w: %q", ErrConflict, name)
+	}
+	if r.maxBytes > 0 && st.Bytes > r.maxBytes {
+		return nil, fmt.Errorf("%w: %q needs %d bytes, budget is %d", ErrNoCapacity, name, st.Bytes, r.maxBytes)
+	}
+	// Detach the old entry (leases keep its graph alive), then make room.
+	delete(r.entries, name)
+	r.lru.Remove(old.elem)
+	r.curBytes -= old.bytes
+	if r.maxBytes > 0 {
+		if err := r.evictLocked(r.maxBytes - st.Bytes); err != nil {
+			// Could not fit: restore the old entry, registry unchanged.
+			old.elem = r.lru.PushFront(old)
+			r.entries[name] = old
+			r.curBytes += old.bytes
+			return nil, fmt.Errorf("%w: %q needs %d bytes, %d in use and pinned", ErrNoCapacity, name, st.Bytes, r.curBytes)
+		}
+	}
+	version := old.version
+	if !st.KeepVersion {
+		version++
+		r.versions[name] = version
+	}
+	e := &Entry{
+		name: name, graph: g, bytes: st.Bytes, version: version,
+		nodes: st.Nodes, edges: st.Edges, pendingOps: st.PendingOps,
+		loadedAt: time.Now(),
+	}
+	e.lastUsed.Store(time.Now().UnixNano())
+	e.elem = r.lru.PushFront(e)
+	r.entries[name] = e
+	r.curBytes += st.Bytes
+	r.swaps.Add(1)
+	return e, nil
+}
+
 // Close empties the registry; further operations fail with ErrClosed.
 func (r *Registry) Close() {
 	r.mu.Lock()
@@ -340,6 +503,11 @@ type GraphInfo struct {
 	LoadedAt   string   `json:"loaded_at"`
 	CachedProp []string `json:"cached_properties"`
 
+	// PendingDeltaOps counts the unassembled streaming-mutation operations
+	// layered over this snapshot's base CSR (0 once compacted or for
+	// graphs loaded whole).
+	PendingDeltaOps int64 `json:"pending_delta_ops"`
+
 	PropertyRequests int64 `json:"property_requests"`
 	PropertyComputes int64 `json:"property_computes"`
 	PropertyHits     int64 `json:"property_hits"`
@@ -353,6 +521,7 @@ type Stats struct {
 	MaxBytes  int64       `json:"bytes_budget"`
 	Evictions int64       `json:"evictions"`
 	Loads     int64       `json:"loads"`
+	Swaps     int64       `json:"swaps"`
 }
 
 // Info snapshots this entry's statistics. It reads only atomics and the
@@ -392,15 +561,19 @@ func infoOf(e *Entry) GraphInfo {
 	req := e.propRequests.Load()
 	comp := e.propComputes.Load()
 	return GraphInfo{
-		Name:             e.name,
-		Version:          e.version,
-		Kind:             lagraph.KindName(g.Kind),
-		Nodes:            g.NumNodes(),
-		Edges:            g.NumEdges(),
+		Name:    e.name,
+		Version: e.version,
+		Kind:    lagraph.KindName(g.Kind),
+		// Stored counts, not g.NumNodes()/g.NumEdges(): counting a
+		// streamed snapshot's entries would finalize its pending deltas
+		// outside the EnsureFinalized single flight.
+		Nodes:            e.nodes,
+		Edges:            e.edges,
 		Bytes:            e.bytes,
 		Refs:             e.refs.Load(),
 		LoadedAt:         e.loadedAt.UTC().Format(time.RFC3339),
 		CachedProp:       cached,
+		PendingDeltaOps:  e.pendingOps,
 		PropertyRequests: req,
 		PropertyComputes: comp,
 		PropertyHits:     req - comp,
@@ -434,6 +607,7 @@ func (r *Registry) StatsSnapshot() Stats {
 		MaxBytes:  r.maxBytes,
 		Evictions: r.evictions.Load(),
 		Loads:     r.loads.Load(),
+		Swaps:     r.swaps.Load(),
 	}
 	r.mu.Unlock()
 	return s

@@ -1,0 +1,176 @@
+package registry
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSwapBumpsVersionAndIsolatesLeases(t *testing.T) {
+	r := New(0)
+	g1 := loadGraph(t, "g", 6, true)
+	e1, err := r.Add("g", g1)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	v1 := e1.Version()
+
+	// A job in flight holds a lease on the first incarnation.
+	lease, err := r.Acquire("g")
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+
+	g2, err := g1.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	e2, err := r.Swap("g", g2, SwapStats{
+		Nodes: g1.NumNodes(), Edges: g1.NumEdges() + 1, PendingOps: 1,
+	})
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if e2.Version() != v1+1 {
+		t.Fatalf("swapped version = %d, want %d", e2.Version(), v1+1)
+	}
+	if e2.PendingDeltaOps() != 1 {
+		t.Fatalf("pending ops = %d, want 1", e2.PendingDeltaOps())
+	}
+
+	// The old lease still reads the old graph; a new acquire gets the new.
+	if lease.Graph() != g1 {
+		t.Fatal("old lease switched graphs")
+	}
+	l2, err := r.Acquire("g")
+	if err != nil {
+		t.Fatalf("Acquire after swap: %v", err)
+	}
+	if l2.Graph() != g2 || l2.Entry().Version() != v1+1 {
+		t.Fatal("new acquire did not see the swapped snapshot")
+	}
+	lease.Release()
+	l2.Release()
+
+	if got := r.StatsSnapshot().Swaps; got != 1 {
+		t.Fatalf("swaps counter = %d, want 1", got)
+	}
+}
+
+func TestSwapKeepVersion(t *testing.T) {
+	r := New(0)
+	g1 := loadGraph(t, "g", 6, false)
+	e1, err := r.Add("g", g1)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	g2, err := g1.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	e2, err := r.Swap("g", g2, SwapStats{
+		Nodes: g1.NumNodes(), Edges: g1.NumEdges(), KeepVersion: true,
+	})
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if e2.Version() != e1.Version() {
+		t.Fatalf("keep-version swap changed version %d -> %d", e1.Version(), e2.Version())
+	}
+	// A later real swap still bumps past it.
+	g3, err := g2.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	e3, err := r.Swap("g", g3, SwapStats{Nodes: g2.NumNodes(), Edges: g2.NumEdges()})
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if e3.Version() != e1.Version()+1 {
+		t.Fatalf("post-compaction version = %d, want %d", e3.Version(), e1.Version()+1)
+	}
+}
+
+func TestSwapMissingAndBudget(t *testing.T) {
+	r := New(0)
+	g := loadGraph(t, "g", 5, false)
+	if _, err := r.Swap("missing", g, SwapStats{Nodes: 1, Edges: 1}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("swap missing: %v, want ErrNotFound", err)
+	}
+
+	// A budgeted registry rejects a swap that cannot fit, leaving the old
+	// entry resident.
+	small := New(EstimateBytes(g) + 64)
+	if _, err := small.Add("g", g); err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	snap, err := g.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	_, err = small.Swap("g", snap, SwapStats{
+		Bytes: EstimateBytes(g) * 10, Nodes: g.NumNodes(), Edges: g.NumEdges(),
+	})
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("oversize swap: %v, want ErrNoCapacity", err)
+	}
+	l, err := small.Acquire("g")
+	if err != nil {
+		t.Fatalf("old entry gone after failed swap: %v", err)
+	}
+	if l.Graph() != g {
+		t.Fatal("failed swap replaced the graph anyway")
+	}
+	l.Release()
+
+	// Accounting: a successful swap replaces the old footprint.
+	before := small.StatsSnapshot().CurBytes
+	if _, err := small.Swap("g", snap, SwapStats{
+		Bytes: before + 32, Nodes: g.NumNodes(), Edges: g.NumEdges(),
+	}); err != nil {
+		t.Fatalf("fitting swap: %v", err)
+	}
+	if got := small.StatsSnapshot().CurBytes; got != before+32 {
+		t.Fatalf("bytes after swap = %d, want %d", got, before+32)
+	}
+}
+
+func TestFailedSwapEvictsNothing(t *testing.T) {
+	a := loadGraph(t, "a", 6, false)
+	b := loadGraph(t, "b", 6, false)
+	r := New(EstimateBytes(a) + EstimateBytes(b) + 64)
+	if _, err := r.Add("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Add("b", b); err != nil {
+		t.Fatal(err)
+	}
+	// Pin "a" so an eviction pass could only ever take "b".
+	la, err := r.Acquire("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer la.Release()
+
+	snap, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The swap can never fit (bigger than the whole budget): it must fail
+	// without evicting the innocent, unleased "b".
+	_, err = r.Swap("a", snap, SwapStats{
+		Bytes: EstimateBytes(a) + EstimateBytes(b) + 1024,
+		Nodes: a.NumNodes(), Edges: a.NumEdges(),
+	})
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("oversize swap: %v, want ErrNoCapacity", err)
+	}
+	if _, ok := r.Info("b"); !ok {
+		t.Fatal("failed swap evicted an unrelated graph")
+	}
+	if _, ok := r.Info("a"); !ok {
+		t.Fatal("failed swap lost the swapped graph")
+	}
+	if got := r.StatsSnapshot().Evictions; got != 0 {
+		t.Fatalf("evictions = %d, want 0", got)
+	}
+}

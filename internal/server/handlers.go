@@ -202,7 +202,8 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Version keys make the dead graph's cached results unreachable;
-	// dropping them eagerly returns their memory too.
+	// dropping them eagerly returns their memory too. (The stream engine
+	// drops its delta state through the registry's removal listener.)
 	s.jobs.InvalidateGraph(name)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }

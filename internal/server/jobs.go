@@ -68,6 +68,8 @@ func (s *Server) submitAlgorithmJob(name, alg string, p *algoParams, pin bool, t
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			// EnsureProperties also finalizes a streamed-in snapshot's
+			// pending deltas before any kernel reads the matrix structure.
 			if err := entry.EnsureProperties(requiredProperties(alg, g)...); err != nil {
 				s.algErrors.Add(1)
 				// A property materialization failing is a server-side

@@ -6,6 +6,7 @@
 //	GET    /graphs                          list resident graphs
 //	GET    /graphs/{name}                   one graph's info
 //	DELETE /graphs/{name}                   drop a graph
+//	POST   /graphs/{name}/edges             apply a batch of edge mutations
 //	POST   /graphs/{name}/algorithms/{alg}  run bfs|pagerank|cc|sssp|tc|bc
 //	POST   /graphs/{name}/jobs              submit an asynchronous job
 //	GET    /jobs                            list jobs
@@ -36,6 +37,7 @@ import (
 	"lagraph/internal/jobs"
 	"lagraph/internal/parallel"
 	"lagraph/internal/registry"
+	"lagraph/internal/stream"
 )
 
 // Options configures the service.
@@ -62,15 +64,26 @@ type Options struct {
 	// JobTimeout is the default per-job deadline when a submission sets
 	// none (0 = no deadline).
 	JobTimeout time.Duration
+	// CompactThreshold is the per-graph delta-log length that triggers a
+	// background compaction. <= 0 selects the stream default (4096).
+	CompactThreshold int
+	// CompactRatio triggers compaction once the delta log reaches this
+	// fraction of the base CSR entry count. <= 0 selects the stream
+	// default (0.25).
+	CompactRatio float64
+	// MaxBatchOps bounds one mutation batch. <= 0 selects the stream
+	// default (65536).
+	MaxBatchOps int
 }
 
 // Server is the lagraphd HTTP service.
 type Server struct {
-	reg  *registry.Registry
-	jobs *jobs.Engine
-	mux  *http.ServeMux
-	sem  chan struct{}
-	opts Options
+	reg    *registry.Registry
+	jobs   *jobs.Engine
+	stream *stream.Engine
+	mux    *http.ServeMux
+	sem    chan struct{}
+	opts   Options
 
 	started   time.Time
 	requests  atomic.Int64 // API requests admitted through the limiter
@@ -98,12 +111,18 @@ func New(reg *registry.Registry, opts Options) *Server {
 			ResultTTL:        opts.ResultTTL,
 			MaxCachedResults: opts.MaxCachedResults,
 		}),
+		stream: stream.NewEngine(reg, stream.Options{
+			CompactThreshold: opts.CompactThreshold,
+			CompactRatio:     opts.CompactRatio,
+			MaxBatchOps:      opts.MaxBatchOps,
+		}),
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, opts.MaxInFlight),
 		opts:    opts,
 		started: time.Now(),
 	}
 	s.mux.HandleFunc("POST /graphs", s.limited(s.handleLoadGraph))
+	s.mux.HandleFunc("POST /graphs/{name}/edges", s.limited(s.handleMutateGraph))
 	s.mux.HandleFunc("GET /graphs", s.limited(s.handleListGraphs))
 	s.mux.HandleFunc("GET /graphs/{name}", s.limited(s.handleGetGraph))
 	s.mux.HandleFunc("DELETE /graphs/{name}", s.limited(s.handleDeleteGraph))
@@ -127,10 +146,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Jobs exposes the underlying engine (tests and embedding daemons).
 func (s *Server) Jobs() *jobs.Engine { return s.jobs }
 
-// Close stops the jobs engine: running jobs are cancelled and workers
-// drain. The HTTP handler keeps answering (submissions fail with 503),
-// so Close is safe to call before the listener stops.
-func (s *Server) Close() { s.jobs.Close() }
+// Stream exposes the mutation engine (tests and embedding daemons).
+func (s *Server) Stream() *stream.Engine { return s.stream }
+
+// Close stops the jobs and stream engines: running jobs are cancelled,
+// workers drain, and pending compactions finish. The HTTP handler keeps
+// answering (submissions fail with 503), so Close is safe to call before
+// the listener stops.
+func (s *Server) Close() {
+	s.jobs.Close()
+	s.stream.Close()
+}
 
 // limited wraps a handler with the request-concurrency limiter: a
 // semaphore sized to Options.MaxInFlight. A queued request that loses its
@@ -160,6 +186,7 @@ type serverStats struct {
 	AlgErrors     int64          `json:"algorithm_errors"`
 	Jobs          jobs.Stats     `json:"jobs"`
 	Registry      registry.Stats `json:"registry"`
+	Stream        stream.Stats   `json:"stream"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -176,6 +203,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		AlgErrors:     s.algErrors.Load(),
 		Jobs:          s.jobs.StatsSnapshot(),
 		Registry:      s.reg.StatsSnapshot(),
+		Stream:        s.stream.StatsSnapshot(),
 	})
 }
 

@@ -1,0 +1,665 @@
+// Package stream is lagraphd's streaming-mutation engine: it lets clients
+// evolve resident graphs with batched edge upserts and deletions instead
+// of full re-uploads, the way SuiteSparse:GraphBLAS's non-blocking mode
+// absorbs updates as pending tuples between analytic passes.
+//
+// Each mutated graph is backed by a per-name state: an immutable base CSR
+// plus a delta log of applied operations. Applying a batch appends to the
+// log and publishes a fresh copy-on-write snapshot to the registry — the
+// snapshot shares the base arrays and carries the log as pending
+// tuples/tombstones (grb.Matrix.Snapshot), assembled lazily by the first
+// reader. Publication goes through registry.Swap, which bumps the
+// per-graph version: in-flight jobs keep the incarnation they leased
+// (snapshot isolation), the jobs result cache re-keys automatically, and
+// new submissions see the new graph.
+//
+// A background compactor merges the delta log into a fresh base CSR once
+// the log crosses a size or ratio threshold, republishing the compacted
+// snapshot under the *same* version (content is unchanged, so cached
+// results stay valid). Degree vectors and the self-loop count are
+// maintained incrementally across batches; symmetry and other properties
+// are recomputed on demand.
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+	"lagraph/internal/registry"
+)
+
+// Op names for Op.Op.
+const (
+	OpUpsert = "upsert"
+	OpDelete = "delete"
+)
+
+// Op is one edge operation in a mutation batch.
+type Op struct {
+	Op  string `json:"op"` // "upsert" | "delete"
+	Src int    `json:"src"`
+	Dst int    `json:"dst"`
+	// Weight is the upserted edge weight; nil means 1 (the unweighted
+	// convention). Ignored for deletes.
+	Weight *float64 `json:"weight,omitempty"`
+}
+
+// Engine errors, distinguishable by errors.Is. Registry errors
+// (registry.ErrNotFound, ...) pass through Apply unchanged.
+var (
+	ErrClosed        = errors.New("stream: engine closed")
+	ErrBadBatch      = errors.New("stream: invalid batch")
+	ErrBatchTooLarge = errors.New("stream: batch too large")
+)
+
+// Options tunes the engine.
+type Options struct {
+	// CompactThreshold is the delta-log length (in applied operations,
+	// mirrored ops included) that schedules a background compaction.
+	// <= 0 means 4096.
+	CompactThreshold int
+	// CompactRatio schedules compaction once the delta log reaches this
+	// fraction of the base CSR's entry count. <= 0 means 0.25.
+	CompactRatio float64
+	// MaxBatchOps bounds one Apply call. <= 0 means 65536.
+	MaxBatchOps int
+}
+
+func (o *Options) fill() {
+	if o.CompactThreshold <= 0 {
+		o.CompactThreshold = 4096
+	}
+	if o.CompactRatio <= 0 {
+		o.CompactRatio = 0.25
+	}
+	if o.MaxBatchOps <= 0 {
+		o.MaxBatchOps = 65536
+	}
+}
+
+// logOp is one applied operation in a graph's delta log (already
+// mirrored for undirected graphs).
+type logOp struct {
+	i, j int
+	w    float64
+	del  bool
+}
+
+// logOpBytes estimates the resident cost of one delta-log operation:
+// the log entry itself plus its overlay-map slot.
+const logOpBytes = 96
+
+// coord keys the existence overlay.
+type coord struct{ i, j int }
+
+// graphState is the per-name mutation state. mu serializes mutation and
+// compaction for the graph; different graphs proceed in parallel.
+type graphState struct {
+	mu sync.Mutex
+
+	version uint64 // registry version of the snapshot we last published
+	kind    lagraph.Kind
+	n       int
+
+	base      *grb.Matrix[float64]    // finished CSR shared by every snapshot
+	baseGraph *lagraph.Graph[float64] // wraps base; source of COW snapshots
+	baseNNZ   int
+
+	log     []logOp
+	overlay map[coord]int8 // +1 live in delta, -1 deleted; absent → ask base
+
+	// Incremental bookkeeping, exact at all times.
+	edges  int
+	rowDeg []int64
+	colDeg []int64
+	ndiag  int64
+
+	compactScheduled bool
+}
+
+// Result reports what one applied batch did.
+type Result struct {
+	Graph   string `json:"graph"`
+	Version uint64 `json:"version"` // registry version the batch published
+
+	Applied int `json:"applied_ops"` // ops as submitted
+	Upserts int `json:"upserts"`
+	Deletes int `json:"deletes"`
+
+	EdgesAdded   int `json:"edges_added"`
+	EdgesRemoved int `json:"edges_removed"`
+	Edges        int `json:"edges"` // stored entries after the batch
+
+	PendingOps          int  `json:"pending_delta_ops"`
+	CompactionScheduled bool `json:"compaction_scheduled"`
+}
+
+// Stats is the engine-wide counter snapshot for /stats.
+type Stats struct {
+	GraphsTracked int `json:"graphs_tracked"`
+
+	Batches         int64 `json:"batches"`
+	OpsApplied      int64 `json:"ops_applied"`
+	Upserts         int64 `json:"upserts"`
+	Deletes         int64 `json:"deletes"`
+	RejectedBatches int64 `json:"rejected_batches"`
+
+	Compactions  int64 `json:"compactions"`
+	CompactedOps int64 `json:"compacted_ops"`
+	PendingOps   int64 `json:"pending_delta_ops"`
+}
+
+// Engine applies mutation batches against a registry's resident graphs.
+type Engine struct {
+	reg  *registry.Registry
+	opts Options
+
+	mu     sync.Mutex
+	states map[string]*graphState
+	closed bool
+
+	compactCh chan string
+	wg        sync.WaitGroup
+
+	batches      atomic.Int64
+	opsApplied   atomic.Int64
+	upserts      atomic.Int64
+	deletes      atomic.Int64
+	rejected     atomic.Int64
+	compactions  atomic.Int64
+	compactedOps atomic.Int64
+}
+
+// NewEngine builds an engine over reg and starts its background
+// compactor. The engine registers itself as the registry's removal
+// listener so a deleted or LRU-evicted graph's delta state (which pins
+// the base CSR and degree arrays) is dropped with it.
+func NewEngine(reg *registry.Registry, opts Options) *Engine {
+	opts.fill()
+	e := &Engine{
+		reg:       reg,
+		opts:      opts,
+		states:    make(map[string]*graphState),
+		compactCh: make(chan string, 64),
+	}
+	reg.SetRemoveListener(e.Forget)
+	e.wg.Add(1)
+	go e.compactor()
+	return e
+}
+
+// Close stops the background compactor. Pending compactions drain;
+// further Apply calls fail with ErrClosed.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	close(e.compactCh)
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// Forget drops the per-graph mutation state (the graph was deleted).
+func (e *Engine) Forget(name string) {
+	e.mu.Lock()
+	delete(e.states, name)
+	e.mu.Unlock()
+}
+
+// state returns (creating if needed) the per-name state.
+func (e *Engine) state(name string) (*graphState, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, ErrClosed
+	}
+	st := e.states[name]
+	if st == nil {
+		st = &graphState{}
+		e.states[name] = st
+	}
+	return st, nil
+}
+
+// Apply validates and applies one mutation batch to the named graph,
+// publishing a new snapshot (and version) to the registry. The batch is
+// atomic: any invalid operation rejects the whole batch before state
+// changes.
+func (e *Engine) Apply(name string, ops []Op) (Result, error) {
+	if len(ops) == 0 {
+		e.rejected.Add(1)
+		return Result{}, fmt.Errorf("%w: empty batch", ErrBadBatch)
+	}
+	if len(ops) > e.opts.MaxBatchOps {
+		e.rejected.Add(1)
+		return Result{}, fmt.Errorf("%w: %d ops > limit %d", ErrBatchTooLarge, len(ops), e.opts.MaxBatchOps)
+	}
+	st, err := e.state(name)
+	if err != nil {
+		e.rejected.Add(1)
+		return Result{}, err
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	// Pin the current incarnation for the whole apply — under st.mu, so a
+	// concurrent batch on the same graph cannot slip between our lease and
+	// our publish and make us resync from a stale entry.
+	lease, err := e.reg.Acquire(name)
+	if err != nil {
+		e.rejected.Add(1)
+		// Don't leak an empty state for a name that never resolved:
+		// repeated mutations of unknown graphs must not grow the map.
+		if st.base == nil {
+			e.mu.Lock()
+			if e.states[name] == st {
+				delete(e.states, name)
+			}
+			e.mu.Unlock()
+		}
+		return Result{}, err
+	}
+	defer lease.Release()
+	entry := lease.Entry()
+
+	if st.base == nil || st.version != entry.Version() {
+		// First mutation of this incarnation (or the graph was replaced by
+		// a fresh upload): rebuild the state from the registry's graph.
+		if err := st.resetFrom(entry); err != nil {
+			e.rejected.Add(1)
+			return Result{}, err
+		}
+	}
+
+	// Validate before touching anything: batches are all-or-nothing.
+	for k, op := range ops {
+		if op.Op != OpUpsert && op.Op != OpDelete {
+			e.rejected.Add(1)
+			return Result{}, fmt.Errorf("%w: op %d has unknown kind %q (upsert|delete)", ErrBadBatch, k, op.Op)
+		}
+		if op.Src < 0 || op.Src >= st.n || op.Dst < 0 || op.Dst >= st.n {
+			e.rejected.Add(1)
+			return Result{}, fmt.Errorf("%w: op %d edge (%d,%d) outside %d-node graph", ErrBadBatch, k, op.Src, op.Dst, st.n)
+		}
+	}
+
+	res := Result{Graph: name, Applied: len(ops)}
+	logBefore := len(st.log)
+	for _, op := range ops {
+		switch op.Op {
+		case OpUpsert:
+			w := 1.0
+			if op.Weight != nil {
+				w = *op.Weight
+			}
+			res.Upserts++
+			res.EdgesAdded += st.upsert(op.Src, op.Dst, w)
+			if st.kind == lagraph.AdjacencyUndirected && op.Src != op.Dst {
+				st.upsert(op.Dst, op.Src, w)
+			}
+		case OpDelete:
+			res.Deletes++
+			res.EdgesRemoved += st.delete(op.Src, op.Dst)
+			if st.kind == lagraph.AdjacencyUndirected && op.Src != op.Dst {
+				st.delete(op.Dst, op.Src)
+			}
+		}
+	}
+
+	if len(st.log) == logBefore {
+		// Nothing was logged (every delete targeted an absent edge): the
+		// graph is content-identical, so don't publish — a version bump
+		// would wipe the result cache for an unchanged graph.
+		e.batches.Add(1)
+		e.opsApplied.Add(int64(res.Applied))
+		e.deletes.Add(int64(res.Deletes))
+		res.Version = st.version
+		res.Edges = st.edges
+		res.PendingOps = len(st.log)
+		return res, nil
+	}
+
+	g, err := st.snapshot(entry.Graph())
+	if err != nil {
+		return Result{}, err
+	}
+	newEntry, err := e.reg.Swap(name, g, registry.SwapStats{
+		Bytes:      st.estimateBytes(),
+		Nodes:      st.n,
+		Edges:      st.edges,
+		PendingOps: int64(len(st.log)),
+		Prev:       entry,
+	})
+	if err != nil {
+		// The swap failed (budget, concurrent delete): roll nothing back —
+		// the log faithfully describes the mutations — but resync on the
+		// next Apply by clearing the published-version marker.
+		st.base = nil
+		return Result{}, err
+	}
+	st.version = newEntry.Version()
+
+	e.batches.Add(1)
+	e.opsApplied.Add(int64(res.Applied))
+	e.upserts.Add(int64(res.Upserts))
+	e.deletes.Add(int64(res.Deletes))
+
+	res.Version = st.version
+	res.Edges = st.edges
+	res.PendingOps = len(st.log)
+	res.CompactionScheduled = e.maybeScheduleCompact(name, st)
+	return res, nil
+}
+
+// upsert applies one insert/update to the bookkeeping and delta log,
+// returning 1 when a new edge came into existence.
+func (st *graphState) upsert(i, j int, w float64) int {
+	existed := st.has(i, j)
+	st.overlay[coord{i, j}] = 1
+	st.log = append(st.log, logOp{i: i, j: j, w: w})
+	if existed {
+		return 0
+	}
+	st.edges++
+	st.rowDeg[i]++
+	st.colDeg[j]++
+	if i == j {
+		st.ndiag++
+	}
+	return 1
+}
+
+// delete applies one deletion, returning 1 when a live edge was removed.
+// Deleting an absent edge is a no-op and is not logged.
+func (st *graphState) delete(i, j int) int {
+	if !st.has(i, j) {
+		return 0
+	}
+	st.overlay[coord{i, j}] = -1
+	st.log = append(st.log, logOp{i: i, j: j, del: true})
+	st.edges--
+	st.rowDeg[i]--
+	st.colDeg[j]--
+	if i == j {
+		st.ndiag--
+	}
+	return 1
+}
+
+// has reports whether edge (i,j) is live: the overlay overrides the base.
+func (st *graphState) has(i, j int) bool {
+	if v, ok := st.overlay[coord{i, j}]; ok {
+		return v > 0
+	}
+	_, err := st.base.ExtractElement(i, j)
+	return err == nil
+}
+
+// resetFrom rebuilds the state from the registry's current incarnation:
+// base CSR, exact edge count, incremental degree vectors and self-loop
+// count. Costs one O(n + nnz) pass, paid once per incarnation.
+func (st *graphState) resetFrom(entry *registry.Entry) error {
+	entry.EnsureFinalized()
+	g := entry.Graph()
+	base := g.A
+	if base.Format() != grb.FormatSparse {
+		return fmt.Errorf("%w: graph is not CSR-backed", ErrBadBatch)
+	}
+	ptr, idx, _ := base.ExportCSR() // finished: shared, read-only
+	n := base.NRows()
+
+	st.version = entry.Version()
+	st.kind = g.Kind
+	st.n = n
+	st.base = base
+	st.baseGraph = g
+	st.baseNNZ = len(idx)
+	st.log = nil
+	st.overlay = make(map[coord]int8)
+	st.edges = len(idx)
+	st.rowDeg = make([]int64, n)
+	st.colDeg = make([]int64, n)
+	st.ndiag = 0
+	for i := 0; i < n; i++ {
+		st.rowDeg[i] = int64(ptr[i+1] - ptr[i])
+		for p := ptr[i]; p < ptr[i+1]; p++ {
+			st.colDeg[idx[p]]++
+			if idx[p] == i {
+				st.ndiag++
+			}
+		}
+	}
+	return nil
+}
+
+// snapshot builds the publishable copy-on-write graph
+// (lagraph.Graph.Snapshot): shared base CSR plus the delta log replayed
+// as pending tuples and tombstones. Degree vectors are seeded from the
+// incremental bookkeeping when the previous incarnation had them
+// materialized (someone is using them); NDiag is always exact;
+// everything else is recomputed on demand.
+func (st *graphState) snapshot(prev *lagraph.Graph[float64]) (*lagraph.Graph[float64], error) {
+	g, err := st.baseGraph.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range st.log {
+		if op.del {
+			if err := g.A.RemoveElement(op.i, op.j); err != nil {
+				return nil, err
+			}
+		} else if err := g.A.SetElement(op.w, op.i, op.j); err != nil {
+			return nil, err
+		}
+	}
+	g.NDiag = st.ndiag
+	if prev.CachedRowDegree() != nil || prev.CachedColDegree() != nil {
+		rd, err := degreeVector(st.rowDeg)
+		if err != nil {
+			return nil, err
+		}
+		g.RowDegree = rd
+		if st.kind == lagraph.AdjacencyUndirected {
+			g.ColDegree = rd
+		} else {
+			cd, err := degreeVector(st.colDeg)
+			if err != nil {
+				return nil, err
+			}
+			g.ColDegree = cd
+		}
+	}
+	return g, nil
+}
+
+// estimateBytes is the snapshot's resident footprint: the base-and-
+// properties estimate plus the delta log's overhead.
+func (st *graphState) estimateBytes() int64 {
+	return registry.EstimateBytesFor(st.n, st.edges, st.kind == lagraph.AdjacencyDirected) +
+		int64(len(st.log))*logOpBytes
+}
+
+// degreeVector builds the sparse degree vector (entries only where > 0,
+// matching lagraph's PropertyRowDegree convention) from dense counts.
+func degreeVector(deg []int64) (*grb.Vector[int64], error) {
+	var idx []int
+	var vals []int64
+	for i, d := range deg {
+		if d > 0 {
+			idx = append(idx, i)
+			vals = append(vals, d)
+		}
+	}
+	return grb.VectorFromTuples(len(deg), idx, vals, nil)
+}
+
+// maybeScheduleCompact enqueues a background compaction when the delta
+// log crossed the size or ratio threshold. Called with st.mu held.
+func (e *Engine) maybeScheduleCompact(name string, st *graphState) bool {
+	if st.compactScheduled {
+		return true
+	}
+	over := len(st.log) >= e.opts.CompactThreshold ||
+		(st.baseNNZ > 0 && float64(len(st.log)) >= e.opts.CompactRatio*float64(st.baseNNZ))
+	if !over {
+		return false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false
+	}
+	select {
+	case e.compactCh <- name:
+		st.compactScheduled = true
+		return true
+	default:
+		// Queue full: the next batch will retrigger.
+		return false
+	}
+}
+
+// compactor drains compaction requests until Close.
+func (e *Engine) compactor() {
+	defer e.wg.Done()
+	for name := range e.compactCh {
+		e.compactOne(name)
+	}
+}
+
+// compactOne merges a graph's delta log into a fresh base CSR and
+// republishes the compacted snapshot under the current version (identical
+// content, so cached results survive). The O(nnz) merge runs *outside*
+// st.mu — mutation batches keep landing while it works — and the result
+// is adopted under the lock only if the state it was computed from is
+// still a prefix of the live state; batches that arrived mid-merge simply
+// remain in the (now much shorter) delta log.
+func (e *Engine) compactOne(name string) {
+	e.mu.Lock()
+	st := e.states[name]
+	e.mu.Unlock()
+	if st == nil {
+		return
+	}
+
+	// Phase 1: snapshot the merge inputs.
+	st.mu.Lock()
+	st.compactScheduled = false
+	if len(st.log) == 0 || st.base == nil {
+		st.mu.Unlock()
+		return
+	}
+	base := st.base
+	merged := len(st.log)
+	logCopy := append([]logOp(nil), st.log...)
+	st.mu.Unlock()
+
+	// Phase 2: the heavy merge, off every lock.
+	m, err := base.Snapshot()
+	if err != nil {
+		return
+	}
+	for _, op := range logCopy {
+		if op.del {
+			if m.RemoveElement(op.i, op.j) != nil {
+				return
+			}
+		} else if m.SetElement(op.w, op.i, op.j) != nil {
+			return
+		}
+	}
+	m.Wait() // assemble the merged CSR: this is the new base
+
+	// Phase 3: adopt under the lock. Apply only ever appends to the log
+	// (resets swap out st.base), so base identity + length is enough to
+	// prove logCopy is still a prefix of st.log.
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.base != base || len(st.log) < merged {
+		return // resynced or replaced mid-merge; nothing to adopt
+	}
+	tail := append([]logOp(nil), st.log[merged:]...)
+	A := m
+	bg, err := lagraph.New(&A, st.kind)
+	if err != nil {
+		return
+	}
+	st.base = m
+	st.baseGraph = bg
+	st.baseNNZ = m.NVals() // finished and private: cheap, no assembly
+	st.log = tail
+	st.overlay = make(map[coord]int8)
+	for _, op := range tail {
+		if op.del {
+			st.overlay[coord{op.i, op.j}] = -1
+		} else {
+			st.overlay[coord{op.i, op.j}] = 1
+		}
+	}
+	e.compactions.Add(1)
+	e.compactedOps.Add(int64(merged))
+
+	// Republish so readers of the current version get the compacted base
+	// (plus any mid-merge tail) instead of paying the lazy merge
+	// themselves. Best-effort: on failure the compacted base still serves
+	// every future snapshot.
+	lease, err := e.reg.Acquire(name)
+	if err != nil {
+		return // deleted; the removal listener clears the state
+	}
+	defer lease.Release()
+	entry := lease.Entry()
+	if entry.Version() != st.version {
+		return // replaced externally; the next Apply resyncs
+	}
+	g, err := st.snapshot(entry.Graph())
+	if err != nil {
+		return
+	}
+	_, _ = e.reg.Swap(name, g, registry.SwapStats{
+		Bytes:       st.estimateBytes(),
+		Nodes:       st.n,
+		Edges:       st.edges,
+		PendingOps:  int64(len(tail)),
+		KeepVersion: true,
+		Prev:        entry,
+	})
+}
+
+// StatsSnapshot returns the engine counters, including the current sum of
+// per-graph delta-log lengths.
+func (e *Engine) StatsSnapshot() Stats {
+	e.mu.Lock()
+	states := make([]*graphState, 0, len(e.states))
+	for _, st := range e.states {
+		states = append(states, st)
+	}
+	tracked := len(e.states)
+	e.mu.Unlock()
+
+	var pending int64
+	for _, st := range states {
+		st.mu.Lock()
+		pending += int64(len(st.log))
+		st.mu.Unlock()
+	}
+	return Stats{
+		GraphsTracked:   tracked,
+		Batches:         e.batches.Load(),
+		OpsApplied:      e.opsApplied.Load(),
+		Upserts:         e.upserts.Load(),
+		Deletes:         e.deletes.Load(),
+		RejectedBatches: e.rejected.Load(),
+		Compactions:     e.compactions.Load(),
+		CompactedOps:    e.compactedOps.Load(),
+		PendingOps:      pending,
+	}
+}
