@@ -7,9 +7,14 @@
 // engine: a worker pool of cancellable jobs with single-flight dedup and
 // a result cache keyed by each graph's registry version.
 //
+// With -data-dir the daemon is durable: loaded graphs are checkpointed,
+// mutation batches are write-ahead-logged before they become visible,
+// and a restart recovers every graph at the version it last published
+// (see internal/store).
+//
 // Quickstart:
 //
-//	lagraphd -addr :8080 &
+//	lagraphd -addr :8080 -data-dir /var/lib/lagraphd &
 //	curl -X POST localhost:8080/graphs -H 'Content-Type: application/json' \
 //	     -d '{"name":"kron","class":"kron","scale":10,"edge_factor":8}'
 //	curl -X POST localhost:8080/graphs/kron/algorithms/pagerank -d '{}'
@@ -36,6 +41,7 @@ import (
 	"lagraph/internal/parallel"
 	"lagraph/internal/registry"
 	"lagraph/internal/server"
+	"lagraph/internal/store"
 )
 
 func main() {
@@ -56,11 +62,28 @@ func main() {
 		compactThreshold = flag.Int("compact-threshold", 0, "delta-log ops per graph before background compaction (0 = 4096)")
 		compactRatio     = flag.Float64("compact-ratio", 0, "delta-log/graph-size ratio that triggers compaction (0 = 0.25)")
 		maxBatchOps      = flag.Int("max-batch-ops", 0, "max edge operations per mutation batch (0 = 65536)")
+
+		dataDir            = flag.String("data-dir", "", "durable store directory: persist graphs + mutation WAL, recover on boot (empty = memory only)")
+		fsync              = flag.Bool("fsync", true, "fsync WAL appends and checkpoint writes (with -data-dir)")
+		checkpointInterval = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic WAL-bounding checkpoint cadence (0 disables; with -data-dir)")
 	)
 	flag.Parse()
 
 	if *threads > 0 {
 		parallel.SetMaxThreads(*threads)
+	}
+
+	var st *store.Store
+	if *dataDir != "" {
+		var err error
+		st, err = store.Open(store.Options{
+			Dir:                *dataDir,
+			Fsync:              *fsync,
+			CheckpointInterval: *checkpointInterval,
+		})
+		if err != nil {
+			log.Fatalf("lagraphd: opening data dir: %v", err)
+		}
 	}
 
 	reg := registry.New(*maxBytes)
@@ -75,7 +98,21 @@ func main() {
 		CompactThreshold: *compactThreshold,
 		CompactRatio:     *compactRatio,
 		MaxBatchOps:      *maxBatchOps,
+		Store:            st,
 	})
+	if st != nil {
+		stats := st.StatsSnapshot()
+		if rec := stats.Recovery; rec != nil {
+			log.Printf("lagraphd: recovered %d graphs (%d WAL batches, %d ops) from %s in %.3fs",
+				rec.GraphsRecovered, rec.BatchesReplayed, rec.OpsReplayed, *dataDir, rec.Seconds)
+			for _, f := range rec.Failed {
+				log.Printf("lagraphd: recovery skipped %s", f)
+			}
+		}
+		for _, d := range stats.SkippedDirs {
+			log.Printf("lagraphd: data dir entry not served: %s", d)
+		}
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -26,6 +26,7 @@ var AlgNames = []string{"BC", "BFS", "PR", "CC", "SSSP", "TC"}
 // harness needs.
 type Workload struct {
 	Name  string
+	Seed  uint64        // generator seed the workload was built from
 	Edges *gen.EdgeList // weighted (uniform [1,255], the GAP convention)
 
 	LG *lagraph.Graph[float64] // LAGraph graph, weights attached
@@ -79,20 +80,21 @@ func Load(name string, scale, edgeFactor int, seed uint64) (*Workload, error) {
 	}
 	gg := gap.Build(e.N, e.Src, e.Dst, e.W, e.Directed)
 
-	w := &Workload{Name: name, Edges: e, LG: lg, GG: gg}
-	w.Sources = pickSources(e, 64)
+	w := &Workload{Name: name, Seed: seed, Edges: e, LG: lg, GG: gg}
+	w.Sources = pickSources(e, 64, seed)
 	return w, nil
 }
 
 // pickSources deterministically samples vertices with out-degree > 0, the
-// way the GAP runner samples sources.
-func pickSources(e *gen.EdgeList, count int) []int {
+// way the GAP runner samples sources. The sample is a pure function of
+// (graph, seed): reruns with the same -seed time the same sources.
+func pickSources(e *gen.EdgeList, count int, seed uint64) []int {
 	deg := make([]int, e.N)
 	for _, s := range e.Src {
 		deg[s]++
 	}
 	var sources []int
-	rng := uint64(12345)
+	rng := 12345 ^ (seed * 0x9e3779b97f4a7c15)
 	for len(sources) < count {
 		rng = rng*6364136223846793005 + 1442695040888963407
 		v := int(rng % uint64(e.N))
@@ -256,10 +258,12 @@ func TCWorkload(w *Workload) *Workload {
 		return w
 	}
 	// Symmetrise: append reversed edges, dedupe via the generator helper.
+	// The derived workload inherits the source workload's seed, so the
+	// whole TC cell remains a pure function of the -seed flag.
 	sym := &gen.EdgeList{N: w.Edges.N, Name: w.Edges.Name, Directed: false}
 	sym.Src = append(append([]int32{}, w.Edges.Src...), w.Edges.Dst...)
 	sym.Dst = append(append([]int32{}, w.Edges.Dst...), w.Edges.Src...)
-	symW, err := Load2(sym)
+	symW, err := Load2(sym, w.Seed)
 	if err != nil {
 		return w
 	}
@@ -267,10 +271,11 @@ func TCWorkload(w *Workload) *Workload {
 }
 
 // Load2 builds a Workload from an existing edge list (used for the
-// symmetrised TC inputs).
-func Load2(e *gen.EdgeList) (*Workload, error) {
+// symmetrised TC inputs). Weights and source sampling derive from the
+// explicit seed, never from ambient or hard-wired state.
+func Load2(e *gen.EdgeList, seed uint64) (*Workload, error) {
 	dedupe(e)
-	e.AddUniformWeights(99, 1, 255)
+	e.AddUniformWeights(seed+17, 1, 255)
 	ptr, idx, vals := e.CSR()
 	A, err := grb.ImportCSR(e.N, e.N, ptr, idx, vals, false)
 	if err != nil {
@@ -291,8 +296,8 @@ func Load2(e *gen.EdgeList) (*Workload, error) {
 		return nil, err
 	}
 	gg := gap.Build(e.N, e.Src, e.Dst, e.W, e.Directed)
-	w := &Workload{Name: e.Name, Edges: e, LG: lg, GG: gg}
-	w.Sources = pickSources(e, 64)
+	w := &Workload{Name: e.Name, Seed: seed, Edges: e, LG: lg, GG: gg}
+	w.Sources = pickSources(e, 64, seed)
 	return w, nil
 }
 

@@ -72,6 +72,7 @@ func timedCall(client *http.Client, op, method, url string, body, out any) Servi
 type ServiceSmokeOptions struct {
 	Scale      int // synthetic graph scale (default 7)
 	EdgeFactor int
+	Seed       uint64 // generator seed for every loaded graph (default 42)
 	Client     *http.Client
 }
 
@@ -101,6 +102,9 @@ func ServiceSmoke(baseURL string, opts ServiceSmokeOptions) []ServiceResult {
 	if opts.EdgeFactor <= 0 {
 		opts.EdgeFactor = 4
 	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
 	client := opts.Client
 	if client == nil {
 		client = http.DefaultClient
@@ -116,7 +120,7 @@ func ServiceSmoke(baseURL string, opts ServiceSmokeOptions) []ServiceResult {
 		undirected := class == "Kron" || class == "Urand"
 		results = append(results, call("load "+class, "POST", baseURL+"/graphs", map[string]any{
 			"name": name, "class": class, "scale": opts.Scale,
-			"edge_factor": opts.EdgeFactor, "seed": 42, "weights": true,
+			"edge_factor": opts.EdgeFactor, "seed": opts.Seed, "weights": true,
 		}))
 		for _, a := range serviceAlgorithms {
 			if a.undirected && !undirected {
@@ -140,8 +144,9 @@ func ServiceSmoke(baseURL string, opts ServiceSmokeOptions) []ServiceResult {
 type MutateChurnOptions struct {
 	Scale      int // synthetic graph scale (default 7)
 	EdgeFactor int
-	Rounds     int // mutate+query rounds (default 12)
-	BatchOps   int // edge operations per mutation batch (default 16)
+	Seed       uint64 // generator seed for the churned graph (default 42)
+	Rounds     int    // mutate+query rounds (default 12)
+	BatchOps   int    // edge operations per mutation batch (default 16)
 	Client     *http.Client
 }
 
@@ -186,6 +191,9 @@ func ServiceMutateChurn(baseURL string, opts MutateChurnOptions) (MutateChurnRep
 	if opts.BatchOps <= 0 {
 		opts.BatchOps = 16
 	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
 	client := opts.Client
 	if client == nil {
 		client = http.DefaultClient
@@ -224,7 +232,7 @@ func ServiceMutateChurn(baseURL string, opts MutateChurnOptions) (MutateChurnRep
 	}
 	if !record(do("load "+name, "POST", baseURL+"/graphs", map[string]any{
 		"name": name, "class": "kron", "scale": opts.Scale,
-		"edge_factor": opts.EdgeFactor, "seed": 42, "weights": true,
+		"edge_factor": opts.EdgeFactor, "seed": opts.Seed, "weights": true,
 	}, nil)) {
 		return rep, fmt.Errorf("load failed")
 	}
@@ -308,7 +316,8 @@ func ServiceMutateChurn(baseURL string, opts MutateChurnOptions) (MutateChurnRep
 type JobsBurstOptions struct {
 	Scale      int // synthetic graph scale (default 8)
 	EdgeFactor int
-	Burst      int // identical submissions per wave (default 8)
+	Seed       uint64 // generator seed for the queried graph (default 42)
+	Burst      int    // identical submissions per wave (default 8)
 	Client     *http.Client
 }
 
@@ -345,6 +354,9 @@ func ServiceJobsBurst(baseURL string, opts JobsBurstOptions) (JobsBurstReport, e
 	if opts.Burst <= 0 {
 		opts.Burst = 8
 	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
 	client := opts.Client
 	if client == nil {
 		client = http.DefaultClient
@@ -372,7 +384,7 @@ func ServiceJobsBurst(baseURL string, opts JobsBurstOptions) (JobsBurstReport, e
 	const name = "jobs-burst"
 	if !record(do("load "+name, "POST", baseURL+"/graphs", map[string]any{
 		"name": name, "class": "kron", "scale": opts.Scale,
-		"edge_factor": opts.EdgeFactor, "seed": 42,
+		"edge_factor": opts.EdgeFactor, "seed": opts.Seed,
 	}, nil)) {
 		return rep, fmt.Errorf("load failed")
 	}

@@ -45,8 +45,11 @@ func typeTag[T Value]() byte {
 	}
 }
 
-// encodeValue converts a value to its uint64 wire representation.
-func encodeValue[T Value](x T) uint64 {
+// EncodeValue converts a value to its uint64 wire representation — the
+// same encoding SerializeMatrix uses for stored entries. It is exported
+// so record-oriented containers built on this serialization (the durable
+// store's write-ahead-log payloads) share one wire format for values.
+func EncodeValue[T Value](x T) uint64 {
 	switch v := any(x).(type) {
 	case bool:
 		if v {
@@ -77,8 +80,8 @@ func encodeValue[T Value](x T) uint64 {
 	return 0
 }
 
-// decodeValue is the inverse of encodeValue.
-func decodeValue[T Value](bits uint64) T {
+// DecodeValue is the inverse of EncodeValue.
+func DecodeValue[T Value](bits uint64) T {
 	var z T
 	switch any(z).(type) {
 	case bool:
@@ -143,7 +146,7 @@ func SerializeMatrix[T Value](w io.Writer, m *Matrix[T]) error {
 		}
 	}
 	for _, x := range val {
-		if err := writeU64(encodeValue(x)); err != nil {
+		if err := writeU64(EncodeValue(x)); err != nil {
 			return errf(Panic, "SerializeMatrix val: %v", err)
 		}
 	}
@@ -189,35 +192,87 @@ func DeserializeMatrix[T Value](r io.Reader) (*Matrix[T], error) {
 	if nr < 0 || nc < 0 || nnz < 0 {
 		return nil, errf(InvalidObject, "DeserializeMatrix: negative dimensions")
 	}
-	ptr := make([]int, nr+1)
-	for i := range ptr {
+	// Never pre-allocate the header-declared sizes: a corrupt or hostile
+	// header can claim 2^60 entries the stream does not carry, and the
+	// allocation itself would abort the process before the short read is
+	// noticed. Grow with the data actually read instead.
+	ptr := make([]int, 0, UntrustedCap(nr+1))
+	for i := 0; i <= nr; i++ {
 		x, err := readU64()
 		if err != nil {
 			return nil, errf(InvalidObject, "DeserializeMatrix ptr: %v", err)
 		}
-		ptr[i] = int(x)
+		ptr = append(ptr, int(x))
 	}
 	if ptr[nr] != nnz {
+		// Early exit before reading nnz indices and values the row
+		// pointers cannot account for; the full invariants are enforced by
+		// ImportCSRChecked below.
 		return nil, errf(InvalidObject, "DeserializeMatrix: ptr/nvals mismatch")
 	}
-	idx := make([]int, nnz)
-	for i := range idx {
+	idx := make([]int, 0, UntrustedCap(nnz))
+	for i := 0; i < nnz; i++ {
 		x, err := readU64()
 		if err != nil {
 			return nil, errf(InvalidObject, "DeserializeMatrix idx: %v", err)
 		}
-		idx[i] = int(x)
-		if idx[i] < 0 || idx[i] >= nc {
-			return nil, errf(InvalidObject, "DeserializeMatrix: index out of range")
-		}
+		idx = append(idx, int(x))
 	}
-	val := make([]T, nnz)
-	for i := range val {
+	val := make([]T, 0, UntrustedCap(nnz))
+	for i := 0; i < nnz; i++ {
 		bits, err := readU64()
 		if err != nil {
 			return nil, errf(InvalidObject, "DeserializeMatrix val: %v", err)
 		}
-		val[i] = decodeValue[T](bits)
+		val = append(val, DecodeValue[T](bits))
+	}
+	return ImportCSRChecked(nr, nc, ptr, idx, val)
+}
+
+// allocChunk bounds the up-front capacity of deserialization allocations;
+// larger arrays grow only as their data actually arrives, so truncated or
+// forged headers fail on the short read instead of on the allocation.
+const allocChunk = 1 << 16
+
+// UntrustedCap clamps an untrusted size to [0, allocChunk] for use as a
+// slice capacity, so deserializers grow arrays with the data actually
+// read instead of a header's claim. The clamp also absorbs integer
+// overflow: a header claiming MaxInt64 rows makes nr+1 wrap negative,
+// and passing that to make() would panic. Shared by every reader of
+// untrusted containers (this package's deserializers, lagraph's BinRead).
+func UntrustedCap(n int) int {
+	if n < 0 || n > allocChunk {
+		return allocChunk
+	}
+	return n
+}
+
+// ImportCSRChecked is ImportCSR for untrusted input (deserializers, file
+// uploads): it enforces the full CSR invariants — ptr[0] == 0, monotone
+// non-negative row pointers ending at len(idx), and in-range, strictly
+// increasing column indices within each row (which also excludes
+// duplicates) — and rejects any violation with InvalidObject instead of
+// importing garbage that a later kernel would trip over.
+func ImportCSRChecked[T Value](nr, nc int, ptr, idx []int, val []T) (*Matrix[T], error) {
+	if nr < 0 || nc < 0 || len(ptr) != nr+1 || len(val) != len(idx) {
+		return nil, errf(InvalidObject, "ImportCSRChecked: inconsistent arrays")
+	}
+	if ptr[0] != 0 || ptr[nr] != len(idx) {
+		return nil, errf(InvalidObject, "ImportCSRChecked: ptr does not span [0,%d]", len(idx))
+	}
+	for i := 0; i < nr; i++ {
+		lo, hi := ptr[i], ptr[i+1]
+		if lo > hi || lo < 0 || hi > len(idx) {
+			return nil, errf(InvalidObject, "ImportCSRChecked: row pointers not monotone at row %d", i)
+		}
+		for p := lo; p < hi; p++ {
+			if idx[p] < 0 || idx[p] >= nc {
+				return nil, errf(InvalidObject, "ImportCSRChecked: row %d index %d outside [0,%d)", i, idx[p], nc)
+			}
+			if p > lo && idx[p] <= idx[p-1] {
+				return nil, errf(InvalidObject, "ImportCSRChecked: row %d columns not strictly increasing", i)
+			}
+		}
 	}
 	return ImportCSR(nr, nc, ptr, idx, val, false)
 }

@@ -43,7 +43,7 @@ func SerializeVector[T Value](w io.Writer, v *Vector[T]) error {
 		}
 	}
 	for _, x := range val {
-		if err := writeU64(encodeValue(x)); err != nil {
+		if err := writeU64(EncodeValue(x)); err != nil {
 			return errf(Panic, "SerializeVector val: %v", err)
 		}
 	}
@@ -90,24 +90,28 @@ func DeserializeVector[T Value](r io.Reader) (*Vector[T], error) {
 	if n < 0 || nv < 0 || nv > n {
 		return nil, errf(InvalidObject, "DeserializeVector: inconsistent sizes")
 	}
-	idx := make([]int, nv)
-	for i := range idx {
+	// Grow with the data actually read, never the header's claim (see
+	// DeserializeMatrix: forged sizes must fail on the short read, not by
+	// exhausting memory on the allocation).
+	idx := make([]int, 0, UntrustedCap(nv))
+	for i := 0; i < nv; i++ {
 		x, err := readU64()
 		if err != nil {
 			return nil, errf(InvalidObject, "DeserializeVector idx: %v", err)
 		}
-		idx[i] = int(x)
-		if idx[i] < 0 || idx[i] >= n {
+		j := int(x)
+		if j < 0 || j >= n {
 			return nil, errf(InvalidObject, "DeserializeVector: index out of range")
 		}
+		idx = append(idx, j)
 	}
-	val := make([]T, nv)
-	for i := range val {
+	val := make([]T, 0, UntrustedCap(nv))
+	for i := 0; i < nv; i++ {
 		bits, err := readU64()
 		if err != nil {
 			return nil, errf(InvalidObject, "DeserializeVector val: %v", err)
 		}
-		val[i] = decodeValue[T](bits)
+		val = append(val, DecodeValue[T](bits))
 	}
 	return VectorFromTuples(n, idx, val, nil)
 }

@@ -112,34 +112,39 @@ func BinRead(r io.Reader) (*grb.Matrix[float64], error) {
 		err := binary.Read(br, binary.LittleEndian, &x)
 		return x, err
 	}
-	ptr := make([]int, nr+1)
-	for i := range ptr {
+	// The container is untrusted (HTTP uploads land here): grow arrays
+	// with the bytes actually present rather than pre-allocating the
+	// header's claimed sizes, and import through ImportCSRChecked, which
+	// enforces the CSR invariants — so a malformed file is an error,
+	// never a panic in a later kernel.
+	ptr := make([]int, 0, grb.UntrustedCap(nr+1))
+	for i := 0; i <= nr; i++ {
 		x, err := readInt()
 		if err != nil {
 			return nil, wrap(StatusIO, err, "BinRead ptr")
 		}
-		ptr[i] = int(x)
+		ptr = append(ptr, int(x))
 	}
 	if ptr[nr] != nnz {
 		return nil, errf(StatusIO, "BinRead: ptr[n]=%d but nvals=%d", ptr[nr], nnz)
 	}
-	idx := make([]int, nnz)
-	for i := range idx {
+	idx := make([]int, 0, grb.UntrustedCap(nnz))
+	for i := 0; i < nnz; i++ {
 		x, err := readInt()
 		if err != nil {
 			return nil, wrap(StatusIO, err, "BinRead idx")
 		}
-		idx[i] = int(x)
+		idx = append(idx, int(x))
 	}
-	val := make([]float64, nnz)
-	for i := range val {
+	val := make([]float64, 0, grb.UntrustedCap(nnz))
+	for i := 0; i < nnz; i++ {
 		var bits uint64
 		if err := binary.Read(br, binary.LittleEndian, &bits); err != nil {
 			return nil, wrap(StatusIO, err, "BinRead val")
 		}
-		val[i] = math.Float64frombits(bits)
+		val = append(val, math.Float64frombits(bits))
 	}
-	m, err := grb.ImportCSR(nr, nc, ptr, idx, val, false)
+	m, err := grb.ImportCSRChecked(nr, nc, ptr, idx, val)
 	if err != nil {
 		return nil, wrap(StatusIO, err, "BinRead import")
 	}

@@ -1,0 +1,78 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzMMRead feeds arbitrary bytes to the Matrix Market parser. The
+// contract under fuzzing: malformed input returns an error — never a
+// panic, never unbounded allocation — and anything that parses must
+// round-trip through Write and parse again to the same tuples.
+//
+// Run locally with:
+//
+//	go test ./internal/mmio -fuzz FuzzMMRead -fuzztime 30s
+func FuzzMMRead(f *testing.F) {
+	seeds := []string{
+		// The happy paths: every supported field × symmetry combination.
+		"%%MatrixMarket matrix coordinate real general\n3 3 2\n1 2 1.5\n3 1 -2\n",
+		"%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 1 7\n",
+		"%%MatrixMarket matrix coordinate pattern general\n2 3 2\n1 2\n2 3\n",
+		"%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 4\n3 3 1\n",
+		"%%MatrixMarket matrix coordinate real skew-symmetric\n3 3 1\n2 1 4\n",
+		"%%MatrixMarket matrix coordinate pattern symmetric\n4 4 2\n2 1\n4 3\n",
+		// Comments, blank lines, whitespace.
+		"%%MatrixMarket matrix coordinate real general\n% comment\n\n2 2 1\n  1   2   3.0  \n",
+		// The sharp edges: truncation, bad counts, huge claims, junk.
+		"%%MatrixMarket matrix coordinate real general\n3 3 5\n1 2 1.5\n",
+		"%%MatrixMarket matrix coordinate real general\n-1 3 1\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n3 3 999999999999\n1 1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n3 3 1\n9 9 1\n",
+		"%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1 nope\n",
+		"%%MatrixMarket vector coordinate real general\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n",
+		"not matrix market at all",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		coo, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly: exactly what malformed input should do
+		}
+		if coo.NRows < 0 || coo.NCols < 0 {
+			t.Fatalf("accepted negative dims: %dx%d", coo.NRows, coo.NCols)
+		}
+		if len(coo.Rows) != len(coo.Cols) || len(coo.Rows) != len(coo.Vals) {
+			t.Fatalf("ragged tuple arrays: %d/%d/%d", len(coo.Rows), len(coo.Cols), len(coo.Vals))
+		}
+		for k := range coo.Rows {
+			if coo.Rows[k] < 0 || coo.Rows[k] >= coo.NRows || coo.Cols[k] < 0 || coo.Cols[k] >= coo.NCols {
+				t.Fatalf("tuple %d at (%d,%d) outside %dx%d", k, coo.Rows[k], coo.Cols[k], coo.NRows, coo.NCols)
+			}
+		}
+		// Round trip: what we parsed must write and re-parse identically
+		// (Write emits general form, so symmetry is already expanded).
+		var buf strings.Builder
+		if err := Write(&buf, coo.NRows, coo.NCols, coo.Rows, coo.Cols, coo.Vals, false); err != nil {
+			t.Fatalf("Write of parsed data failed: %v", err)
+		}
+		again, err := Read(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-parse of written data failed: %v", err)
+		}
+		if again.NRows != coo.NRows || again.NCols != coo.NCols || len(again.Rows) != len(coo.Rows) {
+			t.Fatalf("round trip changed shape: %dx%d/%d vs %dx%d/%d",
+				again.NRows, again.NCols, len(again.Rows), coo.NRows, coo.NCols, len(coo.Rows))
+		}
+		for k := range coo.Rows {
+			if again.Rows[k] != coo.Rows[k] || again.Cols[k] != coo.Cols[k] || again.Vals[k] != coo.Vals[k] {
+				t.Fatalf("round trip changed tuple %d", k)
+			}
+		}
+	})
+}

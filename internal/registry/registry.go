@@ -225,12 +225,14 @@ type Registry struct {
 	// carries a version the old one never had.
 	versions map[string]uint64
 
-	// onRemove, if set, is called whenever a name stops resolving —
+	// onRemove listeners are called whenever a name stops resolving —
 	// explicit Remove or LRU eviction (not Swap, which re-binds the name
-	// immediately). It runs under the registry mutex: the listener must
-	// not call back into the registry. The streaming-mutation engine uses
-	// it to drop its per-graph delta state.
-	onRemove func(name string)
+	// immediately) — with the reason. They run under the registry mutex:
+	// a listener must not call back into the registry. The
+	// streaming-mutation engine uses one to drop its per-graph delta
+	// state; the durable store uses one to delete on-disk state on an
+	// explicit Remove (eviction keeps the durable copy).
+	onRemove []func(name string, reason RemoveReason)
 
 	evictions atomic.Int64
 	loads     atomic.Int64
@@ -285,6 +287,19 @@ func (r *Registry) Add(name string, g *lagraph.Graph[float64]) (*Entry, error) {
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	e, err := r.insertLocked(name, g, bytes, r.versions[name]+1)
+	if err != nil {
+		return nil, err
+	}
+	r.versions[name] = e.version
+	return e, nil
+}
+
+// insertLocked is the shared insertion body behind Add and Restore:
+// capacity check, eviction to fit, entry construction and bookkeeping.
+// The caller owns the version bookkeeping; on error the registry is
+// unchanged. Called with r.mu held.
+func (r *Registry) insertLocked(name string, g *lagraph.Graph[float64], bytes int64, version uint64) (*Entry, error) {
 	if r.closed {
 		return nil, ErrClosed
 	}
@@ -299,9 +314,8 @@ func (r *Registry) Add(name string, g *lagraph.Graph[float64]) (*Entry, error) {
 			return nil, fmt.Errorf("%w: %q needs %d bytes, %d in use and pinned", ErrNoCapacity, name, bytes, r.curBytes)
 		}
 	}
-	r.versions[name]++
 	e := &Entry{
-		name: name, graph: g, bytes: bytes, version: r.versions[name],
+		name: name, graph: g, bytes: bytes, version: version,
 		nodes: g.NumNodes(), edges: g.NumEdges(), loadedAt: time.Now(),
 	}
 	e.lastUsed.Store(time.Now().UnixNano())
@@ -343,29 +357,40 @@ func (r *Registry) evictLocked(budget int64) error {
 		if victim == nil {
 			return ErrNoCapacity
 		}
-		r.removeLocked(victim)
+		r.removeLocked(victim, RemoveEvicted)
 		r.evictions.Add(1)
 	}
 	return nil
 }
 
-func (r *Registry) removeLocked(e *Entry) {
+func (r *Registry) removeLocked(e *Entry, reason RemoveReason) {
 	delete(r.entries, e.name)
 	r.lru.Remove(e.elem)
 	r.curBytes -= e.bytes
 	// Deletion retires the version: any still-cached result for it is
 	// unreachable from a future Acquire of the same name.
 	r.versions[e.name]++
-	if r.onRemove != nil {
-		r.onRemove(e.name)
+	for _, fn := range r.onRemove {
+		fn(e.name, reason)
 	}
 }
 
-// SetRemoveListener installs the removal callback (see the onRemove field
+// RemoveReason tells removal listeners why a name stopped resolving.
+type RemoveReason int
+
+const (
+	// RemoveExplicit: the graph was deleted by an API call (Remove).
+	RemoveExplicit RemoveReason = iota
+	// RemoveEvicted: the graph lost its residency to the LRU memory
+	// budget. Durable state, if any, survives eviction.
+	RemoveEvicted
+)
+
+// AddRemoveListener appends a removal callback (see the onRemove field
 // for its contract). Call it before the registry is shared.
-func (r *Registry) SetRemoveListener(fn func(name string)) {
+func (r *Registry) AddRemoveListener(fn func(name string, reason RemoveReason)) {
 	r.mu.Lock()
-	r.onRemove = fn
+	r.onRemove = append(r.onRemove, fn)
 	r.mu.Unlock()
 }
 
@@ -396,8 +421,35 @@ func (r *Registry) Remove(name string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, name)
 	}
-	r.removeLocked(e)
+	r.removeLocked(e, RemoveExplicit)
 	return nil
+}
+
+// Restore registers a graph under name with an explicit version — the
+// durable store's load-on-boot path. The version counter for the name is
+// raised to at least the given version, so results cached against
+// (name, version) before a restart key exactly the same incarnation after
+// it, and the first post-restore mutation bumps to version+1 just as it
+// would have without the restart. Restore is otherwise Add.
+func (r *Registry) Restore(name string, g *lagraph.Graph[float64], version uint64) (*Entry, error) {
+	if name == "" {
+		return nil, ErrInvalidName
+	}
+	if version == 0 {
+		return nil, fmt.Errorf("registry: Restore %q: version must be >= 1", name)
+	}
+	bytes := EstimateBytes(g)
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, err := r.insertLocked(name, g, bytes, version)
+	if err != nil {
+		return nil, err
+	}
+	if r.versions[name] < version {
+		r.versions[name] = version
+	}
+	return e, nil
 }
 
 // SwapStats describes the snapshot being published by Swap. Bytes should

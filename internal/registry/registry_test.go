@@ -268,3 +268,91 @@ func TestVersionBumpOnEviction(t *testing.T) {
 		t.Fatalf("post-eviction version %d not past %d", ea2.Version(), ea.Version())
 	}
 }
+
+func TestRestoreCarriesVersionForward(t *testing.T) {
+	r := New(0)
+	if _, err := r.Restore("g", loadGraph(t, "g", 5, true), 0); err == nil {
+		t.Fatal("Restore accepted version 0")
+	}
+	e, err := r.Restore("g", loadGraph(t, "g", 5, true), 7)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if e.Version() != 7 {
+		t.Fatalf("restored version = %d, want 7", e.Version())
+	}
+	if _, err := r.Restore("g", loadGraph(t, "g", 5, true), 9); !errors.Is(err, ErrExists) {
+		t.Fatalf("double restore: err = %v, want ErrExists", err)
+	}
+	// The version counter continues from the restored value: a swap (what
+	// a mutation batch publishes) lands on 8, and a delete + re-add can
+	// never reuse a restored version.
+	g2 := loadGraph(t, "g", 5, true)
+	e2, err := r.Swap("g", g2, SwapStats{Nodes: g2.NumNodes(), Edges: g2.NumEdges()})
+	if err != nil {
+		t.Fatalf("Swap: %v", err)
+	}
+	if e2.Version() != 8 {
+		t.Fatalf("post-restore swap version = %d, want 8", e2.Version())
+	}
+	if err := r.Remove("g"); err != nil {
+		t.Fatal(err)
+	}
+	e3, err := r.Add("g", loadGraph(t, "g", 5, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Version() <= 8 {
+		t.Fatalf("re-add version = %d, want > 8", e3.Version())
+	}
+}
+
+func TestRemoveListenersGetReasons(t *testing.T) {
+	r := New(0)
+	type event struct {
+		name   string
+		reason RemoveReason
+	}
+	var mu sync.Mutex
+	var got []event
+	// Two listeners: both must fire (the stream engine and the durable
+	// store each register one).
+	for i := 0; i < 2; i++ {
+		r.AddRemoveListener(func(name string, reason RemoveReason) {
+			mu.Lock()
+			got = append(got, event{name, reason})
+			mu.Unlock()
+		})
+	}
+	small := loadGraph(t, "small", 4, false)
+	if _, err := r.Add("small", small); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("small"); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if len(got) != 2 || got[0].reason != RemoveExplicit || got[1].reason != RemoveExplicit {
+		t.Fatalf("explicit remove events = %+v", got)
+	}
+	got = nil
+	mu.Unlock()
+
+	// Force an eviction: a budget that fits one graph but not two.
+	g1 := loadGraph(t, "g1", 6, false)
+	budget := EstimateBytes(g1) + EstimateBytes(g1)/2
+	r2 := New(budget)
+	var evicted []event
+	r2.AddRemoveListener(func(name string, reason RemoveReason) {
+		evicted = append(evicted, event{name, reason})
+	})
+	if _, err := r2.Add("g1", g1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r2.Add("g2", loadGraph(t, "g2", 6, false)); err != nil {
+		t.Fatal(err)
+	}
+	if len(evicted) != 1 || evicted[0].name != "g1" || evicted[0].reason != RemoveEvicted {
+		t.Fatalf("eviction events = %+v", evicted)
+	}
+}

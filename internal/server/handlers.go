@@ -79,6 +79,25 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		writeRegistryError(w, err)
 		return
 	}
+	if s.store != nil {
+		// Durable before acknowledged: a load the store cannot checkpoint
+		// is refused, not served from memory only to vanish on restart.
+		if err := s.store.SaveGraph(name, g, entry.Version()); err != nil {
+			_ = s.reg.Remove(name) // the removal listener clears any partial on-disk state
+			writeError(w, http.StatusInternalServerError, "persisting graph: "+err.Error())
+			return
+		}
+		// A DELETE can land in the window between Add and SaveGraph: its
+		// removal listener found no durable state to drop, so the persist
+		// above would resurrect a graph the API acknowledged as deleted.
+		// Re-check and honor the delete (the load still "happened" — it
+		// was simply deleted right after — so the 201 stands).
+		if lease, err := s.reg.Acquire(name); err != nil {
+			_ = s.store.RemoveGraph(name)
+		} else {
+			lease.Release()
+		}
+	}
 	writeJSON(w, http.StatusCreated, loadResponse{
 		GraphInfo: entry.Info(),
 		Source:    source,
@@ -203,7 +222,8 @@ func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
 	}
 	// Version keys make the dead graph's cached results unreachable;
 	// dropping them eagerly returns their memory too. (The stream engine
-	// drops its delta state through the registry's removal listener.)
+	// drops its delta state — and the durable store its on-disk state —
+	// through the registry's removal listeners.)
 	s.jobs.InvalidateGraph(name)
 	writeJSON(w, http.StatusOK, map[string]string{"deleted": name})
 }

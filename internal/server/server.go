@@ -37,6 +37,7 @@ import (
 	"lagraph/internal/jobs"
 	"lagraph/internal/parallel"
 	"lagraph/internal/registry"
+	"lagraph/internal/store"
 	"lagraph/internal/stream"
 )
 
@@ -74,6 +75,12 @@ type Options struct {
 	// MaxBatchOps bounds one mutation batch. <= 0 selects the stream
 	// default (65536).
 	MaxBatchOps int
+	// Store, when non-nil, makes the service durable: graphs persisted on
+	// load, mutation batches write-ahead-logged before publication,
+	// compactions checkpointed, deletes mirrored to disk — and New begins
+	// by recovering whatever the store already holds into the registry.
+	// The server owns the store from here on: Close closes it.
+	Store *store.Store
 }
 
 // Server is the lagraphd HTTP service.
@@ -81,6 +88,7 @@ type Server struct {
 	reg    *registry.Registry
 	jobs   *jobs.Engine
 	stream *stream.Engine
+	store  *store.Store // nil when the service is memory-only
 	mux    *http.ServeMux
 	sem    chan struct{}
 	opts   Options
@@ -116,10 +124,21 @@ func New(reg *registry.Registry, opts Options) *Server {
 			CompactRatio:     opts.CompactRatio,
 			MaxBatchOps:      opts.MaxBatchOps,
 		}),
+		store:   opts.Store,
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, opts.MaxInFlight),
 		opts:    opts,
 		started: time.Now(),
+	}
+	if s.store != nil {
+		// Order matters: recovery replays the WAL through the stream
+		// engine while no journal is attached (so the replayed batches are
+		// not re-appended), then the journal and the registry delete
+		// listener come live, then the periodic checkpointer.
+		s.store.RecoverInto(reg, s.stream)
+		s.stream.SetJournal(s.store)
+		s.store.Attach(reg)
+		s.store.StartCheckpointer(reg)
 	}
 	s.mux.HandleFunc("POST /graphs", s.limited(s.handleLoadGraph))
 	s.mux.HandleFunc("POST /graphs/{name}/edges", s.limited(s.handleMutateGraph))
@@ -149,13 +168,19 @@ func (s *Server) Jobs() *jobs.Engine { return s.jobs }
 // Stream exposes the mutation engine (tests and embedding daemons).
 func (s *Server) Stream() *stream.Engine { return s.stream }
 
-// Close stops the jobs and stream engines: running jobs are cancelled,
-// workers drain, and pending compactions finish. The HTTP handler keeps
-// answering (submissions fail with 503), so Close is safe to call before
-// the listener stops.
+// Store exposes the durable store (nil when memory-only).
+func (s *Server) Store() *store.Store { return s.store }
+
+// Close stops the jobs and stream engines — running jobs are cancelled,
+// workers drain, and pending compactions finish — then closes the store,
+// if any. The HTTP handler keeps answering (submissions fail with 503),
+// so Close is safe to call before the listener stops.
 func (s *Server) Close() {
 	s.jobs.Close()
 	s.stream.Close()
+	if s.store != nil {
+		s.store.Close()
+	}
 }
 
 // limited wraps a handler with the request-concurrency limiter: a
@@ -187,6 +212,7 @@ type serverStats struct {
 	Jobs          jobs.Stats     `json:"jobs"`
 	Registry      registry.Stats `json:"registry"`
 	Stream        stream.Stats   `json:"stream"`
+	Store         *store.Stats   `json:"store,omitempty"` // absent when memory-only
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -194,7 +220,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var storeStats *store.Stats
+	if s.store != nil {
+		st := s.store.StatsSnapshot()
+		storeStats = &st
+	}
 	writeJSON(w, http.StatusOK, serverStats{
+		Store:         storeStats,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		MaxInFlight:   s.opts.MaxInFlight,
 		InFlight:      len(s.sem),

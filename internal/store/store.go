@@ -1,0 +1,831 @@
+// Package store is lagraphd's durable persistence layer: a per-graph
+// write-ahead log plus full binary snapshot checkpoints under one data
+// directory, so a restarted daemon serves the same graphs, at the same
+// registry versions, with the same pending delta state as before the
+// crash — the restart-safe, reproducible substrate the paper's "study of
+// graph algorithms" framing calls for.
+//
+// Layout, one subdirectory per graph (directory names are hex-encoded so
+// any registry name is a safe path):
+//
+//	<data-dir>/g-<hex(name)>/
+//	    meta.json            graph name, kind, checkpoint version
+//	    checkpoint-<V>.bin   grb.SerializeMatrix snapshot at version V
+//	    wal.log              mutation batches published after V
+//
+// Writing order is durability before visibility: a mutation batch is
+// appended (and optionally fsynced) to the WAL before the stream engine
+// publishes its snapshot, and a batch whose publication fails is taken
+// back off the log. Checkpoints — written when a graph is first loaded,
+// when the stream compactor merges a delta log, and by the periodic
+// checkpointer — land as checkpoint-<V>.bin via temp+rename, then
+// meta.json flips to V, then WAL records with version <= V are dropped.
+// Every step is crash-safe: an orphaned checkpoint or a stale WAL prefix
+// is cleaned or skipped on the next Open.
+//
+// Recovery (RecoverInto) rebuilds the registry by deserializing each
+// graph's checkpoint, restoring it at its recorded version, and replaying
+// the WAL tail through the stream engine's ordinary Apply path — so the
+// rebuilt incarnations carry the same versions, and cached-result keys
+// minted before the crash mean the same thing after it.
+package store
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+	"lagraph/internal/registry"
+	"lagraph/internal/stream"
+)
+
+// Store errors, distinguishable by errors.Is.
+var (
+	ErrClosed  = errors.New("store: closed")
+	ErrUnknown = errors.New("store: graph has no durable state")
+)
+
+// Options configures a store.
+type Options struct {
+	// Dir is the data directory. Created if missing.
+	Dir string
+	// Fsync syncs the WAL after every appended batch and checkpoint files
+	// before their rename. Disabling trades crash-durability of the most
+	// recent writes for speed (the files stay structurally valid either
+	// way: recovery drops a torn tail).
+	Fsync bool
+	// CheckpointInterval is how often the periodic checkpointer (see
+	// StartCheckpointer) snapshots graphs whose WAL has grown. <= 0
+	// disables periodic checkpoints; compaction-driven ones still happen.
+	CheckpointInterval time.Duration
+}
+
+// meta is the per-graph meta.json payload.
+type meta struct {
+	Name              string `json:"name"`
+	Kind              string `json:"kind"` // "directed" | "undirected"
+	CheckpointVersion uint64 `json:"checkpoint_version"`
+	SavedAt           string `json:"saved_at"`
+}
+
+// graphFile is the in-memory handle on one graph's on-disk state. mu
+// serializes all file operations for the graph; different graphs proceed
+// in parallel.
+type graphFile struct {
+	mu   sync.Mutex
+	dir  string
+	name string
+	kind lagraph.Kind
+
+	ckptVersion uint64 // version meta.json points at
+	wal         *os.File
+	walSize     int64
+	walRecords  int
+	lastAppend  int64  // file offset before the most recent append
+	walDirty    bool   // a failed append/revert left bad state; rebuild before appending
+	revertFloor uint64 // when > 0, records at/above this version are unacknowledged and must be dropped
+	removed     bool   // the graph was deleted; late writers must not resurrect it
+}
+
+// Store is the durable graph store.
+type Store struct {
+	opts Options
+
+	mu      sync.Mutex
+	graphs  map[string]*graphFile
+	closed  bool
+	skipped []string // dirs Open could not serve, fixed at Open time
+	lock    *os.File // flock on <dir>/LOCK, held for the store's lifetime
+
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	ckOnce  sync.Once
+	tombSeq atomic.Int64
+
+	appends     atomic.Int64
+	appendBytes atomic.Int64
+	reverts     atomic.Int64
+	checkpoints atomic.Int64
+	ckptBytes   atomic.Int64
+	removals    atomic.Int64
+
+	// last recovery outcome, for /stats.
+	recMu    sync.Mutex
+	recovery *RecoveryReport
+}
+
+// Stats is the store's /stats section.
+type Stats struct {
+	Dir   string `json:"dir"`
+	Fsync bool   `json:"fsync"`
+
+	GraphsPersisted int   `json:"graphs_persisted"`
+	WALRecords      int64 `json:"wal_records"`
+	WALBytes        int64 `json:"wal_bytes"`
+
+	Appends         int64 `json:"wal_appends"`
+	AppendBytes     int64 `json:"wal_append_bytes"`
+	Reverts         int64 `json:"wal_reverts"`
+	Checkpoints     int64 `json:"checkpoints"`
+	CheckpointBytes int64 `json:"checkpoint_bytes"`
+	Removals        int64 `json:"removals"`
+
+	// SkippedDirs lists data-directory entries Open could not serve
+	// (mangled meta, missing checkpoint); their files are left in place.
+	SkippedDirs []string `json:"skipped_dirs,omitempty"`
+
+	Recovery *RecoveryReport `json:"recovery,omitempty"`
+}
+
+// Open opens (creating if needed) the store rooted at opts.Dir, scanning
+// existing graph directories, repairing torn WAL tails, and removing
+// orphaned temp and superseded checkpoint files.
+func Open(opts Options) (*Store, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: empty data directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// One store per data directory, enforced with an advisory lock: two
+	// daemons interleaving WAL appends and checkpoint renames would
+	// corrupt the very state both depend on for recovery.
+	lock, err := os.OpenFile(filepath.Join(opts.Dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: data dir %s is locked by another process: %w", opts.Dir, err)
+	}
+	s := &Store{
+		opts:   opts,
+		graphs: make(map[string]*graphFile),
+		stopCh: make(chan struct{}),
+		lock:   lock,
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, ent := range entries {
+		if ent.IsDir() && strings.HasPrefix(ent.Name(), "tomb-") {
+			// A deletion whose space reclamation never finished (crash
+			// mid-RemoveAll): the rename already made it invisible, so just
+			// resume reclaiming.
+			os.RemoveAll(filepath.Join(opts.Dir, ent.Name()))
+			continue
+		}
+		if !ent.IsDir() || !strings.HasPrefix(ent.Name(), "g-") {
+			continue
+		}
+		dir := filepath.Join(opts.Dir, ent.Name())
+		gf, err := openGraphDir(dir)
+		if err != nil {
+			// A directory we cannot make sense of is left in place (it may
+			// be someone else's data, or a graph whose meta a crash
+			// mangled) but not served — and the skip is reported, never
+			// silent: a durable graph disappearing must have a trace.
+			s.skipped = append(s.skipped, fmt.Sprintf("%s: %v", ent.Name(), err))
+			continue
+		}
+		s.graphs[gf.name] = gf
+	}
+	return s, nil
+}
+
+// SkippedDirs reports the directories Open could not serve and why.
+func (s *Store) SkippedDirs() []string { return append([]string(nil), s.skipped...) }
+
+// openGraphDir validates one graph directory: reads meta.json, checks the
+// checkpoint file exists, repairs the WAL tail, and deletes temp orphans.
+func openGraphDir(dir string) (*graphFile, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, err
+	}
+	var m meta
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, err
+	}
+	var kind lagraph.Kind
+	switch m.Kind {
+	case "directed":
+		kind = lagraph.AdjacencyDirected
+	case "undirected":
+		kind = lagraph.AdjacencyUndirected
+	default:
+		return nil, fmt.Errorf("store: %s: unknown kind %q", dir, m.Kind)
+	}
+	if m.Name == "" || m.CheckpointVersion == 0 {
+		return nil, fmt.Errorf("store: %s: incomplete meta", dir)
+	}
+	if _, err := os.Stat(checkpointPath(dir, m.CheckpointVersion)); err != nil {
+		return nil, err
+	}
+	// Drop temp files and checkpoints meta no longer points at (both are
+	// crash leftovers).
+	if files, err := os.ReadDir(dir); err == nil {
+		for _, f := range files {
+			n := f.Name()
+			if strings.Contains(n, ".tmp") ||
+				(strings.HasPrefix(n, "checkpoint-") && strings.HasSuffix(n, ".bin") &&
+					n != checkpointName(m.CheckpointVersion)) {
+				os.Remove(filepath.Join(dir, n))
+			}
+		}
+	}
+	gf := &graphFile{dir: dir, name: m.Name, kind: kind, ckptVersion: m.CheckpointVersion}
+	// Repair a torn tail now so appends land after the last good record.
+	walPath := filepath.Join(dir, "wal.log")
+	recs, goodLen, torn, err := readWAL(walPath)
+	if err != nil {
+		return nil, err
+	}
+	if torn {
+		if err := os.Truncate(walPath, goodLen); err != nil {
+			return nil, err
+		}
+	}
+	gf.walRecords = len(recs)
+	gf.walSize = goodLen
+	return gf, nil
+}
+
+func dirForName(root, name string) string {
+	return filepath.Join(root, "g-"+hex.EncodeToString([]byte(name)))
+}
+
+func checkpointName(version uint64) string { return fmt.Sprintf("checkpoint-%d.bin", version) }
+
+func checkpointPath(dir string, version uint64) string {
+	return filepath.Join(dir, checkpointName(version))
+}
+
+// graph returns the tracked handle for name, or nil.
+func (s *Store) graph(name string) *graphFile {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graphs[name]
+}
+
+// graphOrCreate returns (creating if needed) the handle for name.
+func (s *Store) graphOrCreate(name string, kind lagraph.Kind) (*graphFile, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	gf := s.graphs[name]
+	if gf == nil {
+		gf = &graphFile{dir: dirForName(s.opts.Dir, name), name: name, kind: kind}
+		s.graphs[name] = gf
+	}
+	return gf, nil
+}
+
+// AppendBatch implements stream.Journal: it durably appends one accepted
+// mutation batch, stamped with the version its publication will produce,
+// before that publication happens. A graph with no checkpoint on disk
+// rejects the append — a WAL with no base to replay against is garbage.
+func (s *Store) AppendBatch(name string, version uint64, ops []stream.Op) error {
+	gf := s.graph(name)
+	if gf == nil {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	payload, err := encodeBatch(version, ops)
+	if err != nil {
+		return err
+	}
+	gf.mu.Lock()
+	defer gf.mu.Unlock()
+	if gf.ckptVersion == 0 {
+		return fmt.Errorf("%w: %q has no checkpoint", ErrUnknown, name)
+	}
+	if gf.walDirty {
+		// A previous append left a partial frame it could not truncate
+		// away: rebuild the file from its good records before appending,
+		// otherwise this (acknowledged) record would land after garbage
+		// and be discarded as a torn tail at recovery.
+		if err := gf.repairWALLocked(s.opts.Fsync); err != nil {
+			return err
+		}
+	}
+	if gf.wal == nil {
+		f, size, err := openWALForAppend(gf.walPath())
+		if err != nil {
+			return err
+		}
+		gf.wal = f
+		gf.walSize = size
+	}
+	gf.lastAppend = gf.walSize
+	n, err := appendRecord(gf.wal, payload, s.opts.Fsync)
+	if err != nil {
+		// The file may now hold a partial frame; drop it so the next
+		// append starts clean. If even the truncate fails, poison the
+		// handle: the next append must rebuild from the good records
+		// rather than trust the physical end of the file.
+		if gf.truncateLocked(gf.walSize) != nil {
+			gf.closeWALLocked()
+			gf.walDirty = true
+		}
+		return err
+	}
+	gf.walSize += n
+	gf.walRecords++
+	s.appends.Add(1)
+	s.appendBytes.Add(n)
+	return nil
+}
+
+// repairWALLocked rebuilds the WAL from its parseable prefix, dropping
+// any trailing garbage a failed append left behind and any record a
+// failed revert could not remove (revertFloor). Called with gf.mu held.
+func (gf *graphFile) repairWALLocked(fsync bool) error {
+	gf.closeWALLocked()
+	recs, _, _, err := readWAL(gf.walPath())
+	if err != nil {
+		return err
+	}
+	if gf.revertFloor > 0 {
+		keep := recs[:0]
+		for _, r := range recs {
+			if r.Version < gf.revertFloor {
+				keep = append(keep, r)
+			}
+		}
+		recs = keep
+	}
+	size, err := writeWAL(gf.walPath(), recs, fsync)
+	if err != nil {
+		return err
+	}
+	gf.walSize = size
+	gf.walRecords = len(recs)
+	gf.lastAppend = 0
+	gf.walDirty = false
+	gf.revertFloor = 0
+	return nil
+}
+
+// RevertBatch implements stream.Journal: it removes the just-appended
+// record for version after a failed publication, by truncation when the
+// file has not moved underneath (the common case) and otherwise by
+// rewriting the WAL without any record at or past version. Best-effort:
+// if the revert itself fails, boot-time replay still discards the record
+// because its version can never join the acknowledged sequence.
+func (s *Store) RevertBatch(name string, version uint64) {
+	gf := s.graph(name)
+	if gf == nil {
+		return
+	}
+	gf.mu.Lock()
+	defer gf.mu.Unlock()
+	// Fast path: nothing rewrote the file since the append — truncate the
+	// tail record off.
+	if gf.lastAppend > 0 && gf.lastAppend < gf.walSize {
+		if gf.truncateLocked(gf.lastAppend) == nil {
+			gf.walSize = gf.lastAppend
+			gf.lastAppend = 0
+			gf.walRecords--
+			s.reverts.Add(1)
+			return
+		}
+	}
+	// Slow path (a checkpoint rewrite moved offsets): filter by version.
+	recs, _, _, err := readWAL(gf.walPath())
+	if err == nil {
+		keep := recs[:0]
+		for _, r := range recs {
+			if r.Version < version {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == len(recs) {
+			return
+		}
+		gf.closeWALLocked()
+		if size, werr := writeWAL(gf.walPath(), keep, s.opts.Fsync); werr == nil {
+			gf.walSize = size
+			gf.walRecords = len(keep)
+			s.reverts.Add(1)
+			return
+		}
+	}
+	// Both paths failed: the unacknowledged record is still on disk, and
+	// it occupies exactly the version slot the next acknowledged batch
+	// will reuse — recovery would replay the rejected ops and then abort
+	// the graph on the duplicate version. Poison the handle so the next
+	// append rebuilds the WAL without any record at or past this version.
+	gf.closeWALLocked()
+	gf.walDirty = true
+	if gf.revertFloor == 0 || version < gf.revertFloor {
+		gf.revertFloor = version
+	}
+}
+
+// truncateLocked truncates the open WAL to size. Called with gf.mu held.
+func (gf *graphFile) truncateLocked(size int64) error {
+	if gf.wal == nil {
+		return nil
+	}
+	return gf.wal.Truncate(size)
+}
+
+func (gf *graphFile) closeWALLocked() {
+	if gf.wal != nil {
+		gf.wal.Close()
+		gf.wal = nil
+	}
+}
+
+// Checkpoint implements stream.Journal: it writes a full binary snapshot
+// of an already-persisted graph at version, flips meta.json to it, and
+// drops the WAL records it supersedes (records with a version at or
+// below the checkpoint's). A graph the store does not track — never
+// saved, or deleted — is refused: only SaveGraph may create state, so a
+// checkpoint racing a DELETE can never resurrect the graph.
+func (s *Store) Checkpoint(name string, kind lagraph.Kind, m *grb.Matrix[float64], version uint64) error {
+	gf := s.graph(name)
+	if gf == nil {
+		return fmt.Errorf("%w: %q", ErrUnknown, name)
+	}
+	return s.checkpointInto(gf, name, kind, m, version, false)
+}
+
+// checkpointInto is the shared checkpoint body behind Checkpoint and
+// SaveGraph. With fresh set (SaveGraph: a brand-new incarnation of the
+// name) any pre-existing durable state — stale checkpoints and WAL
+// records from a dead incarnation, possibly at *higher* versions after a
+// partial recovery — is wiped rather than merged, so an acknowledged
+// load is always exactly what lands on disk. Without fresh (the journal
+// paths) checkpoints only move forward: a stale writer (the periodic
+// pass and the compactor can race on the same graph) is a no-op, because
+// regressing meta would orphan the WAL records the newer checkpoint
+// already dropped.
+//
+// The matrix serialization — the expensive part — runs outside gf.mu so
+// a checkpoint of a large graph does not stall that graph's mutation
+// appends; only the rename, meta flip, and WAL trim hold the lock.
+func (s *Store) checkpointInto(gf *graphFile, name string, kind lagraph.Kind, m *grb.Matrix[float64], version uint64, fresh bool) error {
+	gf.mu.Lock()
+	if gf.removed {
+		gf.mu.Unlock()
+		return fmt.Errorf("%w: %q was removed", ErrUnknown, name)
+	}
+	if !fresh && gf.ckptVersion >= version {
+		gf.mu.Unlock()
+		return nil
+	}
+	if err := os.MkdirAll(gf.dir, 0o755); err != nil {
+		gf.mu.Unlock()
+		return err
+	}
+	gf.mu.Unlock()
+
+	// 1. Serialize the snapshot to a uniquely named temp file, off the
+	// lock (the matrix is finalized and immutable; concurrent writers get
+	// distinct temp names and resolve by version under the lock below).
+	ckpt := checkpointPath(gf.dir, version)
+	tmp := fmt.Sprintf("%s.tmp%d", ckpt, s.tombSeq.Add(1))
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := grb.SerializeMatrix(f, m); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if s.opts.Fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+
+	gf.mu.Lock()
+	defer gf.mu.Unlock()
+	// Re-check: a DELETE or a newer checkpoint may have won the race
+	// while we serialized.
+	if gf.removed {
+		os.Remove(tmp)
+		return fmt.Errorf("%w: %q was removed", ErrUnknown, name)
+	}
+	if !fresh && gf.ckptVersion >= version {
+		os.Remove(tmp)
+		return nil
+	}
+	if fresh {
+		// Wipe any dead incarnation's state before installing the new one
+		// — unconditionally, not just when this handle knows a checkpoint
+		// version: a directory Open skipped (mangled meta) re-enters here
+		// with ckptVersion 0 but can still hold a stale wal.log and
+		// checkpoint files whose records must never replay onto the new
+		// base.
+		gf.closeWALLocked()
+		os.Remove(gf.walPath())
+		if files, err := os.ReadDir(gf.dir); err == nil {
+			for _, fi := range files {
+				n := fi.Name()
+				if strings.HasPrefix(n, "checkpoint-") && strings.HasSuffix(n, ".bin") {
+					os.Remove(filepath.Join(gf.dir, n))
+				}
+			}
+		}
+		gf.ckptVersion = 0
+		gf.walSize = 0
+		gf.walRecords = 0
+		gf.lastAppend = 0
+		gf.walDirty = false
+	}
+	if err := os.Rename(tmp, ckpt); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	st, _ := os.Stat(ckpt)
+	// 2. Flip meta to the new checkpoint, fsynced through the same
+	// temp+rename discipline as the snapshot itself. A crash before this
+	// point recovers from the old checkpoint + full WAL; after it, from
+	// the new checkpoint + the surviving tail.
+	oldVersion := gf.ckptVersion
+	if err := s.writeMeta(gf.dir, meta{
+		Name: name, Kind: lagraph.KindName(kind),
+		CheckpointVersion: version,
+		SavedAt:           time.Now().UTC().Format(time.RFC3339),
+	}); err != nil {
+		return err
+	}
+	gf.ckptVersion = version
+	gf.kind = kind
+	if oldVersion != 0 && oldVersion != version {
+		os.Remove(checkpointPath(gf.dir, oldVersion))
+	}
+	// 3. Drop superseded WAL records; keep the tail published after the
+	// checkpoint. Concurrent appends are excluded by gf.mu.
+	walPath := gf.walPath()
+	recs, _, _, err := readWAL(walPath)
+	if err == nil {
+		keep := recs[:0]
+		for _, r := range recs {
+			if r.Version > version {
+				keep = append(keep, r)
+			}
+		}
+		gf.closeWALLocked()
+		if len(keep) == 0 {
+			os.Remove(walPath)
+			gf.walSize = 0
+			gf.walRecords = 0
+		} else if size, err := writeWAL(walPath, keep, s.opts.Fsync); err == nil {
+			gf.walSize = size
+			gf.walRecords = len(keep)
+		}
+		gf.lastAppend = 0
+	}
+	s.checkpoints.Add(1)
+	if st != nil {
+		s.ckptBytes.Add(st.Size())
+	}
+	return nil
+}
+
+// writeMeta installs meta.json via synced temp + rename.
+func (s *Store) writeMeta(dir string, m meta) error {
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, "meta.json.tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(mb); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if s.opts.Fsync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, "meta.json"))
+}
+
+// SaveGraph persists a freshly loaded graph: a checkpoint at its load
+// version with an empty WAL, wiping whatever a previous incarnation of
+// the name left behind. It is the POST /graphs counterpart of the stream
+// engine's journal hooks, and the only path allowed to create a graph's
+// durable state.
+func (s *Store) SaveGraph(name string, g *lagraph.Graph[float64], version uint64) error {
+	gf, err := s.graphOrCreate(name, g.Kind)
+	if err != nil {
+		return err
+	}
+	return s.checkpointInto(gf, name, g.Kind, g.A, version, true)
+}
+
+// RemoveGraph deletes every trace of the graph from disk. The visible
+// part is one atomic rename to a tombstone — cheap, because the caller
+// may be the registry's removal listener, which runs under the registry
+// mutex — and the actual space reclamation happens on a background
+// goroutine (resumed by Open after a crash). Missing state is not an
+// error (the graph may predate the store or have been evicted without
+// ever being persisted).
+func (s *Store) RemoveGraph(name string) error {
+	s.mu.Lock()
+	gf := s.graphs[name]
+	delete(s.graphs, name)
+	s.mu.Unlock()
+	dir := dirForName(s.opts.Dir, name)
+	if gf != nil {
+		gf.mu.Lock()
+		gf.removed = true
+		gf.closeWALLocked()
+		dir = gf.dir
+		gf.mu.Unlock()
+	}
+	tomb := filepath.Join(filepath.Dir(dir), fmt.Sprintf("tomb-%d-%s", s.tombSeq.Add(1), filepath.Base(dir)))
+	if err := os.Rename(dir, tomb); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	s.removals.Add(1)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return os.RemoveAll(tomb)
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.wg.Done()
+		os.RemoveAll(tomb)
+	}()
+	return nil
+}
+
+// Attach registers the store's removal listener on the registry: an
+// explicit DELETE drops the on-disk state; an LRU eviction keeps it (the
+// durable copy is exactly what makes eviction safe to survive). Call it
+// only after RecoverInto: recovery unregisters half-restored graphs via
+// reg.Remove, and those must keep their files for inspection, not have
+// this listener delete them.
+func (s *Store) Attach(reg *registry.Registry) {
+	reg.AddRemoveListener(func(name string, reason registry.RemoveReason) {
+		if reason == registry.RemoveExplicit {
+			// Best-effort: a failed unlink leaves the graph to reappear on
+			// the next boot, which is visible (and fixable) rather than
+			// silently divergent.
+			_ = s.RemoveGraph(name)
+		}
+	})
+}
+
+// StartCheckpointer runs the periodic checkpointer against reg until
+// Close: every CheckpointInterval it snapshots each graph whose WAL holds
+// records, bounding replay work after a crash even when the stream
+// compactor's thresholds are never reached. No-op if the interval is 0.
+func (s *Store) StartCheckpointer(reg *registry.Registry) {
+	if s.opts.CheckpointInterval <= 0 {
+		return
+	}
+	s.ckOnce.Do(func() {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(s.opts.CheckpointInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-s.stopCh:
+					return
+				case <-t.C:
+					s.checkpointPass(reg)
+				}
+			}
+		}()
+	})
+}
+
+// checkpointPass snapshots every graph with outstanding WAL records.
+func (s *Store) checkpointPass(reg *registry.Registry) {
+	s.mu.Lock()
+	var due []string
+	for name, gf := range s.graphs {
+		gf.mu.Lock()
+		if gf.walRecords > 0 {
+			due = append(due, name)
+		}
+		gf.mu.Unlock()
+	}
+	s.mu.Unlock()
+	sort.Strings(due)
+	for _, name := range due {
+		lease, err := reg.Acquire(name)
+		if err != nil {
+			continue // evicted or deleted; its WAL stays as-is
+		}
+		entry := lease.Entry()
+		// Assemble any pending deltas (single flight with every other
+		// reader) so the serialized matrix is the full content at the
+		// entry's version.
+		entry.EnsureFinalized()
+		_ = s.Checkpoint(name, entry.Graph().Kind, entry.Graph().A, entry.Version())
+		lease.Release()
+	}
+}
+
+// StatsSnapshot returns the store counters.
+func (s *Store) StatsSnapshot() Stats {
+	s.mu.Lock()
+	gfs := make([]*graphFile, 0, len(s.graphs))
+	for _, gf := range s.graphs {
+		gfs = append(gfs, gf)
+	}
+	n := len(s.graphs)
+	s.mu.Unlock()
+	var recs, bytes int64
+	for _, gf := range gfs {
+		gf.mu.Lock()
+		recs += int64(gf.walRecords)
+		bytes += gf.walSize
+		gf.mu.Unlock()
+	}
+	s.recMu.Lock()
+	rec := s.recovery
+	s.recMu.Unlock()
+	return Stats{
+		Dir:             s.opts.Dir,
+		Fsync:           s.opts.Fsync,
+		SkippedDirs:     s.SkippedDirs(),
+		GraphsPersisted: n,
+		WALRecords:      recs,
+		WALBytes:        bytes,
+		Appends:         s.appends.Load(),
+		AppendBytes:     s.appendBytes.Load(),
+		Reverts:         s.reverts.Load(),
+		Checkpoints:     s.checkpoints.Load(),
+		CheckpointBytes: s.ckptBytes.Load(),
+		Removals:        s.removals.Load(),
+		Recovery:        rec,
+	}
+}
+
+// Close stops the periodic checkpointer and closes open WAL handles.
+// Everything on disk is already durable; Close exists so tests and
+// daemons can release file descriptors deterministically.
+func (s *Store) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.stopCh)
+	gfs := make([]*graphFile, 0, len(s.graphs))
+	for _, gf := range s.graphs {
+		gfs = append(gfs, gf)
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	for _, gf := range gfs {
+		gf.mu.Lock()
+		gf.closeWALLocked()
+		gf.mu.Unlock()
+	}
+	if s.lock != nil {
+		s.lock.Close() // closing drops the flock
+	}
+}
+
+// interface conformance.
+var _ stream.Journal = (*Store)(nil)

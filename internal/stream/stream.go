@@ -56,6 +56,23 @@ var (
 	ErrBatchTooLarge = errors.New("stream: batch too large")
 )
 
+// Journal is the durability hook the engine drives (implemented by
+// internal/store). AppendBatch is called — with the batch exactly as
+// submitted, before any mirroring — after validation and *before* the
+// snapshot is published under version; a non-nil error rejects the batch.
+// RevertBatch undoes the most recent append for the graph when the
+// publish itself failed, so an unacknowledged batch can never replay.
+// Checkpoint hands over a freshly compacted base matrix: content of the
+// graph as of version, with every delta merged in. AppendBatch and
+// RevertBatch for one graph are serialized by the engine; Checkpoint runs
+// on the compactor goroutine and may overlap them, so implementations
+// must do their own per-graph file locking.
+type Journal interface {
+	AppendBatch(graph string, version uint64, ops []Op) error
+	RevertBatch(graph string, version uint64)
+	Checkpoint(graph string, kind lagraph.Kind, m *grb.Matrix[float64], version uint64) error
+}
+
 // Options tunes the engine.
 type Options struct {
 	// CompactThreshold is the delta-log length (in applied operations,
@@ -96,6 +113,12 @@ const logOpBytes = 96
 // coord keys the existence overlay.
 type coord struct{ i, j int }
 
+// batchEnd marks one published batch's boundary in the delta log.
+type batchEnd struct {
+	ops     int    // log length after the batch (mirrored ops included)
+	version uint64 // version the batch published
+}
+
 // graphState is the per-name mutation state. mu serializes mutation and
 // compaction for the graph; different graphs proceed in parallel.
 type graphState struct {
@@ -111,6 +134,12 @@ type graphState struct {
 
 	log     []logOp
 	overlay map[coord]int8 // +1 live in delta, -1 deleted; absent → ask base
+
+	// batchEnds records, for every published batch still in the delta log,
+	// the log length at its end and the version it published — the map the
+	// compactor needs to name the version a merged log prefix corresponds
+	// to (merges always stop at batch boundaries).
+	batchEnds []batchEnd
 
 	// Incremental bookkeeping, exact at all times.
 	edges  int
@@ -158,9 +187,10 @@ type Engine struct {
 	reg  *registry.Registry
 	opts Options
 
-	mu     sync.Mutex
-	states map[string]*graphState
-	closed bool
+	mu      sync.Mutex
+	states  map[string]*graphState
+	closed  bool
+	journal Journal
 
 	compactCh chan string
 	wg        sync.WaitGroup
@@ -186,10 +216,27 @@ func NewEngine(reg *registry.Registry, opts Options) *Engine {
 		states:    make(map[string]*graphState),
 		compactCh: make(chan string, 64),
 	}
-	reg.SetRemoveListener(e.Forget)
+	reg.AddRemoveListener(func(name string, _ registry.RemoveReason) { e.Forget(name) })
 	e.wg.Add(1)
 	go e.compactor()
 	return e
+}
+
+// SetJournal attaches the durability journal. Call it after boot-time
+// recovery has replayed the journal through Apply (a nil journal during
+// replay is what keeps the replayed batches from being re-appended) and
+// before the engine serves traffic.
+func (e *Engine) SetJournal(j Journal) {
+	e.mu.Lock()
+	e.journal = j
+	e.mu.Unlock()
+}
+
+// journalFor returns the attached journal (nil when none).
+func (e *Engine) journalFor() Journal {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.journal
 }
 
 // Close stops the background compactor. Pending compactions drain;
@@ -327,8 +374,27 @@ func (e *Engine) Apply(name string, ops []Op) (Result, error) {
 		return res, nil
 	}
 
+	// Durability before visibility: the batch must be on the journal
+	// before the snapshot is published. The version it will publish is
+	// pinned — entry is leased under st.mu and Swap bumps by one.
+	nextVersion := entry.Version() + 1
+	journal := e.journalFor()
+	if journal != nil {
+		if err := journal.AppendBatch(name, nextVersion, ops); err != nil {
+			// Not persisted ⇒ not published: drop the unpublished in-memory
+			// delta by forcing a resync from the (unchanged) registry entry
+			// on the next Apply.
+			st.base = nil
+			return Result{}, fmt.Errorf("stream: journal append: %w", err)
+		}
+	}
+
 	g, err := st.snapshot(entry.Graph())
 	if err != nil {
+		if journal != nil {
+			journal.RevertBatch(name, nextVersion)
+		}
+		st.base = nil
 		return Result{}, err
 	}
 	newEntry, err := e.reg.Swap(name, g, registry.SwapStats{
@@ -339,13 +405,19 @@ func (e *Engine) Apply(name string, ops []Op) (Result, error) {
 		Prev:       entry,
 	})
 	if err != nil {
-		// The swap failed (budget, concurrent delete): roll nothing back —
-		// the log faithfully describes the mutations — but resync on the
-		// next Apply by clearing the published-version marker.
+		// The swap failed (budget, concurrent delete): roll nothing back
+		// in memory — the log faithfully describes the mutations — but
+		// resync on the next Apply by clearing the published-version
+		// marker, and take the unacknowledged batch back off the journal
+		// so it can never replay.
+		if journal != nil {
+			journal.RevertBatch(name, nextVersion)
+		}
 		st.base = nil
 		return Result{}, err
 	}
 	st.version = newEntry.Version()
+	st.batchEnds = append(st.batchEnds, batchEnd{ops: len(st.log), version: st.version})
 
 	e.batches.Add(1)
 	e.opsApplied.Add(int64(res.Applied))
@@ -423,6 +495,7 @@ func (st *graphState) resetFrom(entry *registry.Entry) error {
 	st.baseGraph = g
 	st.baseNNZ = len(idx)
 	st.log = nil
+	st.batchEnds = nil
 	st.overlay = make(map[coord]int8)
 	st.edges = len(idx)
 	st.rowDeg = make([]int64, n)
@@ -582,14 +655,29 @@ func (e *Engine) compactOne(name string) {
 	// (resets swap out st.base), so base identity + length is enough to
 	// prove logCopy is still a prefix of st.log.
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	if st.base != base || len(st.log) < merged {
+		st.mu.Unlock()
 		return // resynced or replaced mid-merge; nothing to adopt
 	}
+	// The merged prefix always stops at a batch boundary (Apply holds
+	// st.mu for the whole batch), so it names a published version — the
+	// version the compacted base is a checkpoint of.
+	var ckptVersion uint64
+	remain := st.batchEnds[:0:0]
+	for _, be := range st.batchEnds {
+		if be.ops == merged {
+			ckptVersion = be.version
+		}
+		if be.ops > merged {
+			remain = append(remain, batchEnd{ops: be.ops - merged, version: be.version})
+		}
+	}
+	st.batchEnds = remain
 	tail := append([]logOp(nil), st.log[merged:]...)
 	A := m
 	bg, err := lagraph.New(&A, st.kind)
 	if err != nil {
+		st.mu.Unlock()
 		return
 	}
 	st.base = m
@@ -604,6 +692,7 @@ func (e *Engine) compactOne(name string) {
 			st.overlay[coord{op.i, op.j}] = 1
 		}
 	}
+	kind := st.kind
 	e.compactions.Add(1)
 	e.compactedOps.Add(int64(merged))
 
@@ -611,27 +700,39 @@ func (e *Engine) compactOne(name string) {
 	// (plus any mid-merge tail) instead of paying the lazy merge
 	// themselves. Best-effort: on failure the compacted base still serves
 	// every future snapshot.
-	lease, err := e.reg.Acquire(name)
-	if err != nil {
-		return // deleted; the removal listener clears the state
+	func() {
+		lease, err := e.reg.Acquire(name)
+		if err != nil {
+			return // deleted; the removal listener clears the state
+		}
+		defer lease.Release()
+		entry := lease.Entry()
+		if entry.Version() != st.version {
+			return // replaced externally; the next Apply resyncs
+		}
+		g, err := st.snapshot(entry.Graph())
+		if err != nil {
+			return
+		}
+		_, _ = e.reg.Swap(name, g, registry.SwapStats{
+			Bytes:       st.estimateBytes(),
+			Nodes:       st.n,
+			Edges:       st.edges,
+			PendingOps:  int64(len(tail)),
+			KeepVersion: true,
+			Prev:        entry,
+		})
+	}()
+	st.mu.Unlock()
+
+	// The compacted base is a full checkpoint of the graph at the merged
+	// boundary's version: persist it (off every engine lock — the base is
+	// immutable from here on) so the journal can drop the WAL records it
+	// supersedes. Best-effort: a failed checkpoint leaves the longer WAL
+	// in place, which only costs replay time.
+	if journal := e.journalFor(); journal != nil && ckptVersion != 0 {
+		_ = journal.Checkpoint(name, kind, m, ckptVersion)
 	}
-	defer lease.Release()
-	entry := lease.Entry()
-	if entry.Version() != st.version {
-		return // replaced externally; the next Apply resyncs
-	}
-	g, err := st.snapshot(entry.Graph())
-	if err != nil {
-		return
-	}
-	_, _ = e.reg.Swap(name, g, registry.SwapStats{
-		Bytes:       st.estimateBytes(),
-		Nodes:       st.n,
-		Edges:       st.edges,
-		PendingOps:  int64(len(tail)),
-		KeepVersion: true,
-		Prev:        entry,
-	})
 }
 
 // StatsSnapshot returns the engine counters, including the current sum of
