@@ -1,0 +1,54 @@
+// Command algoref regenerates the README's "Algorithm reference" section
+// from the algorithm catalog (internal/algo), so the documentation can
+// never drift from the registered descriptors. It is wired to
+// `go generate ./internal/algo`, and a test in that package fails the
+// build while the section is stale.
+//
+// Usage:
+//
+//	algoref -readme README.md          # rewrite the section in place
+//	algoref -readme README.md -check   # exit 1 if the section is stale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lagraph/internal/algo"
+)
+
+func main() {
+	var (
+		readme = flag.String("readme", "README.md", "path to the README to rewrite")
+		check  = flag.Bool("check", false, "verify freshness instead of rewriting")
+	)
+	flag.Parse()
+
+	old, err := os.ReadFile(*readme)
+	if err != nil {
+		fatal("%v", err)
+	}
+	updated, err := algo.Default().SpliceMarkdown(string(old))
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *check {
+		if updated != string(old) {
+			fatal("%s is stale; run `go generate ./internal/algo`", *readme)
+		}
+		return
+	}
+	if updated == string(old) {
+		return
+	}
+	if err := os.WriteFile(*readme, []byte(updated), 0o644); err != nil {
+		fatal("%v", err)
+	}
+	fmt.Printf("algoref: rewrote algorithm reference in %s\n", *readme)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "algoref: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -7,11 +7,18 @@
 //	gapbench -table3 -scale 14 -trials 3
 //	gapbench -table4 -scale 14
 //	gapbench -table3 -algos BFS,PR -graphs Kron,Road
+//	gapbench -table3 -algos lcc,tc.advanced -graphs Kron    # catalog-only kernels
+//	gapbench -list-algorithms
 //
 // Table III prints the run time (seconds) of the GAP-style baselines
 // ("GAP") and the LAGraph-on-GraphBLAS implementations ("SS", following
 // the paper's label for LAGraph+SS:GrB) for six kernels on five graphs,
 // plus the SS/GAP ratio so the "shape" — who wins where — is explicit.
+//
+// The SS side dispatches through the algorithm catalog (internal/algo),
+// so -algos accepts any registered algorithm name — kernels without a GAP
+// baseline (lcc, the advanced variants, anything registered later) get an
+// SS row and no ratio.
 package main
 
 import (
@@ -21,22 +28,28 @@ import (
 	"runtime"
 	"strings"
 
+	"lagraph/internal/algo"
 	"lagraph/internal/bench"
 	"lagraph/internal/lagraph"
 )
 
 func main() {
 	var (
-		table3 = flag.Bool("table3", false, "regenerate paper Table III (run times)")
-		table4 = flag.Bool("table4", false, "regenerate paper Table IV (graph statistics)")
-		scale  = flag.Int("scale", 12, "log2 of the vertex count for synthetic classes")
-		ef     = flag.Int("ef", 8, "edges per vertex before deduplication")
-		trials = flag.Int("trials", 3, "trials per source-based kernel")
-		seed   = flag.Uint64("seed", 1, "generator seed")
-		algos  = flag.String("algos", strings.Join(bench.AlgNames, ","), "comma-separated kernels")
-		graphs = flag.String("graphs", strings.Join(bench.GraphNames, ","), "comma-separated graph classes")
+		table3   = flag.Bool("table3", false, "regenerate paper Table III (run times)")
+		table4   = flag.Bool("table4", false, "regenerate paper Table IV (graph statistics)")
+		listAlgs = flag.Bool("list-algorithms", false, "print the algorithm catalog and exit")
+		scale    = flag.Int("scale", 12, "log2 of the vertex count for synthetic classes")
+		ef       = flag.Int("ef", 8, "edges per vertex before deduplication")
+		trials   = flag.Int("trials", 3, "trials per source-based kernel")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		algos    = flag.String("algos", strings.Join(bench.AlgNames, ","), "comma-separated kernels (Table III labels or catalog names)")
+		graphs   = flag.String("graphs", strings.Join(bench.GraphNames, ","), "comma-separated graph classes")
 	)
 	flag.Parse()
+	if *listAlgs {
+		printCatalog()
+		return
+	}
 	if !*table3 && !*table4 {
 		flag.Usage()
 		os.Exit(2)
@@ -44,6 +57,11 @@ func main() {
 
 	graphList := splitList(*graphs)
 	algoList := splitList(*algos)
+	for _, alg := range algoList {
+		if _, err := algo.Default().Lookup(bench.CatalogName(alg)); err != nil {
+			fatal("%v", err)
+		}
+	}
 
 	fmt.Printf("# lagraph-go GAP benchmark harness\n")
 	fmt.Printf("# scale=%d edgefactor=%d trials=%d seed=%d GOMAXPROCS=%d\n\n",
@@ -66,6 +84,30 @@ func main() {
 	}
 }
 
+// printCatalog renders the self-describing catalog: every registered
+// algorithm with its tier, parameter schema and defaults — the same data
+// GET /algorithms serves and the README reference is generated from.
+func printCatalog() {
+	fmt.Println("# algorithm catalog (internal/algo)")
+	for _, in := range algo.Default().List() {
+		kind := ""
+		if in.Undirected {
+			kind = "  [undirected only]"
+		}
+		fmt.Printf("\n%-14s %s%s\n", in.Name, in.Tier, kind)
+		if len(in.Properties) > 0 {
+			fmt.Printf("    properties: %s\n", strings.Join(in.Properties, ", "))
+		}
+		for _, p := range in.Params {
+			def := "-"
+			if p.Default != nil {
+				def = fmt.Sprintf("%v", p.Default)
+			}
+			fmt.Printf("    %-10s %-7s default=%-8s %s\n", p.Name, p.Type, def, p.Doc)
+		}
+	}
+}
+
 func printTable4(graphList []string, workloads map[string]*bench.Workload) {
 	fmt.Println("TABLE IV: Benchmark matrices")
 	fmt.Printf("%-10s %12s %14s %12s\n", "graph", "nodes", "entries in A", "graph kind")
@@ -80,6 +122,30 @@ func printTable4(graphList []string, workloads map[string]*bench.Workload) {
 	fmt.Println()
 }
 
+// cellWorkload symmetrises directed workloads for undirected-only
+// kernels (TC and friends), exactly as the real GAP runner does.
+func cellWorkload(alg string, w *bench.Workload) *bench.Workload {
+	if d, ok := algo.Default().Get(bench.CatalogName(alg)); ok && d.Undirected {
+		return bench.TCWorkload(w)
+	}
+	return w
+}
+
+// cellTrials reduces whole-graph kernels (no source parameter) to one
+// trial, as the GAP runner times them once.
+func cellTrials(alg string, trials int) int {
+	d, ok := algo.Default().Get(bench.CatalogName(alg))
+	if !ok {
+		return trials
+	}
+	for _, p := range d.Params {
+		if p.Name == "source" || p.Name == "sources" {
+			return trials
+		}
+	}
+	return 1
+}
+
 func printTable3(graphList, algoList []string, workloads map[string]*bench.Workload, trials int) {
 	fmt.Println("TABLE III: Run time of GAP and LAGraph+GrB (seconds)")
 	fmt.Printf("%-12s", "package")
@@ -87,27 +153,29 @@ func printTable3(graphList, algoList []string, workloads map[string]*bench.Workl
 		fmt.Printf(" %10s", gName)
 	}
 	fmt.Println()
-	type row struct {
-		label string
-		vals  map[string]float64
-	}
 	ratios := map[string][2]map[string]float64{}
 	for _, alg := range algoList {
 		perImpl := [2]map[string]float64{{}, {}}
-		for i, impl := range []string{"GAP", "SS"} {
+		impls := []string{"GAP", "SS"}
+		if !bench.HasGAP(alg) {
+			impls = []string{"SS"}
+		}
+		for _, impl := range impls {
+			i := 0
+			if impl == "SS" {
+				i = 1
+			}
 			fmt.Printf("%-12s", alg+" : "+impl)
 			for _, gName := range graphList {
-				w := workloads[gName]
-				if alg == "TC" {
-					w = bench.TCWorkload(w)
-				}
-				t := trials
-				if alg == "TC" || alg == "CC" || alg == "PR" {
-					t = 1 // whole-graph kernels: GAP times these once
-				}
-				res, err := bench.RunCell(alg, impl, w, t)
+				w := cellWorkload(alg, workloads[gName])
+				res, err := bench.RunCell(alg, impl, w, cellTrials(alg, trials))
 				if err != nil && !lagraph.IsWarning(err) {
-					fatal("%s/%s on %s: %v", alg, impl, gName, err)
+					// A kernel/graph incompatibility (cc.advanced on an
+					// asymmetric directed class, say) skips the cell with a
+					// warning instead of aborting the whole table.
+					fmt.Fprintf(os.Stderr, "gapbench: skipping %s/%s on %s: %v\n", alg, impl, gName, err)
+					fmt.Printf(" %10s", "-")
+					continue
 				}
 				perImpl[i][gName] = res.Seconds
 				fmt.Printf(" %10.3f", res.Seconds)
@@ -126,9 +194,9 @@ func printTable3(graphList, algoList []string, workloads map[string]*bench.Workl
 	for _, alg := range algoList {
 		fmt.Printf("%-12s", alg)
 		for _, gName := range graphList {
-			gapT := ratios[alg][0][gName]
-			ssT := ratios[alg][1][gName]
-			if gapT > 0 {
+			gapT, gok := ratios[alg][0][gName]
+			ssT, sok := ratios[alg][1][gName]
+			if gok && sok && gapT > 0 {
 				fmt.Printf(" %10.2f", ssT/gapT)
 			} else {
 				fmt.Printf(" %10s", "-")

@@ -1,0 +1,119 @@
+package algo
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+	"lagraph/internal/lagraph"
+	"lagraph/internal/parallel"
+)
+
+// Catalog golden-conformance suite: every registered algorithm runs on a
+// deterministic graph with default parameters and its full rendered
+// result is compared against a checked-in expectation. The suite is
+// driven BY the catalog, so it doubles as the coverage guard the CI
+// demands: an algorithm registered without a golden file fails the
+// build (add one with -update), and an orphan golden file whose
+// algorithm was unregistered fails it too — routed-but-unregistered and
+// registered-but-untested are both impossible. Regenerate with:
+//
+//	go test ./internal/algo -run TestCatalogGolden -update
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current outputs")
+
+// goldenGraph is the deterministic input: undirected so every kernel —
+// including tc, tc.advanced and lcc — can run on it. (Directed-path
+// conformance for the GAP six lives in internal/lagraph's golden suite.)
+func goldenGraph(t *testing.T) *Graph {
+	t.Helper()
+	e := gen.Kron(7, 4, 42)
+	e.AddUniformWeights(99, 1, 255)
+	ptr, idx, vals := e.CSR()
+	A, err := grb.ImportCSR(e.N, e.N, ptr, idx, vals, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := lagraph.New(&A, lagraph.AdjacencyUndirected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+const goldenDir = "testdata/golden"
+
+func TestCatalogGoldenConformance(t *testing.T) {
+	// One worker ⇒ deterministic float accumulation order everywhere.
+	prev := parallel.SetMaxThreads(1)
+	defer parallel.SetMaxThreads(prev)
+
+	c := Builtin()
+	g := goldenGraph(t)
+	covered := map[string]bool{}
+	for _, name := range c.Names() {
+		d, _ := c.Get(name)
+		covered[name] = true
+		t.Run(name, func(t *testing.T) {
+			p, err := d.Validate(map[string]any{})
+			if err != nil {
+				t.Fatalf("defaults do not validate: %v", err)
+			}
+			if err := EnsureProperties(d, g); err != nil {
+				t.Fatalf("EnsureProperties: %v", err)
+			}
+			out, err := d.Run(context.Background(), g, p)
+			if err != nil && !lagraph.IsWarning(err) {
+				t.Fatalf("Run: %v", err)
+			}
+			rendered, err := json.MarshalIndent(out, "", "  ")
+			if err != nil {
+				t.Fatalf("result not JSON-renderable: %v", err)
+			}
+			got := string(rendered) + "\n"
+
+			path := filepath.Join(goldenDir, name+".golden")
+			if *updateGolden {
+				if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("algorithm %q has no golden-conformance coverage "+
+					"(run `go test ./internal/algo -run TestCatalogGolden -update` to create %s): %v",
+					name, path, err)
+			}
+			if got != string(want) {
+				t.Errorf("%s output diverged from %s\n got: %s\nwant: %s", name, path, got, want)
+			}
+		})
+	}
+
+	// The reverse guard: an orphan golden file means an algorithm was
+	// unregistered (or renamed) while its expectation survived.
+	if *updateGolden {
+		return
+	}
+	entries, err := os.ReadDir(goldenDir)
+	if err != nil {
+		t.Fatalf("golden dir: %v", err)
+	}
+	for _, ent := range entries {
+		name := strings.TrimSuffix(ent.Name(), ".golden")
+		if !covered[name] {
+			t.Errorf("orphan golden file %s: no catalog entry %q (unregister leftovers?)",
+				ent.Name(), name)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package algo
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestReadmeReferenceFresh is the docs-freshness guard: the README's
+// generated "Algorithm reference" section must match what the catalog
+// renders today. It fails whenever a descriptor is added or edited
+// without rerunning `go generate ./internal/algo`.
+func TestReadmeReferenceFresh(t *testing.T) {
+	const readmePath = "../../README.md"
+	body, err := os.ReadFile(readmePath)
+	if err != nil {
+		t.Fatalf("read README: %v", err)
+	}
+	updated, err := Default().SpliceMarkdown(string(body))
+	if err != nil {
+		t.Fatalf("README markers: %v", err)
+	}
+	if updated != string(body) {
+		t.Fatal("README algorithm reference is stale; run `go generate ./internal/algo`")
+	}
+	// Sanity: the generated section actually documents the catalog.
+	for _, name := range Default().Names() {
+		if !strings.Contains(string(body), "#### `"+name+"`") {
+			t.Errorf("README reference missing %q", name)
+		}
+	}
+}

@@ -7,6 +7,49 @@ import (
 	"lagraph/internal/lagraph"
 )
 
+// TestRunCellCatalogOnlyAlgorithms: any registered catalog algorithm is
+// benchmarkable by name with no harness changes — kernels outside the
+// GAP six get SS cells (and no GAP baseline).
+func TestRunCellCatalogOnlyAlgorithms(t *testing.T) {
+	w, err := Load("Kron", 7, 4, 1) // undirected: tc.advanced/lcc can run
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []string{"lcc", "tc.advanced", "bfs.level", "pagerank.gx", "cc.advanced"} {
+		if HasGAP(alg) {
+			t.Fatalf("%s should have no GAP baseline", alg)
+		}
+		res, err := RunCell(alg, "SS", w, 1)
+		if err != nil && !lagraph.IsWarning(err) {
+			t.Fatalf("%s/SS: %v", alg, err)
+		}
+		if res.Seconds < 0 {
+			t.Fatalf("%s/SS: negative time", alg)
+		}
+	}
+	// Labels are matched case-insensitively (gapbench -algos LCC), on
+	// both the catalog and the GAP-baseline side.
+	if _, err := RunCell("LCC", "SS", w, 1); err != nil && !lagraph.IsWarning(err) {
+		t.Fatalf("LCC/SS: %v", err)
+	}
+	if !HasGAP("pr") || !HasGAP("PR") || !HasGAP("pagerank") {
+		t.Fatal("HasGAP must accept every alias of the GAP six")
+	}
+	if _, err := RunCell("pr", "GAP", w, 1); err != nil {
+		t.Fatalf("pr/GAP (lowercase label): %v", err)
+	}
+	if _, err := RunCell("pagerank", "GAP", w, 1); err != nil {
+		t.Fatalf("pagerank/GAP (catalog-name alias): %v", err)
+	}
+	// Unregistered names fail loudly on both impls.
+	if _, err := RunCell("zzz", "SS", w, 1); err == nil {
+		t.Fatal("unknown catalog algorithm accepted on SS")
+	}
+	if _, err := RunCell("zzz", "GAP", w, 1); err == nil {
+		t.Fatal("unknown algorithm accepted on GAP")
+	}
+}
+
 func TestLoadAllClasses(t *testing.T) {
 	for _, name := range GraphNames {
 		w, err := Load(name, 8, 4, 1)

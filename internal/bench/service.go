@@ -76,8 +76,8 @@ type ServiceSmokeOptions struct {
 	Client     *http.Client
 }
 
-// serviceAlgorithms maps each endpoint to its parameters; tc runs only on
-// undirected classes.
+// serviceAlgorithms maps each endpoint to its parameters; undirected-only
+// kernels (tc, lcc) run only on undirected classes.
 var serviceAlgorithms = []struct {
 	alg        string
 	params     map[string]any
@@ -89,6 +89,7 @@ var serviceAlgorithms = []struct {
 	{"sssp", map[string]any{"source": 0, "delta": 64}, false},
 	{"tc", map[string]any{}, true},
 	{"bc", map[string]any{"sources": []int{0, 1, 2, 3}}, false},
+	{"lcc", map[string]any{"limit": 8}, true},
 }
 
 // ServiceSmoke loads one graph per benchmark class into the service at

@@ -29,8 +29,8 @@ func TestServiceSmoke(t *testing.T) {
 		}
 	}
 	// 5 loads + 5 deletes + per-class algorithms:
-	// Kron/Urand run all 6, the three directed classes skip tc.
-	want := 5 + 5 + 2*6 + 3*5 + 5 // + one cached pagerank per class
+	// Kron/Urand run all 7, the three directed classes skip tc and lcc.
+	want := 5 + 5 + 2*7 + 3*5 + 5 // + one cached pagerank per class
 	if len(results) != want {
 		t.Fatalf("results = %d, want %d", len(results), want)
 	}

@@ -81,6 +81,12 @@ func BFSParent[T grb.Value](g *Graph[T], src int) (*grb.Vector[int64], error) {
 // with the source at level 0 (Advanced mode: same property requirements as
 // BFSParent).
 func BFSLevel[T grb.Value](g *Graph[T], src int) (*grb.Vector[int32], error) {
+	return BFSLevelCtx(context.Background(), g, src)
+}
+
+// BFSLevelCtx is the cancellable BFSLevel: the traversal polls ctx once
+// per level.
+func BFSLevelCtx[T grb.Value](ctx context.Context, g *Graph[T], src int) (*grb.Vector[int32], error) {
 	if err := validateSource(g, src, "BFSLevel"); err != nil {
 		return nil, err
 	}
@@ -88,7 +94,7 @@ func BFSLevel[T grb.Value](g *Graph[T], src int) (*grb.Vector[int32], error) {
 	if at == nil || rowDegree == nil {
 		return nil, errf(StatusPropertyMissing, "BFSLevel: G.AT and G.RowDegree must be cached")
 	}
-	_, l, err := bfsDirOpt(context.Background(), g, at, rowDegree, src, false, true)
+	_, l, err := bfsDirOpt(ctx, g, at, rowDegree, src, false, true)
 	return l, err
 }
 

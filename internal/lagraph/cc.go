@@ -40,6 +40,12 @@ func ConnectedComponentsCtx[T grb.Value](ctx context.Context, g *Graph[T]) (*grb
 // caller to guarantee a symmetric pattern (undirected kind, or the
 // ASymmetricPattern property cached as true).
 func ConnectedComponentsAdvanced[T grb.Value](g *Graph[T]) (*grb.Vector[int64], error) {
+	return ConnectedComponentsAdvancedCtx(context.Background(), g)
+}
+
+// ConnectedComponentsAdvancedCtx is the cancellable Advanced-mode FastSV:
+// ctx is polled once per hooking/shortcutting round.
+func ConnectedComponentsAdvancedCtx[T grb.Value](ctx context.Context, g *Graph[T]) (*grb.Vector[int64], error) {
 	if g == nil || g.A == nil {
 		return nil, errf(StatusInvalidGraph, "ConnectedComponentsAdvanced: nil graph")
 	}
@@ -51,7 +57,7 @@ func ConnectedComponentsAdvanced[T grb.Value](g *Graph[T]) (*grb.Vector[int64], 
 	if err != nil {
 		return nil, err
 	}
-	return fastSV(context.Background(), S)
+	return fastSV(ctx, S)
 }
 
 // symmetricPattern returns pattern(A) for symmetric inputs, else

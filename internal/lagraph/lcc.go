@@ -1,0 +1,110 @@
+package lagraph
+
+import (
+	"context"
+
+	"lagraph/internal/grb"
+)
+
+// Local clustering coefficient, after LAGraph's experimental LAGraph_lcc:
+// for every vertex v of an undirected graph, the fraction of its
+// neighbour pairs that are themselves connected,
+//
+//	lcc(v) = 2·tri(v) / (deg(v)·(deg(v)−1))
+//
+// where tri(v) is the number of triangles containing v. In linear
+// algebra the whole computation is one masked plus.pair matrix multiply
+// and a row reduction: C⟨s(A)⟩ = A plus.pair A counts, for every edge
+// (v,w), the common neighbours of v and w — the triangles through that
+// edge — and the row sums of C give 2·tri(v) (each triangle at v is seen
+// by both of its v-incident edges).
+
+// LocalClusteringCoefficient is the Basic-mode entry: it verifies the
+// graph is undirected, strips self-edges on a temporary copy if needed
+// (caching NDiag), and returns a sparse vector of coefficients — vertices
+// in no triangle are absent (coefficient 0).
+func LocalClusteringCoefficient[T grb.Value](g *Graph[T]) (*grb.Vector[float64], error) {
+	return LocalClusteringCoefficientCtx(context.Background(), g)
+}
+
+// LocalClusteringCoefficientCtx is the cancellable Basic-mode LCC. Like
+// triangle counting it has no iteration loop, so ctx is polled between
+// its O(nnz) phases.
+func LocalClusteringCoefficientCtx[T grb.Value](ctx context.Context, g *Graph[T]) (*grb.Vector[float64], error) {
+	if g == nil || g.A == nil {
+		return nil, errf(StatusInvalidGraph, "LocalClusteringCoefficient: nil graph")
+	}
+	if g.Kind != AdjacencyUndirected {
+		return nil, errf(StatusInvalidGraph, "LocalClusteringCoefficient: requires an undirected graph")
+	}
+	if g.CachedNDiag() < 0 {
+		if err := g.PropertyNDiag(); err != nil && !IsWarning(err) {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	work := g
+	if g.CachedNDiag() > 0 {
+		// Self-edges are not triangles; strip them on a copy, leaving the
+		// graph itself untouched (same discipline as TriangleCount).
+		var zero T
+		stripped := grb.MustMatrix[T](g.A.NRows(), g.A.NCols())
+		if err := grb.Select(stripped, grb.NoMask, nil, grb.Offdiag[T](), g.A, zero, nil); err != nil {
+			return nil, wrap(StatusInvalidValue, err, "LCC strip diagonal")
+		}
+		w, err := New(&stripped, AdjacencyUndirected)
+		if err != nil {
+			return nil, err
+		}
+		work = w
+	}
+	if work.CachedRowDegree() == nil {
+		if err := work.PropertyRowDegree(); err != nil && !IsWarning(err) {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	A := work.A
+	n := A.NRows()
+
+	// C⟨s(A)⟩ = A plus.pair A: C(v,w) = |N(v) ∩ N(w)| on edges (v,w).
+	C := grb.MustMatrix[int64](n, n)
+	if err := grb.MxM(C, grb.StructMaskOf(A), nil, grb.PlusPair[T, T, int64](), A, A, nil); err != nil {
+		return nil, wrap(StatusInvalidValue, err, "LCC masked wedge count")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// t(v) = Σ_w C(v,w) = 2·tri(v); present only where a triangle exists.
+	t := grb.MustVector[int64](n)
+	if err := grb.ReduceMatrixToVector(t, grb.NoVMask, nil, grb.PlusMonoid[int64](), C, nil); err != nil {
+		return nil, wrap(StatusInvalidValue, err, "LCC row reduce")
+	}
+	tf := grb.MustVector[float64](n)
+	if err := grb.ApplyV(tf, grb.NoVMask, nil, grb.UnaryOp[int64, float64]{
+		Name: "toFloat", F: func(x int64) float64 { return float64(x) },
+	}, t, nil); err != nil {
+		return nil, wrap(StatusInvalidValue, err, "LCC to float")
+	}
+
+	// denom(v) = deg(v)·(deg(v)−1). A vertex with a stored t entry is in a
+	// triangle, hence deg(v) >= 2 and its denominator is positive — the
+	// eWiseMult intersection below never divides by zero.
+	denom := grb.MustVector[float64](n)
+	if err := grb.ApplyV(denom, grb.NoVMask, nil, grb.UnaryOp[int64, float64]{
+		Name: "pairs", F: func(d int64) float64 { return float64(d) * float64(d-1) },
+	}, work.CachedRowDegree(), nil); err != nil {
+		return nil, wrap(StatusInvalidValue, err, "LCC denominator")
+	}
+
+	lcc := grb.MustVector[float64](n)
+	if err := grb.EWiseMultV(lcc, grb.NoVMask, nil, grb.DivOp[float64](), tf, denom, nil); err != nil {
+		return nil, wrap(StatusInvalidValue, err, "LCC divide")
+	}
+	return lcc, nil
+}

@@ -89,6 +89,12 @@ func TriangleCountAdvanced[T grb.Value](g *Graph[T], method TCMethod, presort bo
 	return triangleCount(context.Background(), g, method, presort)
 }
 
+// TriangleCountAdvancedCtx is the cancellable TriangleCountAdvanced: ctx
+// is polled between the formulation's phases.
+func TriangleCountAdvancedCtx[T grb.Value](ctx context.Context, g *Graph[T], method TCMethod, presort bool) (int64, error) {
+	return triangleCount(ctx, g, method, presort)
+}
+
 // triangleCount runs a chosen method, polling ctx between phases.
 func triangleCount[T grb.Value](ctx context.Context, g *Graph[T], method TCMethod, presort bool) (int64, error) {
 	if g == nil || g.A == nil {

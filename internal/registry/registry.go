@@ -166,26 +166,39 @@ func (e *Entry) EnsureProperties(props ...Property) error {
 		f := &e.flights[p]
 		f.once.Do(func() {
 			e.propComputes.Add(1)
-			var err error
-			switch p {
-			case PropAT:
-				err = e.graph.PropertyAT()
-			case PropRowDegree:
-				err = e.graph.PropertyRowDegree()
-			case PropColDegree:
-				err = e.graph.PropertyColDegree()
-			case PropSymmetry:
-				err = e.graph.PropertyASymmetricPattern()
-			case PropNDiag:
-				err = e.graph.PropertyNDiag()
-			}
-			if err != nil && !lagraph.IsWarning(err) {
+			if err := Materialize(e.graph, p); err != nil {
 				f.err = err
 			}
 		})
 		if f.err != nil {
 			return f.err
 		}
+	}
+	return nil
+}
+
+// Materialize computes one cacheable property directly on a graph,
+// swallowing the already-cached warning. Entry.EnsureProperties wraps it
+// in the per-entry single flight; library-mode callers (the benchmark
+// harness, tests) use it straight.
+func Materialize(g *lagraph.Graph[float64], p Property) error {
+	var err error
+	switch p {
+	case PropAT:
+		err = g.PropertyAT()
+	case PropRowDegree:
+		err = g.PropertyRowDegree()
+	case PropColDegree:
+		err = g.PropertyColDegree()
+	case PropSymmetry:
+		err = g.PropertyASymmetricPattern()
+	case PropNDiag:
+		err = g.PropertyNDiag()
+	default:
+		return fmt.Errorf("registry: unknown property %d", int(p))
+	}
+	if err != nil && !lagraph.IsWarning(err) {
+		return err
 	}
 	return nil
 }

@@ -8,123 +8,73 @@ import (
 	"io"
 	"net/http"
 
-	"lagraph/internal/grb"
+	"lagraph/internal/algo"
 	"lagraph/internal/jobs"
-	"lagraph/internal/lagraph"
-	"lagraph/internal/registry"
 )
 
-// algoParams is the JSON body of POST /graphs/{name}/algorithms/{alg} and
-// the "params" object of an async job submission. Every field is optional;
-// algorithms pick sensible defaults.
-type algoParams struct {
-	Source  int   `json:"source"`
-	Sources []int `json:"sources"` // bc batch
+// Algorithm execution and introspection ride the self-describing catalog
+// (internal/algo): the server owns no per-algorithm code. A request is
+// routed by name into the catalog, its JSON params are validated against
+// the descriptor's typed schema (failures are 400 with the offending
+// field named), the descriptor's declared properties are materialized
+// through the registry's single flight, and the kernel closure runs on
+// the jobs engine keyed by the schema-normalized canonical params.
+//
+//	GET /algorithms          every registered descriptor with its schema
+//	GET /algorithms/{name}   one descriptor
 
-	Damping float64 `json:"damping"` // pagerank
-	Tol     float64 `json:"tol"`
-	MaxIter int     `json:"max_iter"`
-	Variant string  `json:"variant"` // pagerank: "gap" (default) | "gx"
-
-	Delta float64 `json:"delta"` // sssp bucket width
-
-	Level bool `json:"level"` // bfs: also return levels
-
-	Limit int `json:"limit"` // max entries echoed per vector (default 32)
-}
-
-// normalize clamps the echo limit; the result doubles as the canonical
-// parameter encoding for the jobs engine's dedup/cache key, so two
-// requests that differ only in an out-of-range limit share one
-// computation.
-func (p *algoParams) normalize() {
-	if p.Limit <= 0 {
-		p.Limit = 32
-	}
-	if p.Limit > 1<<20 {
-		p.Limit = 1 << 20
-	}
-}
-
-// canonical returns the dedup/cache key encoding of the parameters
-// (struct-order JSON, deterministic for a fixed struct definition).
-func (p *algoParams) canonical() string {
-	b, err := json.Marshal(p)
-	if err != nil { // unreachable: plain struct of scalars
-		return fmt.Sprintf("%+v", *p)
-	}
-	return string(b)
-}
-
-// vecSummary is the JSON shape of a sparse result vector: total entry
-// count plus the first Limit entries.
-type vecSummary struct {
-	NVals     int        `json:"nvals"`
-	Entries   []vecEntry `json:"entries"`
-	Truncated bool       `json:"truncated"`
-}
-
-type vecEntry struct {
-	I int     `json:"i"`
-	V float64 `json:"v"`
-}
-
-func summarize[T grb.Number](v *grb.Vector[T], limit int) *vecSummary {
-	if v == nil {
-		return nil
-	}
-	s := &vecSummary{NVals: v.NVals(), Entries: []vecEntry{}}
-	v.Iterate(func(i int, x T) {
-		if len(s.Entries) < limit {
-			s.Entries = append(s.Entries, vecEntry{I: i, V: float64(x)})
-		} else {
-			s.Truncated = true
-		}
-	})
-	return s
-}
-
-// algoResponse is the common envelope of algorithm results. Completed
-// responses are stored in the jobs engine's result cache and may be
-// served to several requests — they are immutable once the computation
-// returns (Seconds is the original compute time, not the serve time).
+// algoResponse is the envelope of algorithm results: the catalog
+// kernel's named outputs merged with the request identity and compute
+// time. Completed responses are stored in the jobs engine's result cache
+// and may serve several requests — they are immutable once the
+// computation returns (Seconds is the original compute time).
 type algoResponse struct {
-	Graph     string `json:"graph"`
-	Algorithm string `json:"algorithm"`
-
-	Seconds    float64 `json:"seconds"`
-	Iterations int     `json:"iterations,omitempty"`
-
-	Triangles  *int64 `json:"triangles,omitempty"`
-	Components *int   `json:"components,omitempty"`
-	Reached    *int   `json:"reached,omitempty"`
-
-	Parent     *vecSummary `json:"parent,omitempty"`
-	Level      *vecSummary `json:"level,omitempty"`
-	Ranks      *vecSummary `json:"ranks,omitempty"`
-	Labels     *vecSummary `json:"labels,omitempty"`
-	Distances  *vecSummary `json:"distances,omitempty"`
-	Centrality *vecSummary `json:"centrality,omitempty"`
+	Graph     string
+	Algorithm string
+	Seconds   float64
+	Result    algo.Result
 }
 
-// handleAlgorithm is the synchronous algorithm endpoint, re-implemented as
-// submit-and-wait on the jobs engine: the request becomes a job (sharing
-// dedup and the versioned result cache with async submissions), the
-// handler waits with the request context, and a disconnected client whose
-// job has no other audience cancels the underlying computation.
+// MarshalJSON inlines the kernel's result entries next to the envelope
+// fields, keeping the wire shape flat ({"graph":..., "ranks":...}).
+func (r *algoResponse) MarshalJSON() ([]byte, error) {
+	out := make(map[string]any, len(r.Result)+3)
+	for k, v := range r.Result {
+		out[k] = v
+	}
+	out["graph"] = r.Graph
+	out["algorithm"] = r.Algorithm
+	out["seconds"] = r.Seconds
+	return json.Marshal(out)
+}
+
+// handleAlgorithm is the synchronous algorithm endpoint: submit-and-wait
+// on the jobs engine (sharing dedup and the versioned result cache with
+// async submissions); a disconnected client whose job has no other
+// audience cancels the underlying computation.
 func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 	name, alg := r.PathValue("name"), r.PathValue("alg")
 
+	d, err := s.catalog.Lookup(alg)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
 	// Parameter bodies are tiny; a 1 MiB cap keeps a hostile request from
 	// buffering arbitrary JSON (uploads have their own, larger cap).
 	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
-	var p algoParams
-	if err := decodeJSONBody(r, &p); err != nil {
+	raw, err := decodeParamsBody(r.Body)
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	p, err := d.Validate(raw)
+	if err != nil {
+		writeValidationError(w, err)
+		return
+	}
 
-	job, err := s.submitAlgorithmJob(name, alg, &p, false, 0)
+	job, err := s.submitAlgorithmJob(name, d, p, false, 0)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -136,6 +86,26 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.writeJobOutcome(w, job)
+}
+
+// handleListAlgorithms is GET /algorithms: the whole catalog, each entry
+// with its tier, doc, property requirements and typed parameter schema.
+func (s *Server) handleListAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	infos := s.catalog.List()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"count":      len(infos),
+		"algorithms": infos,
+	})
+}
+
+// handleGetAlgorithm is GET /algorithms/{name}.
+func (s *Server) handleGetAlgorithm(w http.ResponseWriter, r *http.Request) {
+	d, err := s.catalog.Lookup(r.PathValue("name"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, d.Info())
 }
 
 // writeJobOutcome renders a terminal job the way the synchronous API
@@ -154,172 +124,52 @@ func (s *Server) writeJobOutcome(w http.ResponseWriter, j *jobs.Job) {
 		writeError(w, http.StatusServiceUnavailable, "job cancelled")
 	case errors.Is(err, context.DeadlineExceeded):
 		writeError(w, http.StatusGatewayTimeout, "job deadline exceeded")
-	case isUnknownAlg(err):
+	case algo.IsUnknown(err):
 		writeError(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, errInternalFailure):
 		writeError(w, http.StatusInternalServerError, err.Error())
 	default:
-		writeError(w, http.StatusBadRequest, err.Error())
+		// Parameter problems detected inside the kernel (an out-of-range
+		// source vertex, a semantically invalid knob) carry the offending
+		// field, exactly like schema-validation failures.
+		writeValidationError(w, err)
 	}
 }
 
-// requiredProperties maps an algorithm to the cached properties it wants,
-// so the registry materializes them once per graph instead of every
-// Basic-mode call racing to compute its own.
-func requiredProperties(alg string, g *lagraph.Graph[float64]) []registry.Property {
-	switch alg {
-	case "bfs", "pagerank":
-		return []registry.Property{registry.PropAT, registry.PropRowDegree}
-	case "bc":
-		return []registry.Property{registry.PropAT}
-	case "cc":
-		if g.Kind == lagraph.AdjacencyDirected {
-			return []registry.Property{registry.PropAT, registry.PropSymmetry}
-		}
-		return nil
-	case "tc":
-		return []registry.Property{registry.PropNDiag, registry.PropRowDegree}
-	default:
-		return nil
+// writeValidationError answers 400, naming the offending parameter when
+// the error is (or wraps) a ParamError.
+func writeValidationError(w http.ResponseWriter, err error) {
+	var pe *algo.ParamError
+	if errors.As(err, &pe) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: pe.Error(), Field: pe.Field})
+		return
 	}
+	writeError(w, http.StatusBadRequest, err.Error())
 }
-
-var errUnknownAlg = errors.New("unknown algorithm")
-
-func isUnknownAlg(err error) bool { return errors.Is(err, errUnknownAlg) }
 
 // errInternalFailure tags job errors that are the server's fault (e.g. a
 // property materialization failing), mapping them to 500 instead of the
 // 400 that parameter errors earn.
 var errInternalFailure = errors.New("internal failure")
 
-// knownAlg validates an algorithm name before a job is minted for it.
-func knownAlg(alg string) bool {
-	switch alg {
-	case "bfs", "pagerank", "cc", "sssp", "tc", "bc":
-		return true
+// decodeParamsBody reads an optional JSON object of algorithm parameters.
+// An empty body means all-default parameters; numbers are kept as
+// json.Number so the schema layer can distinguish ints from floats
+// losslessly.
+func decodeParamsBody(body io.Reader) (map[string]any, error) {
+	dec := json.NewDecoder(body)
+	dec.UseNumber()
+	raw := map[string]any{}
+	if err := dec.Decode(&raw); err != nil {
+		if errors.Is(err, io.EOF) {
+			return map[string]any{}, nil
+		}
+		return nil, fmt.Errorf("bad JSON body: %w", err)
 	}
-	return false
-}
-
-// runAlgorithm dispatches one algorithm call through the cancellable Ctx
-// entry points; the iteration loops poll ctx so a cancelled job stops
-// computing within one iteration. Properties the algorithm requires are
-// already materialized, so only Advanced-mode (non-caching) entry points
-// run here and concurrent calls never mutate the graph.
-func runAlgorithm(ctx context.Context, alg string, g *lagraph.Graph[float64], p *algoParams, resp *algoResponse) error {
-	switch alg {
-	case "bfs":
-		parent, level, err := lagraph.BreadthFirstSearchCtx(ctx, g, p.Source, true, p.Level)
-		if err != nil && !lagraph.IsWarning(err) {
-			return err
-		}
-		reached := parent.NVals()
-		resp.Reached = &reached
-		resp.Parent = summarize(parent, p.Limit)
-		if p.Level {
-			resp.Level = summarize(level, p.Limit)
-		}
-		return nil
-
-	case "pagerank":
-		damping, tol, iters := p.Damping, p.Tol, p.MaxIter
-		if damping == 0 {
-			damping = 0.85
-		}
-		if tol == 0 {
-			tol = 1e-4
-		}
-		if iters == 0 {
-			iters = 100
-		}
-		var (
-			ranks *grb.Vector[float64]
-			n     int
-			err   error
-		)
-		switch p.Variant {
-		case "", "gap":
-			ranks, n, err = lagraph.PageRankGAPCtx(ctx, g, damping, tol, iters)
-		case "gx":
-			ranks, n, err = lagraph.PageRankGXCtx(ctx, g, damping, tol, iters)
-		default:
-			return fmt.Errorf("unknown pagerank variant %q (gap|gx)", p.Variant)
-		}
-		if err != nil && !lagraph.IsWarning(err) {
-			return err
-		}
-		resp.Iterations = n
-		resp.Ranks = summarize(ranks, p.Limit)
-		return nil
-
-	case "cc":
-		labels, err := lagraph.ConnectedComponentsCtx(ctx, g)
-		if err != nil && !lagraph.IsWarning(err) {
-			return err
-		}
-		comps := map[int64]struct{}{}
-		labels.Iterate(func(_ int, x int64) { comps[x] = struct{}{} })
-		n := len(comps)
-		resp.Components = &n
-		resp.Labels = summarize(labels, p.Limit)
-		return nil
-
-	case "sssp":
-		delta := p.Delta
-		if delta <= 0 {
-			delta = 64 // the harness default for GAP-convention [1,255] weights
-		}
-		dist, err := lagraph.SSSPDeltaSteppingCtx(ctx, g, p.Source, delta)
-		if err != nil && !lagraph.IsWarning(err) {
-			return err
-		}
-		// Unreachable vertices hold +inf, which JSON cannot carry; report
-		// reachable distances only.
-		sum := &vecSummary{Entries: []vecEntry{}}
-		dist.Iterate(func(i int, d float64) {
-			if !lagraph.Reachable(d) {
-				return
-			}
-			sum.NVals++
-			if len(sum.Entries) < p.Limit {
-				sum.Entries = append(sum.Entries, vecEntry{I: i, V: d})
-			} else {
-				sum.Truncated = true
-			}
-		})
-		resp.Reached = &sum.NVals
-		resp.Distances = sum
-		return nil
-
-	case "tc":
-		count, err := lagraph.TriangleCountCtx(ctx, g)
-		if err != nil && !lagraph.IsWarning(err) {
-			return err
-		}
-		resp.Triangles = &count
-		return nil
-
-	case "bc":
-		sources := p.Sources
-		if len(sources) == 0 {
-			sources = []int{p.Source}
-		}
-		// The frontier matrices are ns x n; bound the batch so one request
-		// cannot exhaust memory (the GAP convention is 4 sources).
-		if len(sources) > 64 {
-			return fmt.Errorf("bc source batch too large: %d > 64", len(sources))
-		}
-		cent, err := lagraph.BetweennessCentralityAdvancedCtx(ctx, g, sources)
-		if err != nil && !lagraph.IsWarning(err) {
-			return err
-		}
-		resp.Centrality = summarize(cent, p.Limit)
-		return nil
-
-	default:
-		return fmt.Errorf("%w %q (bfs|pagerank|cc|sssp|tc|bc)", errUnknownAlg, alg)
+	if dec.More() {
+		return nil, errors.New("bad JSON body: trailing data")
 	}
+	return raw, nil
 }
 
 // decodeJSONBody parses an optional JSON request body into v. An empty
@@ -327,6 +177,7 @@ func runAlgorithm(ctx context.Context, alg string, g *lagraph.Graph[float64], p 
 func decodeJSONBody(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
+	dec.UseNumber()
 	if err := dec.Decode(v); err != nil {
 		if errors.Is(err, io.EOF) {
 			return nil

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"time"
 
+	"lagraph/internal/algo"
 	"lagraph/internal/jobs"
 	"lagraph/internal/registry"
 )
@@ -25,28 +26,25 @@ import (
 // /algorithms endpoints ride the same engine, so a burst of identical
 // requests — sync, async or mixed — costs one computation.
 
-// jobSpec is the JSON body of POST /graphs/{name}/jobs.
+// jobSpec is the JSON body of POST /graphs/{name}/jobs. Params are an
+// open JSON object validated against the algorithm's catalog schema.
 type jobSpec struct {
-	Algorithm      string     `json:"algorithm"`
-	Params         algoParams `json:"params"`
-	TimeoutSeconds float64    `json:"timeout_seconds"` // 0 = server default
+	Algorithm      string         `json:"algorithm"`
+	Params         map[string]any `json:"params"`
+	TimeoutSeconds float64        `json:"timeout_seconds"` // 0 = server default
 }
 
 // maxJobTimeout bounds client-requested deadlines.
 const maxJobTimeout = time.Hour
 
 // submitAlgorithmJob leases the named graph, keys the work by its current
-// version, and submits it to the engine. pin marks an asynchronous
-// submission (the job survives with no waiter attached). The lease is
-// held for the job's whole life — a resident graph cannot be evicted out
-// from under a queued job — and released by the engine at any terminal
-// state, including cancellation before the job ever ran.
-func (s *Server) submitAlgorithmJob(name, alg string, p *algoParams, pin bool, timeout time.Duration) (*jobs.Job, error) {
-	if !knownAlg(alg) {
-		return nil, fmt.Errorf("%w %q (bfs|pagerank|cc|sssp|tc|bc)", errUnknownAlg, alg)
-	}
-	p.normalize()
-
+// version and the schema-normalized canonical params, and submits it to
+// the engine. pin marks an asynchronous submission (the job survives with
+// no waiter attached). The lease is held for the job's whole life — a
+// resident graph cannot be evicted out from under a queued job — and
+// released by the engine at any terminal state, including cancellation
+// before the job ever ran.
+func (s *Server) submitAlgorithmJob(name string, d *algo.Descriptor, p algo.Params, pin bool, timeout time.Duration) (*jobs.Job, error) {
 	lease, err := s.reg.Acquire(name)
 	if err != nil {
 		return nil, err
@@ -56,8 +54,8 @@ func (s *Server) submitAlgorithmJob(name, alg string, p *algoParams, pin bool, t
 	key := jobs.Key{
 		Graph:     name,
 		Version:   entry.Version(),
-		Algorithm: alg,
-		Params:    p.canonical(),
+		Algorithm: d.Name,
+		Params:    p.Canonical(),
 	}
 	job, _, err := s.jobs.Submit(jobs.Request{
 		Key:     key,
@@ -70,22 +68,30 @@ func (s *Server) submitAlgorithmJob(name, alg string, p *algoParams, pin bool, t
 			}
 			// EnsureProperties also finalizes a streamed-in snapshot's
 			// pending deltas before any kernel reads the matrix structure.
-			if err := entry.EnsureProperties(requiredProperties(alg, g)...); err != nil {
+			if err := entry.EnsureProperties(d.RequiredProperties(g)...); err != nil {
 				s.algErrors.Add(1)
 				// A property materialization failing is a server-side
 				// fault, not a bad request; tag it so the HTTP layer
 				// reports 500 (the pre-engine behavior).
 				return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
 			}
-			resp := &algoResponse{Graph: name, Algorithm: alg}
+			resp := &algoResponse{Graph: name, Algorithm: d.Name}
 			start := time.Now()
-			err := runAlgorithm(ctx, alg, g, p, resp)
+			res, err := d.Run(ctx, g, p)
 			resp.Seconds = time.Since(start).Seconds()
+			resp.Result = res
 			if err != nil {
 				if !errors.Is(err, context.Canceled) {
 					s.algErrors.Add(1)
 				}
 				return nil, err
+			}
+			if err := res.CheckReserved(); err != nil {
+				// A kernel colliding with the envelope is a registration
+				// bug, not a bad request: fail loudly as a 500 instead of
+				// silently clobbering the kernel's output.
+				s.algErrors.Add(1)
+				return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
 			}
 			entry.CountAlgRun()
 			return resp, nil
@@ -101,7 +107,7 @@ func (s *Server) submitAlgorithmJob(name, alg string, p *algoParams, pin bool, t
 // writeSubmitError maps submission failures onto HTTP statuses.
 func writeSubmitError(w http.ResponseWriter, err error) {
 	switch {
-	case isUnknownAlg(err):
+	case algo.IsUnknown(err):
 		writeError(w, http.StatusNotFound, err.Error())
 	case errors.Is(err, jobs.ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, err.Error())
@@ -131,6 +137,16 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "timeout_seconds must be >= 0")
 		return
 	}
+	d, err := s.catalog.Lookup(spec.Algorithm)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	p, err := d.Validate(spec.Params)
+	if err != nil {
+		writeValidationError(w, err)
+		return
+	}
 	// Clamp before converting: a huge float would overflow the int64
 	// Duration to a negative value, which the engine reads as "no
 	// deadline" — an escape hatch from the operator's -job-timeout.
@@ -138,7 +154,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		spec.TimeoutSeconds = maxJobTimeout.Seconds()
 	}
 	timeout := time.Duration(spec.TimeoutSeconds * float64(time.Second))
-	job, err := s.submitAlgorithmJob(name, spec.Algorithm, &spec.Params, true, timeout)
+	job, err := s.submitAlgorithmJob(name, d, p, true, timeout)
 	if err != nil {
 		writeSubmitError(w, err)
 		return

@@ -7,7 +7,9 @@
 //	GET    /graphs/{name}                   one graph's info
 //	DELETE /graphs/{name}                   drop a graph
 //	POST   /graphs/{name}/edges             apply a batch of edge mutations
-//	POST   /graphs/{name}/algorithms/{alg}  run bfs|pagerank|cc|sssp|tc|bc
+//	POST   /graphs/{name}/algorithms/{alg}  run a catalog algorithm
+//	GET    /algorithms                      list the algorithm catalog
+//	GET    /algorithms/{name}               one algorithm's descriptor
 //	POST   /graphs/{name}/jobs              submit an asynchronous job
 //	GET    /jobs                            list jobs
 //	GET    /jobs/{id}                       job status
@@ -26,6 +28,12 @@
 // single-flight deduplication and a result cache keyed by the graph's
 // registry version, so identical requests cost one computation and a
 // disconnected synchronous client cancels work nobody will read.
+//
+// The server carries no per-algorithm code: routing, parameter
+// validation, property requirements, cache keying and execution all come
+// from the self-describing catalog (internal/algo). Registering a new
+// kernel there is the only step needed for it to appear on every
+// endpoint above.
 package server
 
 import (
@@ -34,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lagraph/internal/algo"
 	"lagraph/internal/jobs"
 	"lagraph/internal/parallel"
 	"lagraph/internal/registry"
@@ -81,17 +90,23 @@ type Options struct {
 	// by recovering whatever the store already holds into the registry.
 	// The server owns the store from here on: Close closes it.
 	Store *store.Store
+	// Catalog is the algorithm catalog every endpoint dispatches through.
+	// Nil selects the shared built-in catalog (algo.Default()); embedders
+	// and tests that register extra kernels pass their own (built with
+	// algo.Builtin() plus their Register calls).
+	Catalog *algo.Catalog
 }
 
 // Server is the lagraphd HTTP service.
 type Server struct {
-	reg    *registry.Registry
-	jobs   *jobs.Engine
-	stream *stream.Engine
-	store  *store.Store // nil when the service is memory-only
-	mux    *http.ServeMux
-	sem    chan struct{}
-	opts   Options
+	reg     *registry.Registry
+	jobs    *jobs.Engine
+	stream  *stream.Engine
+	store   *store.Store // nil when the service is memory-only
+	catalog *algo.Catalog
+	mux     *http.ServeMux
+	sem     chan struct{}
+	opts    Options
 
 	started   time.Time
 	requests  atomic.Int64 // API requests admitted through the limiter
@@ -110,8 +125,12 @@ func New(reg *registry.Registry, opts Options) *Server {
 	if opts.Workers <= 0 {
 		opts.Workers = parallel.MaxThreads()
 	}
+	if opts.Catalog == nil {
+		opts.Catalog = algo.Default()
+	}
 	s := &Server{
-		reg: reg,
+		reg:     reg,
+		catalog: opts.Catalog,
 		jobs: jobs.NewEngine(jobs.Options{
 			Workers:          opts.Workers,
 			QueueDepth:       opts.QueueDepth,
@@ -154,6 +173,10 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+	// Catalog introspection is cheap and read-only; it bypasses the
+	// limiter so clients can discover the API even under load.
+	s.mux.HandleFunc("GET /algorithms", s.handleListAlgorithms)
+	s.mux.HandleFunc("GET /algorithms/{name}", s.handleGetAlgorithm)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s
@@ -239,9 +262,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// errorBody is the JSON error envelope.
+// errorBody is the JSON error envelope. Field names the offending
+// parameter on algorithm-parameter validation failures.
 type errorBody struct {
 	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
