@@ -8,7 +8,13 @@
 //	gapbench -table4 -scale 14
 //	gapbench -table3 -algos BFS,PR -graphs Kron,Road
 //	gapbench -table3 -algos lcc,tc.advanced -graphs Kron    # catalog-only kernels
+//	gapbench -table3 -json BENCH_2026-08-07.json            # recorded perf point
 //	gapbench -list-algorithms
+//
+// With -json the run additionally writes a machine-readable perf record
+// (schema lagraph-bench/v1): per-cell seconds and GTEPS, the graph sizes,
+// and the git revision — one point of the repo's recorded performance
+// trajectory, produced in CI on every run.
 //
 // Table III prints the run time (seconds) of the GAP-style baselines
 // ("GAP") and the LAGraph-on-GraphBLAS implementations ("SS", following
@@ -22,16 +28,76 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"strings"
+	"time"
 
 	"lagraph/internal/algo"
 	"lagraph/internal/bench"
 	"lagraph/internal/lagraph"
 )
+
+// benchRecord is the -json perf record, schema lagraph-bench/v1. Each
+// cell is one (algorithm, implementation, graph) timing with its derived
+// GTEPS; successive records — one per CI run — form the repo's recorded
+// performance trajectory.
+type benchRecord struct {
+	Schema     string        `json:"schema"` // "lagraph-bench/v1"
+	Date       string        `json:"date"`   // RFC 3339, UTC
+	GitRev     string        `json:"git_rev,omitempty"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scale      int           `json:"scale"`
+	EdgeFactor int           `json:"edge_factor"`
+	Trials     int           `json:"trials"`
+	Seed       uint64        `json:"seed"`
+	Graphs     []graphRecord `json:"graphs"`
+	Cells      []cellRecord  `json:"cells"`
+}
+
+// graphRecord is one benchmark graph's size, mirroring Table IV.
+type graphRecord struct {
+	Name    string `json:"name"`
+	Nodes   int    `json:"nodes"`
+	Entries int    `json:"entries"` // nonzeros in A
+	Kind    string `json:"kind"`    // directed | undirected
+}
+
+// cellRecord is one Table III cell. GTEPS is entries/seconds/1e9 — the
+// GAP convention of edges traversed per second, using the adjacency
+// entry count as the work proxy so the figure is comparable across runs
+// of the same graph. Skipped cells carry the reason instead of a time.
+type cellRecord struct {
+	Algorithm string  `json:"algorithm"`
+	Impl      string  `json:"impl"` // GAP | SS
+	Graph     string  `json:"graph"`
+	Trials    int     `json:"trials,omitempty"`
+	Seconds   float64 `json:"seconds,omitempty"`
+	GTEPS     float64 `json:"gteps,omitempty"`
+	Skipped   string  `json:"skipped,omitempty"`
+}
+
+// gitRevision reads the VCS revision stamped into the binary, falling
+// back to the -git-rev flag (CI passes $GITHUB_SHA; `go run` builds carry
+// no stamp).
+func gitRevision(flagRev string) string {
+	if flagRev != "" {
+		return flagRev
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, kv := range bi.Settings {
+			if kv.Key == "vcs.revision" {
+				return kv.Value
+			}
+		}
+	}
+	return ""
+}
 
 func main() {
 	var (
@@ -44,6 +110,8 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "generator seed")
 		algos    = flag.String("algos", strings.Join(bench.AlgNames, ","), "comma-separated kernels (Table III labels or catalog names)")
 		graphs   = flag.String("graphs", strings.Join(bench.GraphNames, ","), "comma-separated graph classes")
+		jsonOut  = flag.String("json", "", "also write a lagraph-bench/v1 perf record to this file")
+		gitRev   = flag.String("git-rev", "", "git revision recorded in the -json output (default: the binary's VCS stamp)")
 	)
 	flag.Parse()
 	if *listAlgs {
@@ -79,8 +147,41 @@ func main() {
 	if *table4 {
 		printTable4(graphList, workloads)
 	}
+	var cells []cellRecord
 	if *table3 {
-		printTable3(graphList, algoList, workloads, *trials)
+		cells = printTable3(graphList, algoList, workloads, *trials)
+	}
+	if *jsonOut != "" {
+		rec := benchRecord{
+			Schema:     "lagraph-bench/v1",
+			Date:       time.Now().UTC().Format(time.RFC3339),
+			GitRev:     gitRevision(*gitRev),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Scale:      *scale,
+			EdgeFactor: *ef,
+			Trials:     *trials,
+			Seed:       *seed,
+			Cells:      cells,
+		}
+		for _, gName := range graphList {
+			w := workloads[gName]
+			kind := "undirected"
+			if w.Edges.Directed {
+				kind = "directed"
+			}
+			rec.Graphs = append(rec.Graphs, graphRecord{
+				Name: gName, Nodes: w.Edges.N, Entries: w.LG.A.NVals(), Kind: kind,
+			})
+		}
+		b, err := json.MarshalIndent(rec, "", "  ")
+		if err != nil {
+			fatal("encoding -json record: %v", err)
+		}
+		if err := os.WriteFile(*jsonOut, append(b, '\n'), 0o644); err != nil {
+			fatal("writing %s: %v", *jsonOut, err)
+		}
+		fmt.Printf("wrote perf record to %s\n", *jsonOut)
 	}
 }
 
@@ -146,7 +247,10 @@ func cellTrials(alg string, trials int) int {
 	return 1
 }
 
-func printTable3(graphList, algoList []string, workloads map[string]*bench.Workload, trials int) {
+// printTable3 renders the run-time table and returns the cells for the
+// -json perf record.
+func printTable3(graphList, algoList []string, workloads map[string]*bench.Workload, trials int) []cellRecord {
+	var cells []cellRecord
 	fmt.Println("TABLE III: Run time of GAP and LAGraph+GrB (seconds)")
 	fmt.Printf("%-12s", "package")
 	for _, gName := range graphList {
@@ -168,17 +272,29 @@ func printTable3(graphList, algoList []string, workloads map[string]*bench.Workl
 			fmt.Printf("%-12s", alg+" : "+impl)
 			for _, gName := range graphList {
 				w := cellWorkload(alg, workloads[gName])
-				res, err := bench.RunCell(alg, impl, w, cellTrials(alg, trials))
+				nTrials := cellTrials(alg, trials)
+				res, err := bench.RunCell(alg, impl, w, nTrials)
 				if err != nil && !lagraph.IsWarning(err) {
 					// A kernel/graph incompatibility (cc.advanced on an
 					// asymmetric directed class, say) skips the cell with a
 					// warning instead of aborting the whole table.
 					fmt.Fprintf(os.Stderr, "gapbench: skipping %s/%s on %s: %v\n", alg, impl, gName, err)
 					fmt.Printf(" %10s", "-")
+					cells = append(cells, cellRecord{
+						Algorithm: alg, Impl: impl, Graph: gName, Skipped: err.Error(),
+					})
 					continue
 				}
 				perImpl[i][gName] = res.Seconds
 				fmt.Printf(" %10.3f", res.Seconds)
+				cell := cellRecord{
+					Algorithm: alg, Impl: impl, Graph: gName,
+					Trials: nTrials, Seconds: res.Seconds,
+				}
+				if res.Seconds > 0 {
+					cell.GTEPS = float64(w.LG.A.NVals()) / res.Seconds / 1e9
+				}
+				cells = append(cells, cell)
 			}
 			fmt.Println()
 		}
@@ -204,6 +320,7 @@ func printTable3(graphList, algoList []string, workloads map[string]*bench.Workl
 		}
 		fmt.Println()
 	}
+	return cells
 }
 
 func splitList(s string) []string {

@@ -12,6 +12,12 @@
 // and a restart recovers every graph at the version it last published
 // (see internal/store).
 //
+// Observability: GET /metrics serves every subsystem's counters in the
+// Prometheus text format, GET /debug/traces serves recent request traces
+// (ids propagate via X-Trace-Id), the access and slow-query logs are
+// structured slog records (-log-level, -log-format, -slow-query), and
+// -pprof-addr exposes net/http/pprof on its own listener.
+//
 // Quickstart:
 //
 //	lagraphd -addr :8080 -data-dir /var/lib/lagraphd &
@@ -24,6 +30,7 @@
 //	     -d '{"ops":[{"op":"upsert","src":0,"dst":5,"weight":2}]}'
 //	curl localhost:8080/jobs
 //	curl localhost:8080/stats
+//	curl localhost:8080/metrics
 package main
 
 import (
@@ -31,18 +38,48 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"lagraph/internal/obs"
 	"lagraph/internal/parallel"
 	"lagraph/internal/registry"
 	"lagraph/internal/server"
 	"lagraph/internal/store"
 )
+
+// newLogger builds the daemon's slog logger from the -log-level and
+// -log-format flags.
+func newLogger(level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lv = slog.LevelDebug
+	case "", "info":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text|json)", format)
+	}
+}
 
 func main() {
 	var (
@@ -66,8 +103,25 @@ func main() {
 		dataDir            = flag.String("data-dir", "", "durable store directory: persist graphs + mutation WAL, recover on boot (empty = memory only)")
 		fsync              = flag.Bool("fsync", true, "fsync WAL appends and checkpoint writes (with -data-dir)")
 		checkpointInterval = flag.Duration("checkpoint-interval", 5*time.Minute, "periodic WAL-bounding checkpoint cadence (0 disables; with -data-dir)")
+
+		logLevel      = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		logFormat     = flag.String("log-format", "text", "log encoding: text|json")
+		slowQuery     = flag.Duration("slow-query", 0, "log requests at least this slow with their span breakdown (0 disables)")
+		traceCapacity = flag.Int("trace-capacity", 0, "finished-trace ring size served by /debug/traces (0 = 256)")
+		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
 	)
 	flag.Parse()
+
+	logger, err := newLogger(*logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lagraphd: %v\n", err)
+		os.Exit(1)
+	}
+	slog.SetDefault(logger)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	if *threads > 0 {
 		parallel.SetMaxThreads(*threads)
@@ -82,7 +136,7 @@ func main() {
 			CheckpointInterval: *checkpointInterval,
 		})
 		if err != nil {
-			log.Fatalf("lagraphd: opening data dir: %v", err)
+			fatal("opening data dir", "dir", *dataDir, "error", err)
 		}
 	}
 
@@ -99,18 +153,23 @@ func main() {
 		CompactRatio:     *compactRatio,
 		MaxBatchOps:      *maxBatchOps,
 		Store:            st,
+		Obs:              obs.NewRegistry(),
+		Logger:           logger,
+		SlowThreshold:    *slowQuery,
+		TraceCapacity:    *traceCapacity,
 	})
 	if st != nil {
 		stats := st.StatsSnapshot()
 		if rec := stats.Recovery; rec != nil {
-			log.Printf("lagraphd: recovered %d graphs (%d WAL batches, %d ops) from %s in %.3fs",
-				rec.GraphsRecovered, rec.BatchesReplayed, rec.OpsReplayed, *dataDir, rec.Seconds)
+			logger.Info("recovered durable state",
+				"graphs", rec.GraphsRecovered, "wal_batches", rec.BatchesReplayed,
+				"ops", rec.OpsReplayed, "dir", *dataDir, "seconds", rec.Seconds)
 			for _, f := range rec.Failed {
-				log.Printf("lagraphd: recovery skipped %s", f)
+				logger.Warn("recovery skipped graph", "detail", f)
 			}
 		}
 		for _, d := range stats.SkippedDirs {
-			log.Printf("lagraphd: data dir entry not served: %s", d)
+			logger.Warn("data dir entry not served", "detail", d)
 		}
 	}
 	httpSrv := &http.Server{
@@ -119,31 +178,49 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener so profiling stays
+		// off the API surface (and off any port the API is exposed on).
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "error", err)
+			}
+		}()
+	}
+
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("lagraphd listening on %s (budget %d bytes, %d workers)",
-			*addr, *maxBytes, parallel.MaxThreads())
+		logger.Info("lagraphd listening",
+			"addr", *addr, "budget_bytes", *maxBytes, "workers", parallel.MaxThreads())
 		errc <- httpSrv.ListenAndServe()
 	}()
 
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("lagraphd: %v", err)
+			fatal("listener failed", "error", err)
 		}
 	case <-ctx.Done():
-		log.Printf("lagraphd: shutting down (draining for up to %s)", *gracePeriod)
+		logger.Info("shutting down", "grace", gracePeriod.String())
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *gracePeriod)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintf(os.Stderr, "lagraphd: forced shutdown: %v\n", err)
+			logger.Error("forced shutdown", "error", err)
 			_ = httpSrv.Close()
 		}
 		srv.Close() // cancels running jobs, drains the worker pool
 		reg.Close()
-		log.Printf("lagraphd: stopped")
+		logger.Info("stopped")
 	}
 }

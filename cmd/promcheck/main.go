@@ -1,0 +1,79 @@
+// Command promcheck validates Prometheus text exposition (format 0.0.4)
+// with the strict parser from internal/obs: every sample must belong to a
+// declared TYPE family, label syntax and escaping must be exact, and
+// histograms must have monotone cumulative buckets ending in +Inf with a
+// matching _count and a _sum.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promcheck
+//	promcheck -url http://localhost:8080/metrics
+//	promcheck -url http://localhost:8080/metrics -require jobs_queued,store_wal_appends_total
+//
+// Exit status 0 means the exposition parsed and every -require family is
+// present; CI runs it against a live lagraphd to keep /metrics honest.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"lagraph/internal/obs"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "scrape this endpoint instead of reading stdin")
+		require = flag.String("require", "", "comma-separated metric families that must be present")
+		quiet   = flag.Bool("q", false, "print nothing on success")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if *url != "" {
+		c := &http.Client{Timeout: 10 * time.Second}
+		resp, err := c.Get(*url)
+		if err != nil {
+			fatal("scraping %s: %v", *url, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			fatal("scraping %s: status %s", *url, resp.Status)
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+			fatal("scraping %s: unexpected Content-Type %q", *url, ct)
+		}
+		in = resp.Body
+	}
+
+	exp, err := obs.ValidateExposition(in)
+	if err != nil {
+		fatal("invalid exposition: %v", err)
+	}
+
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name == "" {
+			continue
+		}
+		if _, ok := exp.Types[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fatal("missing required families: %s", strings.Join(missing, ", "))
+	}
+	if !*quiet {
+		fmt.Printf("ok: %d families, %d samples\n", len(exp.Types), len(exp.Samples))
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -23,8 +23,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"lagraph/internal/obs"
 )
 
 // State is a job's position in its lifecycle.
@@ -115,6 +116,12 @@ type Options struct {
 	// MaxJobs bounds retained job records; the oldest terminal jobs are
 	// pruned beyond it. <= 0 means 1024.
 	MaxJobs int
+	// Obs is the metrics registry the engine's counters live in — the
+	// same instruments back both StatsSnapshot (the /stats JSON) and the
+	// Prometheus /metrics exposition, so every counter is defined exactly
+	// once. Nil selects a private registry (the instruments still work;
+	// they are simply not scraped).
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -132,6 +139,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxJobs <= 0 {
 		o.MaxJobs = 1024
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
 	}
 }
 
@@ -280,13 +290,19 @@ type Engine struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	queuedN, runningN int
-	submitted         atomic.Int64
-	completed         atomic.Int64
-	failed            atomic.Int64
-	cancelled         atomic.Int64
-	dedupHits         atomic.Int64
-	cacheHits         atomic.Int64
+	// Engine telemetry: obs instruments shared by StatsSnapshot and the
+	// Prometheus exposition. Gauges are mutated only under e.mu (they
+	// mirror queue occupancy); counters are hot-path atomics.
+	queuedG   *obs.Gauge
+	runningG  *obs.Gauge
+	submitted *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	cancelled *obs.Counter
+	dedupHits *obs.Counter
+	cacheHits *obs.Counter
+	runSecs   *obs.HistogramVec // per-algorithm kernel run duration
+	waitSecs  *obs.Histogram    // queue wait before a worker picks up
 
 	cache *resultCache
 }
@@ -295,6 +311,7 @@ type Engine struct {
 func NewEngine(opts Options) *Engine {
 	opts.fill()
 	ctx, cancel := context.WithCancel(context.Background())
+	o := opts.Obs
 	e := &Engine{
 		opts:       opts,
 		jobs:       make(map[string]*Job),
@@ -303,7 +320,22 @@ func NewEngine(opts Options) *Engine {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		cache:      newResultCache(opts.MaxCachedResults, opts.ResultTTL),
+
+		queuedG:   o.Gauge("jobs_queued", "Jobs waiting for a worker."),
+		runningG:  o.Gauge("jobs_running", "Jobs currently executing."),
+		submitted: o.Counter("jobs_submitted_total", "Job submissions, dedup and cache hits included."),
+		completed: o.Counter("jobs_completed_total", "Jobs that finished successfully."),
+		failed:    o.Counter("jobs_failed_total", "Jobs that finished with an error."),
+		cancelled: o.Counter("jobs_cancelled_total", "Jobs cancelled before completion."),
+		dedupHits: o.Counter("jobs_dedup_hits_total", "Submissions attached to an identical in-flight job."),
+		cacheHits: o.Counter("jobs_result_cache_hits_total", "Submissions served from the versioned result cache."),
+		runSecs: o.HistogramVec("jobs_run_seconds",
+			"Algorithm run duration on a worker, by algorithm.", nil, "algorithm"),
+		waitSecs: o.Histogram("jobs_wait_seconds",
+			"Time a job spent queued before a worker picked it up.", nil),
 	}
+	o.GaugeFunc("jobs_cached_results", "Entries in the versioned result cache.",
+		func() float64 { return float64(e.cache.len()) })
 	for i := 0; i < opts.Workers; i++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -359,8 +391,8 @@ func (e *Engine) Submit(req Request) (j *Job, isNew bool, err error) {
 		if cur.state == StateQueued && cur.timeout > 0 && (timeout <= 0 || timeout > cur.timeout) {
 			cur.timeout = timeout
 		}
-		e.submitted.Add(1)
-		e.dedupHits.Add(1)
+		e.submitted.Inc()
+		e.dedupHits.Inc()
 		e.mu.Unlock()
 		if req.OnDone != nil {
 			req.OnDone()
@@ -371,8 +403,8 @@ func (e *Engine) Submit(req Request) (j *Job, isNew bool, err error) {
 	// Result cache: materialize a completed job record so async clients
 	// get a pollable id with a uniform shape.
 	if v, ok := e.cache.get(req.Key, time.Now()); ok {
-		e.submitted.Add(1)
-		e.cacheHits.Add(1)
+		e.submitted.Inc()
+		e.cacheHits.Inc()
 		now := time.Now()
 		j := &Job{
 			e: e, id: e.newIDLocked(), key: req.Key,
@@ -410,10 +442,10 @@ func (e *Engine) Submit(req Request) (j *Job, isNew bool, err error) {
 		e.mu.Unlock()
 		return nil, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, e.opts.QueueDepth)
 	}
-	e.submitted.Add(1)
+	e.submitted.Inc()
 	e.recordLocked(j)
 	e.byKey[req.Key] = j
-	e.queuedN++
+	e.queuedG.Inc()
 	e.mu.Unlock()
 	return j, true, nil
 }
@@ -484,8 +516,9 @@ func (e *Engine) runJob(j *Job) {
 	j.cancel = cancel
 	j.state = StateRunning
 	j.started = time.Now()
-	e.queuedN--
-	e.runningN++
+	e.waitSecs.Observe(j.started.Sub(j.submitted).Seconds())
+	e.queuedG.Dec()
+	e.runningG.Inc()
 	e.mu.Unlock()
 
 	v, err := j.run(ctx)
@@ -493,7 +526,7 @@ func (e *Engine) runJob(j *Job) {
 
 	e.mu.Lock()
 	j.cancel = nil
-	e.runningN--
+	e.runningG.Dec()
 	hooks := e.finishLocked(j, v, err)
 	e.mu.Unlock()
 	runHooks(hooks)
@@ -508,20 +541,23 @@ func (e *Engine) finishLocked(j *Job, v any, err error) []func() {
 		delete(e.byKey, j.key)
 	}
 	j.finished = time.Now()
+	if !j.started.IsZero() {
+		e.runSecs.With(j.key.Algorithm).Observe(j.finished.Sub(j.started).Seconds())
+	}
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.result = v
-		e.completed.Add(1)
+		e.completed.Inc()
 		e.cache.put(j.key, v, j.finished)
 	case errors.Is(err, context.Canceled):
 		j.state = StateCancelled
 		j.err = err
-		e.cancelled.Add(1)
+		e.cancelled.Inc()
 	default:
 		j.state = StateFailed
 		j.err = err
-		e.failed.Add(1)
+		e.failed.Inc()
 	}
 	// The run closure typically captures the graph; drop it so a retained
 	// terminal record cannot pin a deleted graph's memory.
@@ -561,7 +597,7 @@ func (e *Engine) Cancel(id string) (*Job, error) {
 func (e *Engine) cancelLocked(j *Job) []func() {
 	switch j.state {
 	case StateQueued:
-		e.queuedN--
+		e.queuedG.Dec()
 		return e.finishLocked(j, nil, context.Canceled)
 	case StateRunning:
 		if j.cancel != nil {
@@ -632,22 +668,21 @@ func (e *Engine) InvalidateGraph(name string) int {
 	return e.cache.invalidateGraph(name)
 }
 
-// StatsSnapshot returns the engine counters.
+// StatsSnapshot returns the engine counters. The values are read from
+// the same obs instruments the Prometheus exposition renders — one
+// definition, two read paths.
 func (e *Engine) StatsSnapshot() Stats {
-	e.mu.Lock()
-	queued, running := e.queuedN, e.runningN
-	e.mu.Unlock()
 	return Stats{
 		Workers:       e.opts.Workers,
 		QueueDepth:    e.opts.QueueDepth,
-		Queued:        queued,
-		Running:       running,
-		Submitted:     e.submitted.Load(),
-		Completed:     e.completed.Load(),
-		Failed:        e.failed.Load(),
-		Cancelled:     e.cancelled.Load(),
-		DedupHits:     e.dedupHits.Load(),
-		CacheHits:     e.cacheHits.Load(),
+		Queued:        int(e.queuedG.Int()),
+		Running:       int(e.runningG.Int()),
+		Submitted:     e.submitted.Int(),
+		Completed:     e.completed.Int(),
+		Failed:        e.failed.Int(),
+		Cancelled:     e.cancelled.Int(),
+		DedupHits:     e.dedupHits.Int(),
+		CacheHits:     e.cacheHits.Int(),
 		CachedResults: e.cache.len(),
 	}
 }

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family (then every source registry) in
+// the Prometheus text exposition format, version 0.0.4:
+//
+//	# HELP name help text
+//	# TYPE name counter
+//	name{label="value"} 42
+//
+// Histograms render cumulative name_bucket{le="..."} series plus
+// name_sum and name_count. Families render in registration order;
+// series in creation order — stable output makes scrape diffs readable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	sources := append([]*Registry(nil), r.sources...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	for _, src := range sources {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if err := src.WritePrometheus(w); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler serves GET /metrics from this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(w *bufio.Writer) error {
+	all := f.snapshot()
+	if len(all) == 0 {
+		return nil
+	}
+	if f.help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind)
+	for _, s := range all {
+		switch f.kind {
+		case kindCounter:
+			v := s.counter.Value()
+			if s.collect != nil {
+				v = s.collect()
+			}
+			writeSample(w, f.name, f.labels, s.labelValues, "", "", v)
+		case kindGauge:
+			v := s.gauge.Value()
+			if s.collect != nil {
+				v = s.collect()
+			}
+			writeSample(w, f.name, f.labels, s.labelValues, "", "", v)
+		case kindHistogram:
+			h := s.hist
+			// Cumulative bucket counts; snapshot can tear between buckets
+			// under concurrent observation, which Prometheus tolerates, but
+			// never regress within one render.
+			cum := int64(0)
+			for i, ub := range h.upper {
+				cum += h.counts[i].Load()
+				writeSample(w, f.name+"_bucket", f.labels, s.labelValues, "le", formatFloat(ub), float64(cum))
+			}
+			cum += h.counts[len(h.upper)].Load()
+			writeSample(w, f.name+"_bucket", f.labels, s.labelValues, "le", "+Inf", float64(cum))
+			writeSample(w, f.name+"_sum", f.labels, s.labelValues, "", "", h.Sum())
+			writeSample(w, f.name+"_count", f.labels, s.labelValues, "", "", float64(cum))
+		}
+	}
+	return nil
+}
+
+// writeSample renders one line, appending an extra label (le) when set.
+func writeSample(w *bufio.Writer, name string, labels, values []string, extraK, extraV string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraK != "" {
+		w.WriteByte('{')
+		first := true
+		for i, l := range labels {
+			if !first {
+				w.WriteByte(',')
+			}
+			first = false
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraK != "" {
+			if !first {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraK)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(extraV))
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value: backslash, double-quote, newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, c := range s {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestExpositionConformance is the format conformance test: a registry
+// exercising every instrument type — including label values that need
+// escaping and histogram boundary values — must render output the
+// hand-rolled strict parser accepts, with TYPE/HELP lines, correct label
+// escaping, and monotone histogram buckets.
+func TestExpositionConformance(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conf_events_total", "plain counter").Add(3)
+	r.Gauge("conf_depth", "a gauge").Set(-2.5)
+	v := r.CounterVec("conf_requests_total", "labeled", "route", "code")
+	v.With("/graphs/{name}", "200").Inc()
+	v.With("/graphs/{name}", "404").Add(2)
+	v.With(`weird"label\with`+"\nnewline", "500").Inc()
+	h := r.HistogramVec("conf_seconds", "latency", []float64{0.1, 1, 10}, "algorithm")
+	for _, x := range []float64{0.05, 0.1, 0.5, 20} {
+		h.With("pagerank").Observe(x)
+	}
+	h.With("bfs").Observe(2)
+	r.GaugeFunc("conf_resident_bytes", "help with \\ backslash\nand newline", func() float64 { return 1e9 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	exp, err := ValidateExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("rendered exposition rejected by strict parser: %v\noutput:\n%s", err, out)
+	}
+
+	// Declared types survive the round trip.
+	want := map[string]string{
+		"conf_events_total":   "counter",
+		"conf_depth":          "gauge",
+		"conf_requests_total": "counter",
+		"conf_seconds":        "histogram",
+		"conf_resident_bytes": "gauge",
+	}
+	for name, typ := range want {
+		if exp.Types[name] != typ {
+			t.Errorf("TYPE %s = %q, want %q", name, exp.Types[name], typ)
+		}
+	}
+
+	// Escaped label value round-trips to the original bytes.
+	found := false
+	for _, s := range exp.Samples {
+		if s.Name == "conf_requests_total" && s.Labels["route"] == "weird\"label\\with\nnewline" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("escaped label value did not round-trip:\n%s", out)
+	}
+
+	// Histogram shape: per-series cumulative buckets with +Inf, _sum and
+	// _count (ValidateHistograms checked monotonicity already; spot-check
+	// the actual counts).
+	counts := map[string]float64{}
+	for _, s := range exp.Samples {
+		if s.Name == "conf_seconds_bucket" && s.Labels["algorithm"] == "pagerank" {
+			counts[s.Labels["le"]] = s.Value
+		}
+	}
+	for le, want := range map[string]float64{"0.1": 2, "1": 3, "10": 3, "+Inf": 4} {
+		if counts[le] != want {
+			t.Errorf("pagerank bucket le=%s = %v, want %v (all: %v)", le, counts[le], want, counts)
+		}
+	}
+}
+
+func TestParserRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"sample without TYPE":       "no_type_total 1\n",
+		"bad value":                 "# TYPE x counter\nx notanumber\n",
+		"unterminated label":        "# TYPE x counter\nx{l=\"v} 1\n",
+		"unquoted label":            "# TYPE x counter\nx{l=v} 1\n",
+		"bad escape":                "# TYPE x counter\nx{l=\"\\q\"} 1\n",
+		"duplicate series":          "# TYPE x counter\nx{a=\"1\"} 1\nx{a=\"1\"} 2\n",
+		"duplicate TYPE":            "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"TYPE after samples":        "# TYPE x counter\nx 1\n# TYPE y counter\n# TYPE x gauge\n",
+		"unknown type":              "# TYPE x flurble\nx 1\n",
+		"bad metric name":           "# TYPE x counter\n0x 1\n",
+		"duplicate label":           "# TYPE x counter\nx{a=\"1\",a=\"2\"} 1\n",
+		"histogram no +Inf":         "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+		"histogram non-monotone":    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"histogram count mismatch":  "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 4\n",
+		"histogram missing sum":     "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_count 3\n",
+		"histogram unsorted bounds": "# TYPE h histogram\nh_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+	}
+	for name, in := range cases {
+		if _, err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted malformed input:\n%s", name, in)
+		}
+	}
+}
+
+func TestParserAcceptsWellFormed(t *testing.T) {
+	in := `# HELP ok_total counts with \\ escapes \n fine
+# TYPE ok_total counter
+ok_total{a="x",b="esc\"q\\n\n"} 1 1700000000000
+# TYPE g gauge
+g -1.5e-3
+# TYPE h histogram
+h_bucket{le="0.5"} 1
+h_bucket{le="+Inf"} 2
+h_sum 1.25
+h_count 2
+`
+	exp, err := ValidateExposition(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("well-formed input rejected: %v", err)
+	}
+	if len(exp.Samples) != 6 {
+		t.Fatalf("got %d samples, want 6", len(exp.Samples))
+	}
+	if exp.Samples[1].Value != -0.0015 {
+		t.Fatalf("gauge value = %v", exp.Samples[1].Value)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		42:          "42",
+		0.25:        "0.25",
+		math.Inf(1): "+Inf",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	if got := formatFloat(math.NaN()); got != "NaN" {
+		t.Errorf("formatFloat(NaN) = %q", got)
+	}
+}

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %v, want 5", got)
+	}
+	g := r.Gauge("test_depth", "depth")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	g.Add(2.5)
+	if got := g.Value(); got != 3.5 {
+		t.Fatalf("gauge = %v, want 3.5", got)
+	}
+	g.Set(-1)
+	if got := g.Int(); got != -1 {
+		t.Fatalf("gauge int = %v, want -1", got)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "help")
+	b := r.Counter("dup_total", "help")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the same instrument")
+	}
+	v1 := r.CounterVec("dupvec_total", "h", "route")
+	v2 := r.CounterVec("dupvec_total", "h", "route")
+	v1.With("a").Inc()
+	if got := v2.With("a").Value(); got != 1 {
+		t.Fatalf("vec series not shared: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("type-mismatched re-registration must panic")
+		}
+	}()
+	r.Gauge("dup_total", "help")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %v, want 56.05", h.Sum())
+	}
+	// Boundary goes into the bucket whose upper bound it equals (le is
+	// inclusive).
+	h2 := r.Histogram("test_edge_seconds", "edge", []float64{1})
+	h2.Observe(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `test_edge_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("le=1 bucket should contain the boundary observation:\n%s", sb.String())
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	h := r.Histogram("conc_seconds", "", nil)
+	vec := r.CounterVec("conc_vec_total", "", "k")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+				vec.With("a").Inc()
+				vec.With("b").Add(2)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Int() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Int())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("hist count = %d, want 8000", h.Count())
+	}
+	if vec.With("a").Int() != 8000 || vec.With("b").Int() != 16000 {
+		t.Fatalf("vec = %d/%d, want 8000/16000", vec.With("a").Int(), vec.With("b").Int())
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	n := 41.0
+	r.GaugeFunc("func_gauge", "collected", func() float64 { return n })
+	r.CounterFunc("func_total", "collected", func() float64 { return n + 1 })
+	n = 41
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "func_gauge 41\n") {
+		t.Fatalf("missing func gauge sample:\n%s", out)
+	}
+	if !strings.Contains(out, "func_total 42\n") {
+		t.Fatalf("missing func counter sample:\n%s", out)
+	}
+}
+
+func TestAddSource(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("a_total", "").Inc()
+	b.Counter("b_total", "").Add(2)
+	a.AddSource(b)
+	a.AddSource(b) // idempotent
+	a.AddSource(a) // self is ignored
+	var sb strings.Builder
+	if err := a.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "a_total 1") || !strings.Contains(out, "b_total 2") {
+		t.Fatalf("source families missing:\n%s", out)
+	}
+	if strings.Count(out, "b_total 2") != 1 {
+		t.Fatalf("source rendered more than once:\n%s", out)
+	}
+}
+
+func TestLabelValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "0abc", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q should panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("reserved __ label should panic")
+			}
+		}()
+		r.CounterVec("ok_total", "", "__reserved")
+	}()
+}

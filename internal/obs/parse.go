@@ -1,0 +1,397 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is a hand-rolled parser for the Prometheus text exposition
+// format — the conformance half of the subsystem. The /metrics tests and
+// the cmd/promcheck CI smoke validate real scrapes through it, so the
+// writer in expo.go is checked against an independent reading of the
+// format, not against itself.
+
+// Sample is one parsed exposition line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Exposition is a parsed scrape.
+type Exposition struct {
+	Samples []Sample
+	Types   map[string]string // family name → counter|gauge|histogram|summary|untyped
+	Help    map[string]string
+}
+
+// ParseExposition parses and validates Prometheus text format strictly:
+// well-formed HELP/TYPE comments, valid metric and label names, correctly
+// quoted and escaped label values, parseable sample values, no duplicate
+// series, TYPE declared before the family's samples, and every sample
+// attributable to a declared family. It does not validate histogram
+// semantics — ValidateHistograms layers that on.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: map[string]string{}, Help: map[string]string{}}
+	seen := map[string]bool{} // duplicate-series detection
+	sawSamples := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := exp.parseComment(line, sawSamples); err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		s, err := parseSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyOf(s.Name, exp.Types)
+		if fam == "" {
+			return nil, fmt.Errorf("line %d: sample %q has no preceding # TYPE", lineNo, s.Name)
+		}
+		sawSamples[fam] = true
+		key := s.Name + "\x00" + labelKey(s.Labels)
+		if seen[key] {
+			return nil, fmt.Errorf("line %d: duplicate series %s{%s}", lineNo, s.Name, labelKey(s.Labels))
+		}
+		seen[key] = true
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}
+
+func (exp *Exposition) parseComment(line string, sawSamples map[string]bool) error {
+	rest := strings.TrimPrefix(line, "#")
+	rest = strings.TrimLeft(rest, " ")
+	switch {
+	case strings.HasPrefix(rest, "HELP "):
+		parts := strings.SplitN(rest[len("HELP "):], " ", 2)
+		if len(parts) == 0 || !nameRe(parts[0]) {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+		help := ""
+		if len(parts) == 2 {
+			help = parts[1]
+		}
+		if _, err := unescapeHelp(help); err != nil {
+			return fmt.Errorf("HELP %s: %w", parts[0], err)
+		}
+		exp.Help[parts[0]] = help
+	case strings.HasPrefix(rest, "TYPE "):
+		parts := strings.Fields(rest[len("TYPE "):])
+		if len(parts) != 2 || !nameRe(parts[0]) {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		switch parts[1] {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q", parts[1])
+		}
+		if _, dup := exp.Types[parts[0]]; dup {
+			return fmt.Errorf("duplicate TYPE for %q", parts[0])
+		}
+		if sawSamples[parts[0]] {
+			return fmt.Errorf("TYPE for %q after its samples", parts[0])
+		}
+		exp.Types[parts[0]] = parts[1]
+	}
+	// Other comments are free-form per the format.
+	return nil
+}
+
+// familyOf maps a sample name onto its declared family: exact match, or
+// the histogram/summary suffixed forms.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base == name {
+			continue
+		}
+		if t, ok := types[base]; ok && (t == "histogram" || t == "summary") {
+			return base
+		}
+	}
+	return ""
+}
+
+func labelKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, labels[k])
+	}
+	return b.String()
+}
+
+// parseSample parses `name{l="v",...} value [timestamp]`.
+func parseSample(line string) (Sample, error) {
+	s := Sample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	s.Name = line[:i]
+	if !nameRe(s.Name) {
+		return s, fmt.Errorf("invalid metric name in %q", line)
+	}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			for i < len(line) && line[i] == ' ' {
+				i++
+			}
+			if i < len(line) && line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && isNameChar(line[j], j == i) {
+				j++
+			}
+			lname := line[i:j]
+			if !nameRe(lname) {
+				return s, fmt.Errorf("invalid label name at %q", line[i:])
+			}
+			if j >= len(line) || line[j] != '=' {
+				return s, fmt.Errorf("expected '=' after label %q", lname)
+			}
+			j++
+			if j >= len(line) || line[j] != '"' {
+				return s, fmt.Errorf("label %q value not quoted", lname)
+			}
+			j++
+			var val strings.Builder
+			for {
+				if j >= len(line) {
+					return s, fmt.Errorf("unterminated label value for %q", lname)
+				}
+				c := line[j]
+				if c == '"' {
+					j++
+					break
+				}
+				if c == '\\' {
+					j++
+					if j >= len(line) {
+						return s, fmt.Errorf("dangling escape in label %q", lname)
+					}
+					switch line[j] {
+					case '\\':
+						val.WriteByte('\\')
+					case '"':
+						val.WriteByte('"')
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return s, fmt.Errorf("invalid escape \\%c in label %q", line[j], lname)
+					}
+					j++
+					continue
+				}
+				val.WriteByte(c)
+				j++
+			}
+			if _, dup := s.Labels[lname]; dup {
+				return s, fmt.Errorf("duplicate label %q", lname)
+			}
+			s.Labels[lname] = val.String()
+			if j < len(line) && line[j] == ',' {
+				i = j + 1
+				continue
+			}
+			if j < len(line) && line[j] == '}' {
+				i = j + 1
+				break
+			}
+			return s, fmt.Errorf("expected ',' or '}' after label %q", lname)
+		}
+	}
+	rest := strings.Fields(line[i:])
+	if len(rest) < 1 || len(rest) > 2 {
+		return s, fmt.Errorf("expected value (and optional timestamp) after series in %q", line)
+	}
+	v, err := parseValue(rest[0])
+	if err != nil {
+		return s, fmt.Errorf("bad value %q: %w", rest[0], err)
+	}
+	s.Value = v
+	if len(rest) == 2 {
+		if _, err := strconv.ParseInt(rest[1], 10, 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", rest[1])
+		}
+	}
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}
+
+func unescapeHelp(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] != '\\' {
+			b.WriteByte(s[i])
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", fmt.Errorf("dangling escape in help text")
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 'n':
+			b.WriteByte('\n')
+		default:
+			return "", fmt.Errorf("invalid escape \\%c in help text", s[i])
+		}
+	}
+	return b.String(), nil
+}
+
+// ValidateHistograms checks every histogram family's bucket discipline:
+// le labels parse as floats and strictly increase, cumulative counts
+// never decrease, a +Inf bucket exists, and its count equals _count.
+// _sum must be present for every bucketed series.
+func ValidateHistograms(exp *Exposition) error {
+	type hseries struct {
+		les    []float64
+		counts []float64
+		sum    *float64
+		count  *float64
+	}
+	groups := map[string]map[string]*hseries{} // family → non-le label key → series
+	for fam, typ := range exp.Types {
+		if typ == "histogram" {
+			groups[fam] = map[string]*hseries{}
+		}
+	}
+	for _, s := range exp.Samples {
+		fam := familyOf(s.Name, exp.Types)
+		g, ok := groups[fam]
+		if !ok {
+			continue
+		}
+		rest := map[string]string{}
+		var le string
+		for k, v := range s.Labels {
+			if k == "le" {
+				le = v
+			} else {
+				rest[k] = v
+			}
+		}
+		key := labelKey(rest)
+		hs := g[key]
+		if hs == nil {
+			hs = &hseries{}
+			g[key] = hs
+		}
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			if le == "" {
+				return fmt.Errorf("histogram %s: bucket sample without le label", fam)
+			}
+			lv, err := parseValue(le)
+			if err != nil {
+				return fmt.Errorf("histogram %s: unparseable le=%q", fam, le)
+			}
+			hs.les = append(hs.les, lv)
+			hs.counts = append(hs.counts, s.Value)
+		case strings.HasSuffix(s.Name, "_sum"):
+			v := s.Value
+			hs.sum = &v
+		case strings.HasSuffix(s.Name, "_count"):
+			v := s.Value
+			hs.count = &v
+		}
+	}
+	for fam, g := range groups {
+		for key, hs := range g {
+			if len(hs.les) == 0 {
+				return fmt.Errorf("histogram %s{%s}: no buckets", fam, key)
+			}
+			hasInf := false
+			for i := range hs.les {
+				if i > 0 {
+					if hs.les[i] <= hs.les[i-1] {
+						return fmt.Errorf("histogram %s{%s}: le bounds not increasing", fam, key)
+					}
+					if hs.counts[i] < hs.counts[i-1] {
+						return fmt.Errorf("histogram %s{%s}: bucket counts decrease at le=%g", fam, key, hs.les[i])
+					}
+				}
+				if math.IsInf(hs.les[i], 1) {
+					hasInf = true
+				}
+			}
+			if !hasInf {
+				return fmt.Errorf("histogram %s{%s}: missing +Inf bucket", fam, key)
+			}
+			if hs.count == nil || hs.sum == nil {
+				return fmt.Errorf("histogram %s{%s}: missing _sum or _count", fam, key)
+			}
+			if *hs.count != hs.counts[len(hs.counts)-1] {
+				return fmt.Errorf("histogram %s{%s}: _count %g != +Inf bucket %g", fam, key, *hs.count, hs.counts[len(hs.counts)-1])
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateExposition parses and fully validates a scrape: format
+// strictness plus histogram bucket discipline. The one-call entry point
+// for tests and the promcheck command.
+func ValidateExposition(r io.Reader) (*Exposition, error) {
+	exp, err := ParseExposition(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := ValidateHistograms(exp); err != nil {
+		return nil, err
+	}
+	return exp, nil
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"lagraph/internal/lagraph"
+	"lagraph/internal/obs"
 )
 
 // Property names one of the cacheable LAGraph_Graph properties.
@@ -109,6 +110,11 @@ type Entry struct {
 	propComputes atomic.Int64
 	algRuns      atomic.Int64
 
+	// reg points back at the owning registry so the per-entry counters
+	// above can also feed the registry-lifetime aggregates: entries die
+	// (eviction, swap) but the exported totals must stay monotone.
+	reg *Registry
+
 	elem *list.Element // position in the registry's LRU list
 }
 
@@ -130,7 +136,12 @@ func (e *Entry) Bytes() int64 { return e.bytes }
 func (e *Entry) Version() uint64 { return e.version }
 
 // CountAlgRun records one algorithm invocation against this graph.
-func (e *Entry) CountAlgRun() { e.algRuns.Add(1) }
+func (e *Entry) CountAlgRun() {
+	e.algRuns.Add(1)
+	if e.reg != nil {
+		e.reg.aggAlgRuns.Add(1)
+	}
+}
 
 // PendingDeltaOps returns the number of unassembled delta-log operations
 // this snapshot was published with.
@@ -163,9 +174,15 @@ func (e *Entry) EnsureProperties(props ...Property) error {
 			return fmt.Errorf("registry: unknown property %d", int(p))
 		}
 		e.propRequests.Add(1)
+		if e.reg != nil {
+			e.reg.aggPropRequests.Add(1)
+		}
 		f := &e.flights[p]
 		f.once.Do(func() {
 			e.propComputes.Add(1)
+			if e.reg != nil {
+				e.reg.aggPropComputes.Add(1)
+			}
 			if err := Materialize(e.graph, p); err != nil {
 				f.err = err
 			}
@@ -250,6 +267,13 @@ type Registry struct {
 	evictions atomic.Int64
 	loads     atomic.Int64
 	swaps     atomic.Int64
+
+	// Registry-lifetime aggregates of the per-entry counters (see
+	// Entry.reg); these survive eviction and replacement, so they are the
+	// monotone series the Prometheus exposition exports.
+	aggPropRequests atomic.Int64
+	aggPropComputes atomic.Int64
+	aggAlgRuns      atomic.Int64
 }
 
 // New creates a registry with the given memory budget in bytes. A budget
@@ -330,6 +354,7 @@ func (r *Registry) insertLocked(name string, g *lagraph.Graph[float64], bytes in
 	e := &Entry{
 		name: name, graph: g, bytes: bytes, version: version,
 		nodes: g.NumNodes(), edges: g.NumEdges(), loadedAt: time.Now(),
+		reg: r,
 	}
 	e.lastUsed.Store(time.Now().UnixNano())
 	e.elem = r.lru.PushFront(e)
@@ -537,6 +562,7 @@ func (r *Registry) Swap(name string, g *lagraph.Graph[float64], st SwapStats) (*
 		name: name, graph: g, bytes: st.Bytes, version: version,
 		nodes: st.Nodes, edges: st.Edges, pendingOps: st.PendingOps,
 		loadedAt: time.Now(),
+		reg:      r,
 	}
 	e.lastUsed.Store(time.Now().UnixNano())
 	e.elem = r.lru.PushFront(e)
@@ -660,6 +686,57 @@ func (r *Registry) List() []GraphInfo {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// Instrument registers the registry's Prometheus series on o as Func
+// instruments: the values stay defined once, in the registry's own
+// counters, and both /stats and /metrics read them.
+func (r *Registry) Instrument(o *obs.Registry) {
+	o.GaugeFunc("registry_resident_bytes", "Estimated bytes of resident graphs (CSR + properties).",
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(r.curBytes)
+		})
+	o.GaugeFunc("registry_budget_bytes", "Memory budget; 0 means unlimited.",
+		func() float64 {
+			if r.maxBytes <= 0 {
+				return 0
+			}
+			return float64(r.maxBytes)
+		})
+	o.GaugeFunc("registry_graphs", "Resident graphs.",
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(len(r.entries))
+		})
+	o.GaugeFunc("registry_leases", "Outstanding leases summed over resident graphs.",
+		func() float64 {
+			r.mu.Lock()
+			entries := make([]*Entry, 0, len(r.entries))
+			for _, e := range r.entries {
+				entries = append(entries, e)
+			}
+			r.mu.Unlock()
+			var refs int64
+			for _, e := range entries {
+				refs += e.refs.Load()
+			}
+			return float64(refs)
+		})
+	o.CounterFunc("registry_evictions_total", "Graphs evicted by the LRU to fit the budget.",
+		func() float64 { return float64(r.evictions.Load()) })
+	o.CounterFunc("registry_loads_total", "Graphs loaded or restored into the registry.",
+		func() float64 { return float64(r.loads.Load()) })
+	o.CounterFunc("registry_swaps_total", "Snapshot swaps published by the stream engine.",
+		func() float64 { return float64(r.swaps.Load()) })
+	o.CounterFunc("registry_property_requests_total", "Property demands from algorithm runs (cache hits included).",
+		func() float64 { return float64(r.aggPropRequests.Load()) })
+	o.CounterFunc("registry_property_computes_total", "Property demands that ran a computation (misses).",
+		func() float64 { return float64(r.aggPropComputes.Load()) })
+	o.CounterFunc("registry_algorithm_runs_total", "Algorithm invocations against resident graphs.",
+		func() float64 { return float64(r.aggAlgRuns.Load()) })
 }
 
 // StatsSnapshot returns the full registry statistics.

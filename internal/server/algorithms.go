@@ -74,7 +74,7 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	job, err := s.submitAlgorithmJob(name, d, p, false, 0)
+	job, err := s.submitAlgorithmJob(r.Context(), name, d, p, false, 0)
 	if err != nil {
 		writeSubmitError(w, err)
 		return

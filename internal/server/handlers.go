@@ -10,6 +10,7 @@ import (
 	"lagraph/internal/gen"
 	"lagraph/internal/grb"
 	"lagraph/internal/lagraph"
+	"lagraph/internal/obs"
 	"lagraph/internal/registry"
 )
 
@@ -55,6 +56,7 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 	)
 	format := strings.ToLower(r.URL.Query().Get("format"))
 	ctype := r.Header.Get("Content-Type")
+	_, psp := obs.StartSpan(r.Context(), "parse")
 	switch {
 	case format == "" && strings.HasPrefix(ctype, "application/json"):
 		name, g, err = s.loadSynthetic(r)
@@ -66,10 +68,13 @@ func (s *Server) handleLoadGraph(w http.ResponseWriter, r *http.Request) {
 		name, g, err = s.loadUpload(r, "bin")
 		source = "binary"
 	default:
+		psp.End()
 		writeError(w, http.StatusUnsupportedMediaType,
 			"specify a JSON synthetic spec (Content-Type: application/json) or ?format=mm|bin upload")
 		return
 	}
+	psp.SetAttr("source", source)
+	psp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"lagraph/internal/obs"
+)
+
+// Request instrumentation: every API route runs inside instrumented(),
+// which opens a trace (adopting the client's X-Trace-Id when one is
+// proposed, echoing the final id back), wraps the handler in a root span,
+// and feeds the per-route Prometheus series. Handlers and the jobs they
+// submit add child spans — parse, property materialization, kernel run,
+// WAL append — through the context; finished traces are served by
+// GET /debug/traces and GET /debug/traces/{id}.
+
+// statusWriter captures the response status code for the request metrics
+// and the root span.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.code = http.StatusOK
+		w.wrote = true
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// instrumented wraps a route handler with tracing and request metrics.
+// route is the registered pattern without the method (the label shared by
+// http_requests_total and http_request_seconds), so the series stay
+// bounded no matter what paths clients invent.
+func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		tr := s.tracer.Start(r.Header.Get("X-Trace-Id"))
+		w.Header().Set("X-Trace-Id", tr.ID())
+		ctx := obs.NewContext(r.Context(), tr)
+		ctx, root := obs.StartSpan(ctx, "http "+r.Method+" "+route,
+			obs.String("route", route), obs.String("method", r.Method))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		code := strconv.Itoa(sw.code)
+		root.SetAttr("code", code)
+		root.End()
+		tr.Finish()
+		s.httpReqs.With(route, r.Method, code).Inc()
+		s.httpSecs.With(route).Observe(elapsed.Seconds())
+	}
+}
+
+// handleListTraces is GET /debug/traces: the finished-trace ring, newest
+// first, at most ?limit entries.
+func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if q := r.URL.Query().Get("limit"); q != "" {
+		n, err := strconv.Atoi(q)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+			return
+		}
+		limit = n
+	}
+	traces := s.tracer.Traces(limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"started": s.tracer.Started(),
+		"count":   len(traces),
+		"traces":  traces,
+	})
+}
+
+// handleGetTrace is GET /debug/traces/{id}: one ringed trace by id.
+func (s *Server) handleGetTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	info, ok := s.tracer.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "trace "+strconv.Quote(id)+" not found (expired from the ring or never finished)")
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}

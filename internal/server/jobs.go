@@ -9,6 +9,7 @@ import (
 
 	"lagraph/internal/algo"
 	"lagraph/internal/jobs"
+	"lagraph/internal/obs"
 	"lagraph/internal/registry"
 )
 
@@ -44,7 +45,13 @@ const maxJobTimeout = time.Hour
 // resident graph cannot be evicted out from under a queued job — and
 // released by the engine at any terminal state, including cancellation
 // before the job ever ran.
-func (s *Server) submitAlgorithmJob(name string, d *algo.Descriptor, p algo.Params, pin bool, timeout time.Duration) (*jobs.Job, error) {
+//
+// ctx carries the submitting request's trace; the Run closure re-attaches
+// it to the worker's context so the property-materialization and
+// kernel-run spans land on the submitter's trace. A deduplicated
+// submission runs under the trace of whichever request created the job.
+func (s *Server) submitAlgorithmJob(ctx context.Context, name string, d *algo.Descriptor, p algo.Params, pin bool, timeout time.Duration) (*jobs.Job, error) {
+	tr := obs.FromContext(ctx)
 	lease, err := s.reg.Acquire(name)
 	if err != nil {
 		return nil, err
@@ -66,23 +73,31 @@ func (s *Server) submitAlgorithmJob(name string, d *algo.Descriptor, p algo.Para
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			// The worker's context is not the request's: re-attach the
+			// submitter's trace so the spans below land on it.
+			ctx = obs.NewContext(ctx, tr)
 			// EnsureProperties also finalizes a streamed-in snapshot's
 			// pending deltas before any kernel reads the matrix structure.
-			if err := entry.EnsureProperties(d.RequiredProperties(g)...); err != nil {
-				s.algErrors.Add(1)
+			pctx, psp := obs.StartSpan(ctx, "properties", obs.String("graph", name))
+			err := entry.EnsureProperties(d.RequiredProperties(g)...)
+			psp.End()
+			if err != nil {
+				s.algErrors.Inc()
 				// A property materialization failing is a server-side
 				// fault, not a bad request; tag it so the HTTP layer
 				// reports 500 (the pre-engine behavior).
 				return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
 			}
 			resp := &algoResponse{Graph: name, Algorithm: d.Name}
+			kctx, ksp := obs.StartSpan(pctx, "kernel:"+d.Name)
 			start := time.Now()
-			res, err := d.Run(ctx, g, p)
+			res, err := d.Run(kctx, g, p)
 			resp.Seconds = time.Since(start).Seconds()
+			ksp.End()
 			resp.Result = res
 			if err != nil {
 				if !errors.Is(err, context.Canceled) {
-					s.algErrors.Add(1)
+					s.algErrors.Inc()
 				}
 				return nil, err
 			}
@@ -90,7 +105,7 @@ func (s *Server) submitAlgorithmJob(name string, d *algo.Descriptor, p algo.Para
 				// A kernel colliding with the envelope is a registration
 				// bug, not a bad request: fail loudly as a 500 instead of
 				// silently clobbering the kernel's output.
-				s.algErrors.Add(1)
+				s.algErrors.Inc()
 				return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
 			}
 			entry.CountAlgRun()
@@ -154,7 +169,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		spec.TimeoutSeconds = maxJobTimeout.Seconds()
 	}
 	timeout := time.Duration(spec.TimeoutSeconds * float64(time.Second))
-	job, err := s.submitAlgorithmJob(name, d, p, true, timeout)
+	job, err := s.submitAlgorithmJob(r.Context(), name, d, p, true, timeout)
 	if err != nil {
 		writeSubmitError(w, err)
 		return

@@ -46,7 +46,7 @@ func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.stream.Apply(name, spec.Ops)
+	res, err := s.stream.ApplyCtx(r.Context(), name, spec.Ops)
 	if err != nil {
 		writeMutateError(w, err)
 		return

@@ -1,0 +1,233 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"lagraph/internal/obs"
+	"lagraph/internal/registry"
+	"lagraph/internal/store"
+)
+
+// TestMetricsEndpointConformance boots the full stack (durable store
+// included), exercises a load, a mutation and an algorithm run, and
+// asserts GET /metrics serves strictly valid exposition covering every
+// subsystem's series with the values the traffic implies.
+func TestMetricsEndpointConformance(t *testing.T) {
+	st, err := store.Open(store.Options{Dir: t.TempDir(), Fsync: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := registry.New(0)
+	srv := New(reg, Options{Store: st})
+	ts := newHTTPServer(t, srv)
+
+	loadSyntheticGraph(t, ts, "g", "kron", 6)
+	if code, body := doJSON(t, "POST", ts+"/graphs/g/edges", map[string]any{
+		"ops": []map[string]any{{"op": "upsert", "src": 0, "dst": 5, "weight": 2}},
+	}); code != http.StatusOK {
+		t.Fatalf("mutate: %d %v", code, body)
+	}
+	if code, body := doJSON(t, "POST", ts+"/graphs/g/algorithms/pagerank", map[string]any{}); code != http.StatusOK {
+		t.Fatalf("pagerank: %d %v", code, body)
+	}
+
+	resp, err := http.Get(ts + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	exp, err := obs.ValidateExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition rejected by strict parser: %v", err)
+	}
+
+	// One family per subsystem proves the whole stack is wired into the
+	// one scraped registry (the store arrives via AddSource).
+	for _, fam := range []string{
+		"http_requests_total", "http_request_seconds", "http_in_flight",
+		"jobs_submitted_total", "jobs_run_seconds", "jobs_queued",
+		"registry_resident_bytes", "registry_property_computes_total", "registry_algorithm_runs_total",
+		"stream_batches_total", "stream_apply_seconds", "stream_pending_delta_ops",
+		"store_wal_appends_total", "store_wal_append_seconds", "store_checkpoints_total",
+	} {
+		if _, ok := exp.Types[fam]; !ok {
+			t.Errorf("family %s missing from /metrics", fam)
+		}
+	}
+
+	value := func(name string, labels map[string]string) (float64, bool) {
+		for _, s := range exp.Samples {
+			if s.Name != name {
+				continue
+			}
+			match := true
+			for k, v := range labels {
+				if s.Labels[k] != v {
+					match = false
+					break
+				}
+			}
+			if match {
+				return s.Value, true
+			}
+		}
+		return 0, false
+	}
+	if v, ok := value("jobs_completed_total", nil); !ok || v < 1 {
+		t.Errorf("jobs_completed_total = %v (ok=%v), want >= 1", v, ok)
+	}
+	if v, ok := value("stream_batches_total", nil); !ok || v != 1 {
+		t.Errorf("stream_batches_total = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := value("store_wal_appends_total", nil); !ok || v != 1 {
+		t.Errorf("store_wal_appends_total = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := value("registry_algorithm_runs_total", nil); !ok || v != 1 {
+		t.Errorf("registry_algorithm_runs_total = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := value("http_requests_total", map[string]string{
+		"route": "/graphs/{name}/algorithms/{alg}", "method": "POST", "code": "200",
+	}); !ok || v != 1 {
+		t.Errorf("http_requests_total{algorithms route} = %v (ok=%v), want 1", v, ok)
+	}
+	if v, ok := value("jobs_run_seconds_count", map[string]string{"algorithm": "pagerank"}); !ok || v < 1 {
+		t.Errorf("jobs_run_seconds_count{pagerank} = %v (ok=%v), want >= 1", v, ok)
+	}
+}
+
+// newHTTPServer wires a Server into httptest with cleanup, returning the
+// base URL.
+func newHTTPServer(t *testing.T, srv *Server) string {
+	t.Helper()
+	h := httptest.NewServer(srv.Handler())
+	t.Cleanup(h.Close)
+	t.Cleanup(srv.Close)
+	return h.URL
+}
+
+// TestTraceLifecycle runs a job with a client-proposed trace id and
+// asserts the id is echoed, the trace is retrievable from /debug/traces,
+// and it carries the property-materialization and kernel-run spans.
+func TestTraceLifecycle(t *testing.T) {
+	reg := registry.New(0)
+	srv := New(reg, Options{})
+	ts := newHTTPServer(t, srv)
+
+	loadSyntheticGraph(t, ts, "g", "kron", 6)
+
+	req, err := http.NewRequest("POST", ts+"/graphs/g/algorithms/bfs", strings.NewReader(`{"source":0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-Trace-Id", "e2e-trace-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bfs run: %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != "e2e-trace-42" {
+		t.Fatalf("X-Trace-Id echo = %q, want the proposed id", got)
+	}
+
+	// The trace is retrievable by its id with the expected span tree.
+	info, ok := srv.Tracer().Get("e2e-trace-42")
+	if !ok {
+		t.Fatal("finished trace not in the ring")
+	}
+	names := map[string]bool{}
+	for _, sp := range info.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"http POST /graphs/{name}/algorithms/{alg}", "properties", "kernel:bfs"} {
+		if !names[want] {
+			t.Errorf("span %q missing; trace has %v", want, names)
+		}
+	}
+
+	// And over HTTP: /debug/traces/{id} serves the same snapshot.
+	code, body := doJSON(t, "GET", ts+"/debug/traces/e2e-trace-42", nil)
+	if code != http.StatusOK || body["id"] != "e2e-trace-42" {
+		t.Fatalf("GET /debug/traces/{id}: %d %v", code, body)
+	}
+	spans, _ := body["spans"].([]any)
+	if len(spans) != len(info.Spans) {
+		t.Fatalf("HTTP snapshot has %d spans, tracer has %d", len(spans), len(info.Spans))
+	}
+
+	// The listing includes it too (the load request traced as well).
+	code, body = doJSON(t, "GET", ts+"/debug/traces", nil)
+	if code != http.StatusOK {
+		t.Fatalf("GET /debug/traces: %d", code)
+	}
+	if n, _ := body["count"].(float64); n < 2 {
+		t.Fatalf("trace ring holds %v traces, want >= 2", n)
+	}
+
+	// An invalid proposed id is replaced, not adopted.
+	req, _ = http.NewRequest("GET", ts+"/healthz", nil)
+	req.Header.Set("X-Trace-Id", "bad id with spaces")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Trace-Id"); got == "" || got == "bad id with spaces" {
+		t.Fatalf("invalid proposed id handling: echoed %q", got)
+	}
+}
+
+// TestStatsReadsObsInstruments asserts /stats and /metrics agree: the
+// counters are defined once and both endpoints read the same instruments.
+func TestStatsReadsObsInstruments(t *testing.T) {
+	reg := registry.New(0)
+	srv := New(reg, Options{})
+	ts := newHTTPServer(t, srv)
+
+	loadSyntheticGraph(t, ts, "g", "kron", 5)
+	if code, _ := doJSON(t, "POST", ts+"/graphs/g/algorithms/pagerank", map[string]any{}); code != http.StatusOK {
+		t.Fatalf("pagerank: %d", code)
+	}
+
+	code, stats := doJSON(t, "GET", ts+"/stats", nil)
+	if code != http.StatusOK {
+		t.Fatalf("/stats: %d", code)
+	}
+	jobsStats, _ := stats["jobs"].(map[string]any)
+	if jobsStats["completed"] != 1.0 {
+		t.Fatalf("stats jobs.completed = %v, want 1", jobsStats["completed"])
+	}
+	if srv.Jobs().StatsSnapshot().Completed != 1 {
+		t.Fatal("engine snapshot disagrees with /stats")
+	}
+
+	resp, err := http.Get(ts + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	exp, err := obs.ValidateExposition(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range exp.Samples {
+		if s.Name == "jobs_completed_total" {
+			if s.Value != 1 {
+				t.Fatalf("jobs_completed_total = %v, want 1 (same instrument as /stats)", s.Value)
+			}
+			return
+		}
+	}
+	t.Fatal("jobs_completed_total not scraped")
+}

@@ -38,12 +38,13 @@ package server
 
 import (
 	"encoding/json"
+	"log/slog"
 	"net/http"
-	"sync/atomic"
 	"time"
 
 	"lagraph/internal/algo"
 	"lagraph/internal/jobs"
+	"lagraph/internal/obs"
 	"lagraph/internal/parallel"
 	"lagraph/internal/registry"
 	"lagraph/internal/store"
@@ -95,6 +96,19 @@ type Options struct {
 	// and tests that register extra kernels pass their own (built with
 	// algo.Builtin() plus their Register calls).
 	Catalog *algo.Catalog
+	// Obs is the metrics registry GET /metrics scrapes. Every subsystem's
+	// instruments — server, jobs, stream, registry, and (via AddSource)
+	// the store's — register here, and /stats reads the same instruments.
+	// Nil selects a private registry.
+	Obs *obs.Registry
+	// Logger receives the structured access log (one record per request,
+	// keyed by trace id) and the slow-query log. Nil disables logging.
+	Logger *slog.Logger
+	// SlowThreshold gates the slow-query log: requests at least this slow
+	// log a warning with their span breakdown. 0 disables.
+	SlowThreshold time.Duration
+	// TraceCapacity bounds the GET /debug/traces ring. <= 0 means 256.
+	TraceCapacity int
 }
 
 // Server is the lagraphd HTTP service.
@@ -108,10 +122,15 @@ type Server struct {
 	sem     chan struct{}
 	opts    Options
 
+	obs    *obs.Registry
+	tracer *obs.Tracer
+
 	started   time.Time
-	requests  atomic.Int64 // API requests admitted through the limiter
-	rejected  atomic.Int64 // API requests abandoned while queued
-	algErrors atomic.Int64
+	requests  *obs.Counter // API requests admitted through the limiter
+	rejected  *obs.Counter // API requests abandoned while queued
+	algErrors *obs.Counter
+	httpReqs  *obs.CounterVec   // http_requests_total{route,method,code}
+	httpSecs  *obs.HistogramVec // http_request_seconds{route}
 }
 
 // New builds a Server around an existing registry.
@@ -128,6 +147,10 @@ func New(reg *registry.Registry, opts Options) *Server {
 	if opts.Catalog == nil {
 		opts.Catalog = algo.Default()
 	}
+	if opts.Obs == nil {
+		opts.Obs = obs.NewRegistry()
+	}
+	o := opts.Obs
 	s := &Server{
 		reg:     reg,
 		catalog: opts.Catalog,
@@ -137,18 +160,37 @@ func New(reg *registry.Registry, opts Options) *Server {
 			DefaultTimeout:   opts.JobTimeout,
 			ResultTTL:        opts.ResultTTL,
 			MaxCachedResults: opts.MaxCachedResults,
+			Obs:              o,
 		}),
 		stream: stream.NewEngine(reg, stream.Options{
 			CompactThreshold: opts.CompactThreshold,
 			CompactRatio:     opts.CompactRatio,
 			MaxBatchOps:      opts.MaxBatchOps,
+			Obs:              o,
 		}),
 		store:   opts.Store,
 		mux:     http.NewServeMux(),
 		sem:     make(chan struct{}, opts.MaxInFlight),
 		opts:    opts,
 		started: time.Now(),
+
+		obs: o,
+		tracer: obs.NewTracer(obs.TracerOptions{
+			Capacity:      opts.TraceCapacity,
+			Logger:        opts.Logger,
+			SlowThreshold: opts.SlowThreshold,
+		}),
+		requests:  o.Counter("http_admitted_total", "API requests admitted through the concurrency limiter."),
+		rejected:  o.Counter("http_rejected_total", "API requests abandoned while queued for a limiter slot."),
+		algErrors: o.Counter("algorithm_errors_total", "Algorithm runs that failed server-side (property or kernel faults)."),
+		httpReqs:  o.CounterVec("http_requests_total", "HTTP requests by route, method and status code.", "route", "method", "code"),
+		httpSecs:  o.HistogramVec("http_request_seconds", "HTTP request latency by route.", nil, "route"),
 	}
+	o.GaugeFunc("http_in_flight", "Requests currently holding a limiter slot.",
+		func() float64 { return float64(len(s.sem)) })
+	o.GaugeFunc("uptime_seconds", "Seconds since the server was built.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.Instrument(o)
 	if s.store != nil {
 		// Order matters: recovery replays the WAL through the stream
 		// engine while no journal is attached (so the replayed batches are
@@ -159,26 +201,40 @@ func New(reg *registry.Registry, opts Options) *Server {
 		s.store.Attach(reg)
 		s.store.StartCheckpointer(reg)
 	}
-	s.mux.HandleFunc("POST /graphs", s.limited(s.handleLoadGraph))
-	s.mux.HandleFunc("POST /graphs/{name}/edges", s.limited(s.handleMutateGraph))
-	s.mux.HandleFunc("GET /graphs", s.limited(s.handleListGraphs))
-	s.mux.HandleFunc("GET /graphs/{name}", s.limited(s.handleGetGraph))
-	s.mux.HandleFunc("DELETE /graphs/{name}", s.limited(s.handleDeleteGraph))
-	s.mux.HandleFunc("POST /graphs/{name}/algorithms/{alg}", s.limited(s.handleAlgorithm))
-	s.mux.HandleFunc("POST /graphs/{name}/jobs", s.limited(s.handleSubmitJob))
+	if s.store != nil {
+		// The store predates the server in boot order and owns its private
+		// registry; compose it into the scraped exposition.
+		o.AddSource(s.store.Obs())
+	}
+	// Every route runs inside the instrumented middleware: a trace (id
+	// adopted from X-Trace-Id, echoed back), a root span, and the
+	// per-route request counter and latency histogram.
+	s.mux.HandleFunc("POST /graphs", s.instrumented("/graphs", s.limited(s.handleLoadGraph)))
+	s.mux.HandleFunc("POST /graphs/{name}/edges", s.instrumented("/graphs/{name}/edges", s.limited(s.handleMutateGraph)))
+	s.mux.HandleFunc("GET /graphs", s.instrumented("/graphs", s.limited(s.handleListGraphs)))
+	s.mux.HandleFunc("GET /graphs/{name}", s.instrumented("/graphs/{name}", s.limited(s.handleGetGraph)))
+	s.mux.HandleFunc("DELETE /graphs/{name}", s.instrumented("/graphs/{name}", s.limited(s.handleDeleteGraph)))
+	s.mux.HandleFunc("POST /graphs/{name}/algorithms/{alg}", s.instrumented("/graphs/{name}/algorithms/{alg}", s.limited(s.handleAlgorithm)))
+	s.mux.HandleFunc("POST /graphs/{name}/jobs", s.instrumented("/graphs/{name}/jobs", s.limited(s.handleSubmitJob)))
 	// Job polling, cancellation and monitoring bypass the limiter so they
 	// answer under load — a client must be able to cancel the very jobs
 	// that are saturating the server.
-	s.mux.HandleFunc("GET /jobs", s.handleListJobs)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleGetJob)
-	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleJobResult)
-	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleCancelJob)
+	s.mux.HandleFunc("GET /jobs", s.instrumented("/jobs", s.handleListJobs))
+	s.mux.HandleFunc("GET /jobs/{id}", s.instrumented("/jobs/{id}", s.handleGetJob))
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.instrumented("/jobs/{id}/result", s.handleJobResult))
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.instrumented("/jobs/{id}", s.handleCancelJob))
 	// Catalog introspection is cheap and read-only; it bypasses the
 	// limiter so clients can discover the API even under load.
-	s.mux.HandleFunc("GET /algorithms", s.handleListAlgorithms)
-	s.mux.HandleFunc("GET /algorithms/{name}", s.handleGetAlgorithm)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /algorithms", s.instrumented("/algorithms", s.handleListAlgorithms))
+	s.mux.HandleFunc("GET /algorithms/{name}", s.instrumented("/algorithms/{name}", s.handleGetAlgorithm))
+	s.mux.HandleFunc("GET /healthz", s.instrumented("/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /stats", s.instrumented("/stats", s.handleStats))
+	// Telemetry endpoints stay outside their own instrumentation: a scrape
+	// must not fill the trace ring, and a broken middleware must not take
+	// down the very endpoint used to debug it.
+	s.mux.Handle("GET /metrics", o.Handler())
+	s.mux.HandleFunc("GET /debug/traces", s.handleListTraces)
+	s.mux.HandleFunc("GET /debug/traces/{id}", s.handleGetTrace)
 	return s
 }
 
@@ -193,6 +249,12 @@ func (s *Server) Stream() *stream.Engine { return s.stream }
 
 // Store exposes the durable store (nil when memory-only).
 func (s *Server) Store() *store.Store { return s.store }
+
+// Obs exposes the metrics registry GET /metrics scrapes.
+func (s *Server) Obs() *obs.Registry { return s.obs }
+
+// Tracer exposes the request tracer backing GET /debug/traces.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 
 // Close stops the jobs and stream engines — running jobs are cancelled,
 // workers drain, and pending compactions finish — then closes the store,
@@ -214,12 +276,12 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 		select {
 		case s.sem <- struct{}{}:
 		case <-r.Context().Done():
-			s.rejected.Add(1)
+			s.rejected.Inc()
 			writeError(w, http.StatusServiceUnavailable, "server busy, request abandoned while queued")
 			return
 		}
 		defer func() { <-s.sem }()
-		s.requests.Add(1)
+		s.requests.Inc()
 		h(w, r)
 	}
 }
@@ -253,9 +315,9 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		MaxInFlight:   s.opts.MaxInFlight,
 		InFlight:      len(s.sem),
-		Requests:      s.requests.Load(),
-		Rejected:      s.rejected.Load(),
-		AlgErrors:     s.algErrors.Load(),
+		Requests:      s.requests.Int(),
+		Rejected:      s.rejected.Int(),
+		AlgErrors:     s.algErrors.Int(),
 		Jobs:          s.jobs.StatsSnapshot(),
 		Registry:      s.reg.StatsSnapshot(),
 		Stream:        s.stream.StatsSnapshot(),

@@ -46,6 +46,7 @@ import (
 
 	"lagraph/internal/grb"
 	"lagraph/internal/lagraph"
+	"lagraph/internal/obs"
 	"lagraph/internal/registry"
 	"lagraph/internal/stream"
 )
@@ -113,12 +114,18 @@ type Store struct {
 	ckOnce  sync.Once
 	tombSeq atomic.Int64
 
-	appends     atomic.Int64
-	appendBytes atomic.Int64
-	reverts     atomic.Int64
-	checkpoints atomic.Int64
-	ckptBytes   atomic.Int64
-	removals    atomic.Int64
+	// Store telemetry lives in a private obs registry created by Open
+	// (the store predates the server in boot order); the server composes
+	// it into the scraped exposition via Registry.AddSource(store.Obs()).
+	obsReg      *obs.Registry
+	appends     *obs.Counter
+	appendBytes *obs.Counter
+	reverts     *obs.Counter
+	checkpoints *obs.Counter
+	ckptBytes   *obs.Counter
+	removals    *obs.Counter
+	appendSecs  *obs.Histogram
+	ckptSecs    *obs.Histogram
 
 	// last recovery outcome, for /stats.
 	recMu    sync.Mutex
@@ -169,12 +176,62 @@ func Open(opts Options) (*Store, error) {
 		lock.Close()
 		return nil, fmt.Errorf("store: data dir %s is locked by another process: %w", opts.Dir, err)
 	}
+	o := obs.NewRegistry()
 	s := &Store{
 		opts:   opts,
 		graphs: make(map[string]*graphFile),
 		stopCh: make(chan struct{}),
 		lock:   lock,
+
+		obsReg:      o,
+		appends:     o.Counter("store_wal_appends_total", "Mutation batches appended to a WAL."),
+		appendBytes: o.Counter("store_wal_append_bytes_total", "Bytes appended to WALs."),
+		reverts:     o.Counter("store_wal_reverts_total", "Unacknowledged WAL records removed after a failed publication."),
+		checkpoints: o.Counter("store_checkpoints_total", "Checkpoint snapshots written."),
+		ckptBytes:   o.Counter("store_checkpoint_bytes_total", "Bytes of checkpoint snapshots written."),
+		removals:    o.Counter("store_removals_total", "Graphs removed from durable storage."),
+		appendSecs: o.Histogram("store_wal_append_seconds",
+			"WAL append latency, including the fsync when enabled.", nil),
+		ckptSecs: o.Histogram("store_checkpoint_seconds",
+			"Checkpoint duration: serialization through meta flip and WAL trim.", nil),
 	}
+	o.GaugeFunc("store_graphs_persisted", "Graphs with durable on-disk state.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.graphs))
+		})
+	o.GaugeFunc("store_wal_records", "Live WAL records summed over graphs.",
+		func() float64 { r, _ := s.walTotals(); return float64(r) })
+	o.GaugeFunc("store_wal_bytes", "Live WAL bytes summed over graphs.",
+		func() float64 { _, b := s.walTotals(); return float64(b) })
+	o.GaugeFunc("store_recovered_graphs", "Graphs restored by the last recovery (0 before recovery).",
+		func() float64 {
+			s.recMu.Lock()
+			defer s.recMu.Unlock()
+			if s.recovery == nil {
+				return 0
+			}
+			return float64(s.recovery.GraphsRecovered)
+		})
+	o.GaugeFunc("store_recovery_replayed_batches", "WAL batches replayed by the last recovery.",
+		func() float64 {
+			s.recMu.Lock()
+			defer s.recMu.Unlock()
+			if s.recovery == nil {
+				return 0
+			}
+			return float64(s.recovery.BatchesReplayed)
+		})
+	o.GaugeFunc("store_recovery_seconds", "Wall time of the last recovery.",
+		func() float64 {
+			s.recMu.Lock()
+			defer s.recMu.Unlock()
+			if s.recovery == nil {
+				return 0
+			}
+			return s.recovery.Seconds
+		})
 	entries, err := os.ReadDir(opts.Dir)
 	if err != nil {
 		lock.Close()
@@ -208,6 +265,27 @@ func Open(opts Options) (*Store, error) {
 
 // SkippedDirs reports the directories Open could not serve and why.
 func (s *Store) SkippedDirs() []string { return append([]string(nil), s.skipped...) }
+
+// Obs returns the store's private metrics registry, for composition into
+// a scraped registry via AddSource.
+func (s *Store) Obs() *obs.Registry { return s.obsReg }
+
+// walTotals sums live WAL records and bytes over all tracked graphs.
+func (s *Store) walTotals() (records, bytes int64) {
+	s.mu.Lock()
+	gfs := make([]*graphFile, 0, len(s.graphs))
+	for _, gf := range s.graphs {
+		gfs = append(gfs, gf)
+	}
+	s.mu.Unlock()
+	for _, gf := range gfs {
+		gf.mu.Lock()
+		records += int64(gf.walRecords)
+		bytes += gf.walSize
+		gf.mu.Unlock()
+	}
+	return records, bytes
+}
 
 // openGraphDir validates one graph directory: reads meta.json, checks the
 // checkpoint file exists, repairs the WAL tail, and deletes temp orphans.
@@ -332,7 +410,9 @@ func (s *Store) AppendBatch(name string, version uint64, ops []stream.Op) error 
 		gf.walSize = size
 	}
 	gf.lastAppend = gf.walSize
+	appendStart := time.Now()
 	n, err := appendRecord(gf.wal, payload, s.opts.Fsync)
+	s.appendSecs.Observe(time.Since(appendStart).Seconds())
 	if err != nil {
 		// The file may now hold a partial frame; drop it so the next
 		// append starts clean. If even the truncate fails, poison the
@@ -346,8 +426,8 @@ func (s *Store) AppendBatch(name string, version uint64, ops []stream.Op) error 
 	}
 	gf.walSize += n
 	gf.walRecords++
-	s.appends.Add(1)
-	s.appendBytes.Add(n)
+	s.appends.Inc()
+	s.appendBytes.Add(float64(n))
 	return nil
 }
 
@@ -401,7 +481,7 @@ func (s *Store) RevertBatch(name string, version uint64) {
 			gf.walSize = gf.lastAppend
 			gf.lastAppend = 0
 			gf.walRecords--
-			s.reverts.Add(1)
+			s.reverts.Inc()
 			return
 		}
 	}
@@ -421,7 +501,7 @@ func (s *Store) RevertBatch(name string, version uint64) {
 		if size, werr := writeWAL(gf.walPath(), keep, s.opts.Fsync); werr == nil {
 			gf.walSize = size
 			gf.walRecords = len(keep)
-			s.reverts.Add(1)
+			s.reverts.Inc()
 			return
 		}
 	}
@@ -481,6 +561,7 @@ func (s *Store) Checkpoint(name string, kind lagraph.Kind, m *grb.Matrix[float64
 // a checkpoint of a large graph does not stall that graph's mutation
 // appends; only the rename, meta flip, and WAL trim hold the lock.
 func (s *Store) checkpointInto(gf *graphFile, name string, kind lagraph.Kind, m *grb.Matrix[float64], version uint64, fresh bool) error {
+	ckptStart := time.Now()
 	gf.mu.Lock()
 	if gf.removed {
 		gf.mu.Unlock()
@@ -601,10 +682,11 @@ func (s *Store) checkpointInto(gf *graphFile, name string, kind lagraph.Kind, m 
 		}
 		gf.lastAppend = 0
 	}
-	s.checkpoints.Add(1)
+	s.checkpoints.Inc()
 	if st != nil {
-		s.ckptBytes.Add(st.Size())
+		s.ckptBytes.Add(float64(st.Size()))
 	}
+	s.ckptSecs.Observe(time.Since(ckptStart).Seconds())
 	return nil
 }
 
@@ -678,7 +760,7 @@ func (s *Store) RemoveGraph(name string) error {
 		}
 		return err
 	}
-	s.removals.Add(1)
+	s.removals.Inc()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -764,22 +846,13 @@ func (s *Store) checkpointPass(reg *registry.Registry) {
 	}
 }
 
-// StatsSnapshot returns the store counters.
+// StatsSnapshot returns the store counters, read back from the same obs
+// instruments the Prometheus exposition renders.
 func (s *Store) StatsSnapshot() Stats {
 	s.mu.Lock()
-	gfs := make([]*graphFile, 0, len(s.graphs))
-	for _, gf := range s.graphs {
-		gfs = append(gfs, gf)
-	}
 	n := len(s.graphs)
 	s.mu.Unlock()
-	var recs, bytes int64
-	for _, gf := range gfs {
-		gf.mu.Lock()
-		recs += int64(gf.walRecords)
-		bytes += gf.walSize
-		gf.mu.Unlock()
-	}
+	recs, bytes := s.walTotals()
 	s.recMu.Lock()
 	rec := s.recovery
 	s.recMu.Unlock()
@@ -790,12 +863,12 @@ func (s *Store) StatsSnapshot() Stats {
 		GraphsPersisted: n,
 		WALRecords:      recs,
 		WALBytes:        bytes,
-		Appends:         s.appends.Load(),
-		AppendBytes:     s.appendBytes.Load(),
-		Reverts:         s.reverts.Load(),
-		Checkpoints:     s.checkpoints.Load(),
-		CheckpointBytes: s.ckptBytes.Load(),
-		Removals:        s.removals.Load(),
+		Appends:         s.appends.Int(),
+		AppendBytes:     s.appendBytes.Int(),
+		Reverts:         s.reverts.Int(),
+		Checkpoints:     s.checkpoints.Int(),
+		CheckpointBytes: s.ckptBytes.Int(),
+		Removals:        s.removals.Int(),
 		Recovery:        rec,
 	}
 }

@@ -22,13 +22,15 @@
 package stream
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"lagraph/internal/grb"
 	"lagraph/internal/lagraph"
+	"lagraph/internal/obs"
 	"lagraph/internal/registry"
 )
 
@@ -84,6 +86,10 @@ type Options struct {
 	CompactRatio float64
 	// MaxBatchOps bounds one Apply call. <= 0 means 65536.
 	MaxBatchOps int
+	// Obs is the metrics registry the engine's counters live in; the same
+	// instruments back StatsSnapshot and the Prometheus exposition. Nil
+	// selects a private registry.
+	Obs *obs.Registry
 }
 
 func (o *Options) fill() {
@@ -95,6 +101,9 @@ func (o *Options) fill() {
 	}
 	if o.MaxBatchOps <= 0 {
 		o.MaxBatchOps = 65536
+	}
+	if o.Obs == nil {
+		o.Obs = obs.NewRegistry()
 	}
 }
 
@@ -195,13 +204,17 @@ type Engine struct {
 	compactCh chan string
 	wg        sync.WaitGroup
 
-	batches      atomic.Int64
-	opsApplied   atomic.Int64
-	upserts      atomic.Int64
-	deletes      atomic.Int64
-	rejected     atomic.Int64
-	compactions  atomic.Int64
-	compactedOps atomic.Int64
+	// Engine telemetry: obs instruments shared by StatsSnapshot and the
+	// Prometheus exposition.
+	batches      *obs.Counter
+	opsApplied   *obs.Counter
+	upserts      *obs.Counter
+	deletes      *obs.Counter
+	rejected     *obs.Counter
+	compactions  *obs.Counter
+	compactedOps *obs.Counter
+	applySecs    *obs.Histogram
+	compactSecs  *obs.Histogram
 }
 
 // NewEngine builds an engine over reg and starts its background
@@ -210,12 +223,33 @@ type Engine struct {
 // the base CSR and degree arrays) is dropped with it.
 func NewEngine(reg *registry.Registry, opts Options) *Engine {
 	opts.fill()
+	o := opts.Obs
 	e := &Engine{
 		reg:       reg,
 		opts:      opts,
 		states:    make(map[string]*graphState),
 		compactCh: make(chan string, 64),
+
+		batches:      o.Counter("stream_batches_total", "Mutation batches applied (no-op batches included)."),
+		opsApplied:   o.Counter("stream_ops_applied_total", "Edge operations accepted across all batches."),
+		upserts:      o.Counter("stream_upserts_total", "Upsert operations applied."),
+		deletes:      o.Counter("stream_deletes_total", "Delete operations applied."),
+		rejected:     o.Counter("stream_rejected_batches_total", "Batches rejected by validation or state errors."),
+		compactions:  o.Counter("stream_compactions_total", "Background delta-log compactions completed."),
+		compactedOps: o.Counter("stream_compacted_ops_total", "Delta-log operations merged away by compaction."),
+		applySecs: o.Histogram("stream_apply_seconds",
+			"Mutation batch apply latency: validation through snapshot publication.", nil),
+		compactSecs: o.Histogram("stream_compaction_seconds",
+			"Background compaction duration: merge through republish.", nil),
 	}
+	o.GaugeFunc("stream_pending_delta_ops", "Delta-log operations not yet compacted, summed over graphs.",
+		func() float64 { return float64(e.pendingOps()) })
+	o.GaugeFunc("stream_graphs_tracked", "Graphs with live delta state.",
+		func() float64 {
+			e.mu.Lock()
+			defer e.mu.Unlock()
+			return float64(len(e.states))
+		})
 	reg.AddRemoveListener(func(name string, _ registry.RemoveReason) { e.Forget(name) })
 	e.wg.Add(1)
 	go e.compactor()
@@ -280,17 +314,25 @@ func (e *Engine) state(name string) (*graphState, error) {
 // atomic: any invalid operation rejects the whole batch before state
 // changes.
 func (e *Engine) Apply(name string, ops []Op) (Result, error) {
+	return e.ApplyCtx(context.Background(), name, ops)
+}
+
+// ApplyCtx is Apply with a context carrying the caller's trace: the
+// journal append (the fsync on the write path) gets its own span.
+func (e *Engine) ApplyCtx(ctx context.Context, name string, ops []Op) (Result, error) {
+	start := time.Now()
+	defer func() { e.applySecs.Observe(time.Since(start).Seconds()) }()
 	if len(ops) == 0 {
-		e.rejected.Add(1)
+		e.rejected.Inc()
 		return Result{}, fmt.Errorf("%w: empty batch", ErrBadBatch)
 	}
 	if len(ops) > e.opts.MaxBatchOps {
-		e.rejected.Add(1)
+		e.rejected.Inc()
 		return Result{}, fmt.Errorf("%w: %d ops > limit %d", ErrBatchTooLarge, len(ops), e.opts.MaxBatchOps)
 	}
 	st, err := e.state(name)
 	if err != nil {
-		e.rejected.Add(1)
+		e.rejected.Inc()
 		return Result{}, err
 	}
 
@@ -302,7 +344,7 @@ func (e *Engine) Apply(name string, ops []Op) (Result, error) {
 	// our publish and make us resync from a stale entry.
 	lease, err := e.reg.Acquire(name)
 	if err != nil {
-		e.rejected.Add(1)
+		e.rejected.Inc()
 		// Don't leak an empty state for a name that never resolved:
 		// repeated mutations of unknown graphs must not grow the map.
 		if st.base == nil {
@@ -321,7 +363,7 @@ func (e *Engine) Apply(name string, ops []Op) (Result, error) {
 		// First mutation of this incarnation (or the graph was replaced by
 		// a fresh upload): rebuild the state from the registry's graph.
 		if err := st.resetFrom(entry); err != nil {
-			e.rejected.Add(1)
+			e.rejected.Inc()
 			return Result{}, err
 		}
 	}
@@ -329,11 +371,11 @@ func (e *Engine) Apply(name string, ops []Op) (Result, error) {
 	// Validate before touching anything: batches are all-or-nothing.
 	for k, op := range ops {
 		if op.Op != OpUpsert && op.Op != OpDelete {
-			e.rejected.Add(1)
+			e.rejected.Inc()
 			return Result{}, fmt.Errorf("%w: op %d has unknown kind %q (upsert|delete)", ErrBadBatch, k, op.Op)
 		}
 		if op.Src < 0 || op.Src >= st.n || op.Dst < 0 || op.Dst >= st.n {
-			e.rejected.Add(1)
+			e.rejected.Inc()
 			return Result{}, fmt.Errorf("%w: op %d edge (%d,%d) outside %d-node graph", ErrBadBatch, k, op.Src, op.Dst, st.n)
 		}
 	}
@@ -365,9 +407,9 @@ func (e *Engine) Apply(name string, ops []Op) (Result, error) {
 		// Nothing was logged (every delete targeted an absent edge): the
 		// graph is content-identical, so don't publish — a version bump
 		// would wipe the result cache for an unchanged graph.
-		e.batches.Add(1)
-		e.opsApplied.Add(int64(res.Applied))
-		e.deletes.Add(int64(res.Deletes))
+		e.batches.Inc()
+		e.opsApplied.Add(float64(res.Applied))
+		e.deletes.Add(float64(res.Deletes))
 		res.Version = st.version
 		res.Edges = st.edges
 		res.PendingOps = len(st.log)
@@ -380,7 +422,11 @@ func (e *Engine) Apply(name string, ops []Op) (Result, error) {
 	nextVersion := entry.Version() + 1
 	journal := e.journalFor()
 	if journal != nil {
-		if err := journal.AppendBatch(name, nextVersion, ops); err != nil {
+		_, sp := obs.StartSpan(ctx, "wal append",
+			obs.String("graph", name), obs.String("ops", fmt.Sprint(len(ops))))
+		err := journal.AppendBatch(name, nextVersion, ops)
+		sp.End()
+		if err != nil {
 			// Not persisted ⇒ not published: drop the unpublished in-memory
 			// delta by forcing a resync from the (unchanged) registry entry
 			// on the next Apply.
@@ -419,10 +465,10 @@ func (e *Engine) Apply(name string, ops []Op) (Result, error) {
 	st.version = newEntry.Version()
 	st.batchEnds = append(st.batchEnds, batchEnd{ops: len(st.log), version: st.version})
 
-	e.batches.Add(1)
-	e.opsApplied.Add(int64(res.Applied))
-	e.upserts.Add(int64(res.Upserts))
-	e.deletes.Add(int64(res.Deletes))
+	e.batches.Inc()
+	e.opsApplied.Add(float64(res.Applied))
+	e.upserts.Add(float64(res.Upserts))
+	e.deletes.Add(float64(res.Deletes))
 
 	res.Version = st.version
 	res.Edges = st.edges
@@ -622,6 +668,8 @@ func (e *Engine) compactOne(name string) {
 	if st == nil {
 		return
 	}
+	start := time.Now()
+	defer func() { e.compactSecs.Observe(time.Since(start).Seconds()) }()
 
 	// Phase 1: snapshot the merge inputs.
 	st.mu.Lock()
@@ -693,8 +741,8 @@ func (e *Engine) compactOne(name string) {
 		}
 	}
 	kind := st.kind
-	e.compactions.Add(1)
-	e.compactedOps.Add(int64(merged))
+	e.compactions.Inc()
+	e.compactedOps.Add(float64(merged))
 
 	// Republish so readers of the current version get the compacted base
 	// (plus any mid-merge tail) instead of paying the lazy merge
@@ -735,15 +783,13 @@ func (e *Engine) compactOne(name string) {
 	}
 }
 
-// StatsSnapshot returns the engine counters, including the current sum of
-// per-graph delta-log lengths.
-func (e *Engine) StatsSnapshot() Stats {
+// pendingOps sums the per-graph delta-log lengths.
+func (e *Engine) pendingOps() int64 {
 	e.mu.Lock()
 	states := make([]*graphState, 0, len(e.states))
 	for _, st := range e.states {
 		states = append(states, st)
 	}
-	tracked := len(e.states)
 	e.mu.Unlock()
 
 	var pending int64
@@ -752,15 +798,24 @@ func (e *Engine) StatsSnapshot() Stats {
 		pending += int64(len(st.log))
 		st.mu.Unlock()
 	}
+	return pending
+}
+
+// StatsSnapshot returns the engine counters, read back from the same obs
+// instruments the Prometheus exposition renders.
+func (e *Engine) StatsSnapshot() Stats {
+	e.mu.Lock()
+	tracked := len(e.states)
+	e.mu.Unlock()
 	return Stats{
 		GraphsTracked:   tracked,
-		Batches:         e.batches.Load(),
-		OpsApplied:      e.opsApplied.Load(),
-		Upserts:         e.upserts.Load(),
-		Deletes:         e.deletes.Load(),
-		RejectedBatches: e.rejected.Load(),
-		Compactions:     e.compactions.Load(),
-		CompactedOps:    e.compactedOps.Load(),
-		PendingOps:      pending,
+		Batches:         e.batches.Int(),
+		OpsApplied:      e.opsApplied.Int(),
+		Upserts:         e.upserts.Int(),
+		Deletes:         e.deletes.Int(),
+		RejectedBatches: e.rejected.Int(),
+		Compactions:     e.compactions.Int(),
+		CompactedOps:    e.compactedOps.Int(),
+		PendingOps:      e.pendingOps(),
 	}
 }
