@@ -1,0 +1,323 @@
+// Command benchdiff compares two gapbench perf records (lagraph-bench/v1
+// or /v2) cell by cell and renders a verdict table, so CI can gate merges
+// on the committed baseline under bench/baselines/.
+//
+// Usage:
+//
+//	benchdiff -threshold 1.5 bench/baselines/small-scale10.json BENCH_today.json
+//	benchdiff -md diff.md -json diff.json baseline.json current.json
+//
+// Each (algorithm, impl, graph) cell present in both records gets one of:
+//
+//	ok         within threshold either way
+//	faster     current is at least threshold× faster (celebrate, re-baseline)
+//	slower     current is at least threshold× slower — a REGRESSION
+//	iter-drift kernel iteration counts differ between records — a REGRESSION
+//	           (deterministic seeds make iterations a machine-independent
+//	           correctness canary, unlike wall time)
+//	added      cell only in the current record
+//	removed    cell only in the baseline
+//	skipped    either side recorded a skip, or both times sit under the
+//	           -min-seconds noise floor
+//
+// Iteration drift is checked only when both records embed run reports
+// (schema v2); diffing against a v1 baseline silently degrades to
+// time-only comparison. The exit status is nonzero iff any cell is
+// slower or iter-drift, which is what the CI gate keys on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The record structs are deliberately local to this command rather than
+// imported from cmd/gapbench: benchdiff must keep reading every schema
+// revision ever committed under bench/baselines/, so its view of the
+// format is pinned here and only ever widened.
+
+type record struct {
+	Schema     string `json:"schema"`
+	Date       string `json:"date"`
+	GitRev     string `json:"git_rev"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Scale      int    `json:"scale"`
+	EdgeFactor int    `json:"edge_factor"`
+	Trials     int    `json:"trials"`
+	Seed       uint64 `json:"seed"`
+	Cells      []cell `json:"cells"`
+}
+
+type cell struct {
+	Algorithm string  `json:"algorithm"`
+	Impl      string  `json:"impl"`
+	Graph     string  `json:"graph"`
+	Seconds   float64 `json:"seconds"`
+	GTEPS     float64 `json:"gteps"`
+	Skipped   string  `json:"skipped"`
+	Report    *report `json:"report"`
+}
+
+// report is the slice of the v2 run report benchdiff cares about.
+type report struct {
+	Iterations int    `json:"iterations"`
+	Method     string `json:"method"`
+}
+
+func (c cell) key() string { return c.Algorithm + "/" + c.Impl + "/" + c.Graph }
+
+// side labels a record in the diff output: its git revision when the
+// record carries a useful one, else its date, else a fixed role name.
+func side(r record, role string) string {
+	if r.GitRev != "" && r.GitRev != "unknown" {
+		if len(r.GitRev) > 12 {
+			return r.GitRev[:12]
+		}
+		return r.GitRev
+	}
+	if r.Date != "" {
+		return r.Date
+	}
+	return role
+}
+
+// verdict is one cell's comparison outcome.
+type verdict struct {
+	Cell        string  `json:"cell"` // algorithm/impl/graph
+	Verdict     string  `json:"verdict"`
+	BaseSeconds float64 `json:"base_seconds,omitempty"`
+	CurSeconds  float64 `json:"cur_seconds,omitempty"`
+	Ratio       float64 `json:"ratio,omitempty"` // cur/base
+	GTEPSDelta  float64 `json:"gteps_delta,omitempty"`
+	BaseIters   int     `json:"base_iters,omitempty"`
+	CurIters    int     `json:"cur_iters,omitempty"`
+	Note        string  `json:"note,omitempty"`
+}
+
+// diff is the full comparison result (the -json output shape).
+type diff struct {
+	Baseline    string    `json:"baseline"`
+	Current     string    `json:"current"`
+	Threshold   float64   `json:"threshold"`
+	MinSeconds  float64   `json:"min_seconds"`
+	Verdicts    []verdict `json:"verdicts"`
+	Regressions int       `json:"regressions"`
+}
+
+// compare walks the union of both records' cells and assigns verdicts.
+func compare(base, cur record, threshold, minSeconds float64) diff {
+	d := diff{
+		Baseline:   side(base, "baseline"),
+		Current:    side(cur, "current"),
+		Threshold:  threshold,
+		MinSeconds: minSeconds,
+	}
+	baseBy := map[string]cell{}
+	for _, c := range base.Cells {
+		baseBy[c.key()] = c
+	}
+	curBy := map[string]cell{}
+	order := []string{}
+	for _, c := range cur.Cells {
+		curBy[c.key()] = c
+		order = append(order, c.key())
+	}
+	// Removed cells come after the current record's ordering, sorted.
+	var removed []string
+	for _, c := range base.Cells {
+		if _, ok := curBy[c.key()]; !ok {
+			removed = append(removed, c.key())
+		}
+	}
+	sort.Strings(removed)
+	order = append(order, removed...)
+
+	for _, key := range order {
+		b, inBase := baseBy[key]
+		c, inCur := curBy[key]
+		v := verdict{Cell: key}
+		switch {
+		case !inBase:
+			v.Verdict = "added"
+			v.CurSeconds = c.Seconds
+		case !inCur:
+			v.Verdict = "removed"
+			v.BaseSeconds = b.Seconds
+		case b.Skipped != "" || c.Skipped != "":
+			v.Verdict = "skipped"
+			v.Note = firstNonEmpty(c.Skipped, b.Skipped)
+		default:
+			v.BaseSeconds, v.CurSeconds = b.Seconds, c.Seconds
+			v.GTEPSDelta = c.GTEPS - b.GTEPS
+			if b.Seconds > 0 {
+				v.Ratio = c.Seconds / b.Seconds
+			}
+			// Iteration drift outranks timing: with deterministic generator
+			// seeds both records ran the same graph, so a kernel doing a
+			// different number of iterations changed behaviour, not speed.
+			if b.Report != nil && c.Report != nil {
+				v.BaseIters, v.CurIters = b.Report.Iterations, c.Report.Iterations
+				if b.Report.Iterations != c.Report.Iterations {
+					v.Verdict = "iter-drift"
+					v.Note = fmt.Sprintf("iterations %d -> %d", b.Report.Iterations, c.Report.Iterations)
+					break
+				}
+				if b.Report.Method != "" && c.Report.Method != "" && b.Report.Method != c.Report.Method {
+					// A method switch is worth a note but is not by itself a
+					// regression — the auto-selection may legitimately flip.
+					v.Note = fmt.Sprintf("method %s -> %s", b.Report.Method, c.Report.Method)
+				}
+			}
+			switch {
+			case b.Seconds < minSeconds && c.Seconds < minSeconds:
+				// Both under the noise floor: timing says nothing.
+				v.Verdict = "skipped"
+				if v.Note == "" {
+					v.Note = fmt.Sprintf("both under %gs noise floor", minSeconds)
+				}
+			case v.Ratio > threshold:
+				v.Verdict = "slower"
+			case v.Ratio > 0 && v.Ratio < 1/threshold:
+				v.Verdict = "faster"
+			default:
+				v.Verdict = "ok"
+			}
+		}
+		if v.Verdict == "slower" || v.Verdict == "iter-drift" {
+			d.Regressions++
+		}
+		d.Verdicts = append(d.Verdicts, v)
+	}
+	return d
+}
+
+func firstNonEmpty(a, b string) string {
+	if a != "" {
+		return a
+	}
+	return b
+}
+
+// markdown renders the diff as a GitHub-flavoured table (the CI artifact).
+func markdown(w io.Writer, d diff) {
+	fmt.Fprintf(w, "# benchdiff: %s vs %s\n\n", d.Baseline, d.Current)
+	fmt.Fprintf(w, "threshold %gx, noise floor %gs. ", d.Threshold, d.MinSeconds)
+	if d.Regressions == 0 {
+		fmt.Fprintf(w, "**No regressions.**\n\n")
+	} else {
+		fmt.Fprintf(w, "**%d regression(s).**\n\n", d.Regressions)
+	}
+	fmt.Fprintln(w, "| cell | verdict | base s | cur s | ratio | ΔGTEPS | note |")
+	fmt.Fprintln(w, "|------|---------|-------:|------:|------:|-------:|------|")
+	for _, v := range d.Verdicts {
+		mark := v.Verdict
+		if v.Verdict == "slower" || v.Verdict == "iter-drift" {
+			mark = "**" + v.Verdict + "**"
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			v.Cell, mark,
+			secCell(v.BaseSeconds), secCell(v.CurSeconds),
+			ratioCell(v.Ratio), gtepsCell(v.GTEPSDelta), v.Note)
+	}
+}
+
+func secCell(s float64) string {
+	if s == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.4f", s)
+}
+
+func ratioCell(r float64) string {
+	if r == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", r)
+}
+
+func gtepsCell(g float64) string {
+	if g == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%+.3f", g)
+}
+
+func readRecord(path string) (record, error) {
+	var r record
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if !strings.HasPrefix(r.Schema, "lagraph-bench/") {
+		return r, fmt.Errorf("%s: schema %q is not a lagraph-bench record", path, r.Schema)
+	}
+	return r, nil
+}
+
+// run is main minus flag parsing and exiting, for tests. It returns the
+// number of regressions found (the caller exits nonzero iff > 0).
+func run(basePath, curPath string, threshold, minSeconds float64, mdOut, jsonOut string, stdout io.Writer) (int, error) {
+	base, err := readRecord(basePath)
+	if err != nil {
+		return 0, err
+	}
+	cur, err := readRecord(curPath)
+	if err != nil {
+		return 0, err
+	}
+	d := compare(base, cur, threshold, minSeconds)
+	markdown(stdout, d)
+	if mdOut != "" {
+		var sb strings.Builder
+		markdown(&sb, d)
+		if err := os.WriteFile(mdOut, []byte(sb.String()), 0o644); err != nil {
+			return d.Regressions, err
+		}
+	}
+	if jsonOut != "" {
+		b, err := json.MarshalIndent(d, "", "  ")
+		if err != nil {
+			return d.Regressions, err
+		}
+		if err := os.WriteFile(jsonOut, append(b, '\n'), 0o644); err != nil {
+			return d.Regressions, err
+		}
+	}
+	return d.Regressions, nil
+}
+
+func main() {
+	var (
+		threshold  = flag.Float64("threshold", 1.5, "slowdown ratio (current/baseline) above which a cell is a regression")
+		minSeconds = flag.Float64("min-seconds", 0.05, "cells with both sides under this many seconds are too noisy to judge")
+		mdOut      = flag.String("md", "", "also write the markdown table to this file")
+		jsonOut    = flag.String("json", "", "also write the structured diff to this file")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json current.json")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *threshold <= 1 {
+		fmt.Fprintln(os.Stderr, "benchdiff: -threshold must be > 1")
+		os.Exit(2)
+	}
+	regressions, err := run(flag.Arg(0), flag.Arg(1), *threshold, *minSeconds, *mdOut, *jsonOut, os.Stdout)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		os.Exit(1)
+	}
+}

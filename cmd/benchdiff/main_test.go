@@ -1,0 +1,194 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mkCell(alg, impl, graph string, secs float64, iters int) cell {
+	return cell{
+		Algorithm: alg, Impl: impl, Graph: graph, Seconds: secs,
+		Report: &report{Iterations: iters},
+	}
+}
+
+func verdictOf(t *testing.T, d diff, key string) verdict {
+	t.Helper()
+	for _, v := range d.Verdicts {
+		if v.Cell == key {
+			return v
+		}
+	}
+	t.Fatalf("no verdict for %s in %v", key, d.Verdicts)
+	return verdict{}
+}
+
+func TestCompareVerdicts(t *testing.T) {
+	base := record{Schema: "lagraph-bench/v2", GitRev: "aaa", Cells: []cell{
+		mkCell("BFS", "SS", "Kron", 1.0, 5),
+		mkCell("PR", "SS", "Kron", 1.0, 12),
+		mkCell("CC", "SS", "Kron", 1.0, 3),
+		mkCell("SSSP", "SS", "Kron", 1.0, 7),
+		mkCell("TC", "SS", "Kron", 0.001, 0),
+		{Algorithm: "BC", Impl: "SS", Graph: "Kron", Skipped: "unsupported"},
+		mkCell("OLD", "SS", "Kron", 1.0, 1),
+	}}
+	cur := record{Schema: "lagraph-bench/v2", GitRev: "bbb", Cells: []cell{
+		mkCell("BFS", "SS", "Kron", 1.1, 5),  // within threshold -> ok
+		mkCell("PR", "SS", "Kron", 3.0, 12),  // 3x slower -> slower
+		mkCell("CC", "SS", "Kron", 0.4, 3),   // 2.5x faster -> faster
+		mkCell("SSSP", "SS", "Kron", 1.0, 9), // same time, drifted iters
+		mkCell("TC", "SS", "Kron", 0.002, 0), // both under noise floor
+		{Algorithm: "BC", Impl: "SS", Graph: "Kron", Skipped: "unsupported"},
+		mkCell("NEW", "SS", "Kron", 1.0, 1),
+	}}
+	d := compare(base, cur, 1.5, 0.05)
+
+	want := map[string]string{
+		"BFS/SS/Kron":  "ok",
+		"PR/SS/Kron":   "slower",
+		"CC/SS/Kron":   "faster",
+		"SSSP/SS/Kron": "iter-drift",
+		"TC/SS/Kron":   "skipped",
+		"BC/SS/Kron":   "skipped",
+		"NEW/SS/Kron":  "added",
+		"OLD/SS/Kron":  "removed",
+	}
+	for key, wv := range want {
+		if got := verdictOf(t, d, key).Verdict; got != wv {
+			t.Errorf("%s: verdict %q, want %q", key, got, wv)
+		}
+	}
+	if d.Regressions != 2 { // PR slower + SSSP iter-drift
+		t.Errorf("regressions = %d, want 2", d.Regressions)
+	}
+	if v := verdictOf(t, d, "SSSP/SS/Kron"); v.BaseIters != 7 || v.CurIters != 9 {
+		t.Errorf("iter-drift iters: %+v", v)
+	}
+	if d.Baseline != "aaa" || d.Current != "bbb" {
+		t.Errorf("side labels: %q vs %q", d.Baseline, d.Current)
+	}
+}
+
+// TestCompareV1Baseline: a v1 record carries no reports, so comparison
+// degrades to time-only — an iteration change invisible to v1 must NOT
+// produce iter-drift.
+func TestCompareV1Baseline(t *testing.T) {
+	base := record{Schema: "lagraph-bench/v1", Cells: []cell{
+		{Algorithm: "BFS", Impl: "SS", Graph: "Kron", Seconds: 1.0}, // no report
+	}}
+	cur := record{Schema: "lagraph-bench/v2", Cells: []cell{
+		mkCell("BFS", "SS", "Kron", 1.0, 99),
+	}}
+	d := compare(base, cur, 1.5, 0.05)
+	v := verdictOf(t, d, "BFS/SS/Kron")
+	if v.Verdict != "ok" {
+		t.Errorf("v1 baseline verdict %q, want ok (no iteration data to drift)", v.Verdict)
+	}
+	if d.Regressions != 0 {
+		t.Errorf("regressions = %d, want 0", d.Regressions)
+	}
+}
+
+// TestIterDriftOutranksTiming: a cell that is both slower and drifted
+// reports iter-drift — behaviour change is the more actionable signal.
+func TestIterDriftOutranksTiming(t *testing.T) {
+	base := record{Schema: "lagraph-bench/v2", Cells: []cell{mkCell("PR", "SS", "Kron", 1.0, 10)}}
+	cur := record{Schema: "lagraph-bench/v2", Cells: []cell{mkCell("PR", "SS", "Kron", 9.0, 20)}}
+	d := compare(base, cur, 1.5, 0.05)
+	if v := verdictOf(t, d, "PR/SS/Kron"); v.Verdict != "iter-drift" {
+		t.Errorf("verdict %q, want iter-drift", v.Verdict)
+	}
+}
+
+// TestSideLabels: "unknown"/empty revisions fall back to date, then role.
+func TestSideLabels(t *testing.T) {
+	if got := side(record{GitRev: "unknown", Date: "2026-08-07"}, "baseline"); got != "2026-08-07" {
+		t.Errorf("side = %q, want the date", got)
+	}
+	if got := side(record{}, "baseline"); got != "baseline" {
+		t.Errorf("side = %q, want role", got)
+	}
+	if got := side(record{GitRev: "0123456789abcdef"}, "x"); got != "0123456789ab" {
+		t.Errorf("side = %q, want 12-char rev", got)
+	}
+}
+
+// TestRunEndToEnd drives run() over real files, checking the markdown and
+// JSON artifacts plus the regression count main() turns into an exit code.
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	writeRec := func(name string, r record) string {
+		t.Helper()
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	base := writeRec("base.json", record{Schema: "lagraph-bench/v2", GitRev: "base1234",
+		Cells: []cell{mkCell("BFS", "SS", "Kron", 1.0, 5)}})
+	cur := writeRec("cur.json", record{Schema: "lagraph-bench/v2", GitRev: "cur5678",
+		Cells: []cell{mkCell("BFS", "SS", "Kron", 5.0, 5)}}) // injected regression
+
+	mdPath := filepath.Join(dir, "diff.md")
+	jsonPath := filepath.Join(dir, "diff.json")
+	var sb strings.Builder
+	regressions, err := run(base, cur, 1.5, 0.05, mdPath, jsonPath, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", regressions)
+	}
+	if !strings.Contains(sb.String(), "**slower**") || !strings.Contains(sb.String(), "1 regression") {
+		t.Errorf("stdout markdown missing verdict:\n%s", sb.String())
+	}
+	md, err := os.ReadFile(mdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(md) != sb.String() {
+		t.Error("-md file differs from stdout markdown")
+	}
+	var d diff
+	b, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(b, &d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Regressions != 1 || len(d.Verdicts) != 1 || d.Verdicts[0].Verdict != "slower" {
+		t.Errorf("json diff: %+v", d)
+	}
+
+	// No regression -> 0 (the success path CI takes every day).
+	regressions, err = run(base, base, 1.5, 0.05, "", "", &strings.Builder{})
+	if err != nil || regressions != 0 {
+		t.Fatalf("self-diff: %d regressions, err %v", regressions, err)
+	}
+}
+
+// TestReadRecordRejectsGarbage: non-records fail loudly, not with a
+// zero-cell "everything removed" diff.
+func TestReadRecordRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(p, []byte(`{"schema":"something-else"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := readRecord(p); err == nil {
+		t.Fatal("expected schema error")
+	}
+	if _, err := readRecord(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("expected read error")
+	}
+}

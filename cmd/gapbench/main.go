@@ -12,9 +12,11 @@
 //	gapbench -list-algorithms
 //
 // With -json the run additionally writes a machine-readable perf record
-// (schema lagraph-bench/v1): per-cell seconds and GTEPS, the graph sizes,
-// and the git revision — one point of the repo's recorded performance
-// trajectory, produced in CI on every run.
+// (schema lagraph-bench/v2): per-cell seconds and GTEPS, each SS cell's
+// kernel introspection report (iterations, convergence, work counters),
+// the graph sizes, and the git revision — one point of the repo's
+// recorded performance trajectory, produced in CI on every run and
+// compared against the committed baseline by cmd/benchdiff.
 //
 // Table III prints the run time (seconds) of the GAP-style baselines
 // ("GAP") and the LAGraph-on-GraphBLAS implementations ("SS", following
@@ -42,14 +44,18 @@ import (
 	"lagraph/internal/lagraph"
 )
 
-// benchRecord is the -json perf record, schema lagraph-bench/v1. Each
-// cell is one (algorithm, implementation, graph) timing with its derived
-// GTEPS; successive records — one per CI run — form the repo's recorded
+// benchRecord is the -json perf record, schema lagraph-bench/v2 (v1 plus
+// per-cell run reports; benchdiff still reads v1). Each cell is one
+// (algorithm, implementation, graph) timing with its derived GTEPS;
+// successive records — one per CI run — form the repo's recorded
 // performance trajectory.
 type benchRecord struct {
-	Schema     string        `json:"schema"` // "lagraph-bench/v1"
-	Date       string        `json:"date"`   // RFC 3339, UTC
-	GitRev     string        `json:"git_rev,omitempty"`
+	Schema string `json:"schema"` // "lagraph-bench/v2"
+	Date   string `json:"date"`   // RFC 3339, UTC
+	// GitRev deliberately has no omitempty: benchdiff labels both sides of
+	// a comparison by this field, so it is always present ("unknown" when
+	// neither the -git-rev flag nor a VCS stamp supplies one).
+	GitRev     string        `json:"git_rev"`
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Scale      int           `json:"scale"`
@@ -80,23 +86,40 @@ type cellRecord struct {
 	Seconds   float64 `json:"seconds,omitempty"`
 	GTEPS     float64 `json:"gteps,omitempty"`
 	Skipped   string  `json:"skipped,omitempty"`
+	// Report is the SS cell's kernel introspection record (v2 addition):
+	// the first trial's iteration trace, convergence status and work
+	// counters. GAP baseline cells have none.
+	Report *algo.RunReport `json:"report,omitempty"`
 }
 
-// gitRevision reads the VCS revision stamped into the binary, falling
-// back to the -git-rev flag (CI passes $GITHUB_SHA; `go run` builds carry
-// no stamp).
+// gitRevision labels the record's side of a benchdiff comparison: the
+// -git-rev flag wins (CI passes $GITHUB_SHA), then the VCS revision
+// stamped into the binary ("-dirty" appended for modified checkouts),
+// then the literal "unknown" — never an empty field, so a benchdiff of
+// records from stampless builds (`go run`, a source tarball outside any
+// checkout) can still label both sides.
 func gitRevision(flagRev string) string {
 	if flagRev != "" {
 		return flagRev
 	}
 	if bi, ok := debug.ReadBuildInfo(); ok {
+		rev, dirty := "", false
 		for _, kv := range bi.Settings {
-			if kv.Key == "vcs.revision" {
-				return kv.Value
+			switch kv.Key {
+			case "vcs.revision":
+				rev = kv.Value
+			case "vcs.modified":
+				dirty = kv.Value == "true"
 			}
 		}
+		if rev != "" {
+			if dirty {
+				rev += "-dirty"
+			}
+			return rev
+		}
 	}
-	return ""
+	return "unknown"
 }
 
 func main() {
@@ -110,7 +133,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "generator seed")
 		algos    = flag.String("algos", strings.Join(bench.AlgNames, ","), "comma-separated kernels (Table III labels or catalog names)")
 		graphs   = flag.String("graphs", strings.Join(bench.GraphNames, ","), "comma-separated graph classes")
-		jsonOut  = flag.String("json", "", "also write a lagraph-bench/v1 perf record to this file")
+		jsonOut  = flag.String("json", "", "also write a lagraph-bench/v2 perf record to this file")
 		gitRev   = flag.String("git-rev", "", "git revision recorded in the -json output (default: the binary's VCS stamp)")
 	)
 	flag.Parse()
@@ -153,7 +176,7 @@ func main() {
 	}
 	if *jsonOut != "" {
 		rec := benchRecord{
-			Schema:     "lagraph-bench/v1",
+			Schema:     "lagraph-bench/v2",
 			Date:       time.Now().UTC().Format(time.RFC3339),
 			GitRev:     gitRevision(*gitRev),
 			GoVersion:  runtime.Version(),
@@ -290,6 +313,7 @@ func printTable3(graphList, algoList []string, workloads map[string]*bench.Workl
 				cell := cellRecord{
 					Algorithm: alg, Impl: impl, Graph: gName,
 					Trials: nTrials, Seconds: res.Seconds,
+					Report: res.Report,
 				}
 				if res.Seconds > 0 {
 					cell.GTEPS = float64(w.LG.A.NVals()) / res.Seconds / 1e9

@@ -18,7 +18,7 @@ type Result map[string]any
 
 // reservedResultKeys are the response-envelope fields a kernel's Result
 // may not use.
-var reservedResultKeys = []string{"graph", "algorithm", "seconds"}
+var reservedResultKeys = []string{"graph", "algorithm", "seconds", "report"}
 
 // CheckReserved reports an error when a kernel's result collides with a
 // response-envelope key. The server runs it after every kernel, so a

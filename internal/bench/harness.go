@@ -118,6 +118,11 @@ type Result struct {
 	Alg, Impl, Graph string
 	Seconds          float64
 	Check            string // brief correctness note (e.g. triangle count)
+	// Report is the first trial's kernel introspection record (SS cells
+	// only; GAP baselines have no probe). The first trial is chosen so the
+	// report — and benchdiff's iteration-drift canary built on it — is a
+	// pure function of (graph, seed), independent of the -trials count.
+	Report *algo.RunReport
 }
 
 // timeIt runs f once and returns elapsed seconds.
@@ -271,17 +276,29 @@ func runCatalogOnce(label string, w *Workload, src, trial int, res *Result) (flo
 	if err != nil {
 		return 0, err
 	}
+	pstart := time.Now()
 	if err := algo.EnsureProperties(d, w.LG); err != nil {
 		return 0, err
 	}
-	return timeIt(func() error {
-		out, err := d.Run(context.Background(), w.LG, p)
+	propSecs := time.Since(pstart).Seconds()
+	ctx := context.Background()
+	var prb *lagraph.Probe
+	if res.Report == nil { // first trial: collect the cell's report
+		prb = lagraph.NewProbe(0)
+		ctx = lagraph.WithProbe(ctx, prb)
+	}
+	secs, err := timeIt(func() error {
+		out, err := d.Run(ctx, w.LG, p)
 		if err != nil && !lagraph.IsWarning(err) {
 			return err
 		}
 		res.Check = checkNote(out)
 		return nil
 	})
+	if err == nil && prb != nil {
+		res.Report = algo.NewReport(d.Name, prb, propSecs, secs)
+	}
+	return secs, err
 }
 
 // checkNote derives the Table III correctness note from a result's named

@@ -60,6 +60,7 @@ func BetweennessCentralityAdvancedCtx[T grb.Value](ctx context.Context, g *Graph
 		}
 	}
 
+	prb := ProbeFrom(ctx)
 	// P(k, sources[k]) = 1 — number of shortest paths found so far.
 	P := grb.MustMatrix[float64](ns, n)
 	for k, s := range sources {
@@ -68,7 +69,8 @@ func BetweennessCentralityAdvancedCtx[T grb.Value](ctx context.Context, g *Graph
 	// First frontier: F⟨¬s(P)⟩ = P plus.first A (line 5).
 	semiring := grb.PlusFirst[float64, T]()
 	F := grb.MustMatrix[float64](ns, n)
-	if err := bcFrontierStep(F, P, P, g.A, at, semiring); err != nil {
+	lastPull, err := bcFrontierStep(F, P, P, g.A, at, semiring)
+	if err != nil {
 		return nil, err
 	}
 
@@ -79,7 +81,15 @@ func BetweennessCentralityAdvancedCtx[T grb.Value](ctx context.Context, g *Graph
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if F.NVals() == 0 {
+		nf := F.NVals()
+		if prb.Enabled() {
+			dir := "push"
+			if lastPull {
+				dir = "pull"
+			}
+			prb.Iter(IterStat{Iter: depth + 1, Frontier: nf, Direction: dir})
+		}
+		if nf == 0 {
 			break
 		}
 		// S[d]⟨s(F)⟩ = 1: the pattern of F.
@@ -94,10 +104,11 @@ func BetweennessCentralityAdvancedCtx[T grb.Value](ctx context.Context, g *Graph
 			return nil, wrap(StatusInvalidValue, err, "BC path accumulate")
 		}
 		// F⟨¬s(P), r⟩ = F plus.first A (push) or F·(Aᵀ)ᵀ (pull).
-		if err := bcFrontierStep(F, F, P, g.A, at, semiring); err != nil {
+		if lastPull, err = bcFrontierStep(F, F, P, g.A, at, semiring); err != nil {
 			return nil, err
 		}
 	}
+	prb.Add("backtrack_levels", int64(max(len(S)-1, 0)))
 
 	// Backtrack phase (lines 13-19).
 	B := grb.MustMatrix[float64](ns, n)
@@ -146,16 +157,17 @@ func BetweennessCentralityAdvancedCtx[T grb.Value](ctx context.Context, g *Graph
 // bcFrontierStep computes out⟨¬s(P), r⟩ = in plus.first A, choosing push
 // (multiply by A) or pull (multiply by ATᵀ via the descriptor) from the
 // frontier density. A and at are the caller's snapshots of the adjacency
-// matrix and cached transpose. out and in may alias.
-func bcFrontierStep[T grb.Value](out, in, P *grb.Matrix[float64], A, at *grb.Matrix[T], semiring grb.Semiring[float64, T, float64]) error {
+// matrix and cached transpose. out and in may alias. The returned bool
+// reports whether the pull formulation was chosen.
+func bcFrontierStep[T grb.Value](out, in, P *grb.Matrix[float64], A, at *grb.Matrix[T], semiring grb.Semiring[float64, T, float64]) (bool, error) {
 	ns, n := out.Dims()
 	mask := grb.StructMaskOf(P).Not()
 	if bcUsePull(in, ns, n) {
 		// F = F·(Aᵀ)ᵀ: dot kernel against the cached transpose.
-		return wrap(StatusInvalidValue,
+		return true, wrap(StatusInvalidValue,
 			grb.MxM(out, mask, nil, semiring, in, at, grb.DescRT1), "BC pull step")
 	}
-	return wrap(StatusInvalidValue,
+	return false, wrap(StatusInvalidValue,
 		grb.MxM(out, mask, nil, semiring, in, A, grb.DescR), "BC push step")
 }
 

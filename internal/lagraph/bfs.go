@@ -142,6 +142,7 @@ func BreadthFirstSearchCtx[T grb.Value](ctx context.Context, g *Graph[T], src in
 // materialization on g cannot race with the traversal. ctx is polled once
 // per BFS level.
 func bfsDirOpt[T grb.Value](ctx context.Context, g *Graph[T], at *grb.Matrix[T], rowDegree *grb.Vector[int64], src int, wantParent, wantLevel bool) (*grb.Vector[int64], *grb.Vector[int32], error) {
+	prb := ProbeFrom(ctx)
 	n := g.NumNodes()
 	var p *grb.Vector[int64]
 	var l *grb.Vector[int32]
@@ -190,6 +191,13 @@ func bfsDirOpt[T grb.Value](ctx context.Context, g *Graph[T], at *grb.Matrix[T],
 			return nil, nil, wrap(StatusInvalidValue, err, "BFS step")
 		}
 		nq = q.NVals()
+		if prb.Enabled() {
+			dir := "pull"
+			if doPush {
+				dir = "push"
+			}
+			prb.Iter(IterStat{Iter: int(level), Frontier: nq, Direction: dir})
+		}
 		if nq == 0 {
 			break
 		}

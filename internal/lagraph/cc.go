@@ -88,6 +88,7 @@ func symmetricPattern[T grb.Value](g *Graph[T]) (*grb.Matrix[bool], error) {
 // fastSV is Algorithm 7 on a boolean symmetric-pattern matrix. ctx is
 // polled once per round.
 func fastSV(ctx context.Context, S *grb.Matrix[bool]) (*grb.Vector[int64], error) {
+	prb := ProbeFrom(ctx)
 	n := S.NRows()
 	if n == 0 {
 		return grb.MustVector[int64](0), nil
@@ -113,7 +114,7 @@ func fastSV(ctx context.Context, S *grb.Matrix[bool]) (*grb.Vector[int64], error
 		return a
 	}
 	semiring := grb.MinSecond[bool, int64]()
-	for {
+	for round := 1; ; round++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
@@ -148,10 +149,14 @@ func fastSV(ctx context.Context, S *grb.Matrix[bool]) (*grb.Vector[int64], error
 			return nil, wrap(StatusInvalidValue, err, "fastsv diff")
 		}
 		changed := grb.ReduceVectorToScalar(grb.PlusMonoid[int64](), diff)
+		prb.Iter(IterStat{Iter: round, Work: changed})
 		dup = gf.Dup()
 		if changed == 0 {
 			break
 		}
 	}
+	// FastSV always terminates at the fixed point — it converged by
+	// construction, recorded so reports distinguish it from budgeted loops.
+	prb.SetConverged(true)
 	return f, nil
 }

@@ -68,13 +68,20 @@ func LocalClusteringCoefficientCtx[T grb.Value](ctx context.Context, g *Graph[T]
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	prb := ProbeFrom(ctx)
 	A := work.A
 	n := A.NRows()
+	if prb.Enabled() {
+		prb.Add("nnz", int64(A.NVals()))
+	}
 
 	// C⟨s(A)⟩ = A plus.pair A: C(v,w) = |N(v) ∩ N(w)| on edges (v,w).
 	C := grb.MustMatrix[int64](n, n)
 	if err := grb.MxM(C, grb.StructMaskOf(A), nil, grb.PlusPair[T, T, int64](), A, A, nil); err != nil {
 		return nil, wrap(StatusInvalidValue, err, "LCC masked wedge count")
+	}
+	if prb.Enabled() {
+		prb.Add("nnz_c", int64(C.NVals()))
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

@@ -85,6 +85,7 @@ func PageRank[T grb.Value](g *Graph[T], damping, tol float64, itermax int) (*grb
 // concurrent property materialization cannot race with the iteration).
 // ctx is polled once per power-iteration sweep.
 func pagerank[T grb.Value](ctx context.Context, g *Graph[T], at *grb.Matrix[T], rowDegree *grb.Vector[int64], damping, tol float64, itermax int, handleDangling bool) (*grb.Vector[float64], int, error) {
+	prb := ProbeFrom(ctx)
 	n := g.NumNodes()
 	if n == 0 {
 		return grb.MustVector[float64](0), 0, nil
@@ -122,6 +123,7 @@ func pagerank[T grb.Value](ctx context.Context, g *Graph[T], at *grb.Matrix[T], 
 	semiring := grb.PlusSecond[T, float64]()
 
 	iters := 0
+	converged := false
 	for k := 0; k < itermax; k++ {
 		if err := ctx.Err(); err != nil {
 			return nil, iters, err
@@ -158,9 +160,13 @@ func pagerank[T grb.Value](ctx context.Context, g *Graph[T], at *grb.Matrix[T], 
 		if err := grb.ApplyV(t, grb.NoVMask, nil, grb.AbsOp[float64](), t, nil); err != nil {
 			return nil, 0, wrap(StatusInvalidValue, err, "pagerank abs")
 		}
-		if grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), t) < tol {
+		rdiff := grb.ReduceVectorToScalar(grb.PlusMonoid[float64](), t)
+		prb.Iter(IterStat{Iter: iters, Residual: rdiff})
+		if rdiff < tol {
+			converged = true
 			break
 		}
 	}
+	prb.SetConverged(converged)
 	return r, iters, nil
 }

@@ -68,6 +68,7 @@ func SSSPDeltaSteppingCtx[T grb.Number](ctx context.Context, g *Graph[T], src in
 	if delta <= 0 {
 		return nil, errf(StatusInvalidValue, "SSSPDeltaStepping: delta must be positive")
 	}
+	prb := ProbeFrom(ctx)
 	n := g.NumNodes()
 	inf := grb.MaxOf[T]()
 	var zero T
@@ -124,6 +125,11 @@ func SSSPDeltaSteppingCtx[T grb.Number](ctx context.Context, g *Graph[T], src in
 		// e accumulates every vertex that was ever in bucket i (line 12's
 		// role): those get one heavy relaxation when the bucket closes.
 		e := grb.MustVector[bool](n)
+		var bucketFront int
+		var bucketWork int64
+		if prb.Enabled() {
+			bucketFront = tB.NVals()
+		}
 		for tB.NVals() != 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, err
@@ -134,6 +140,9 @@ func SSSPDeltaSteppingCtx[T grb.Number](ctx context.Context, g *Graph[T], src in
 			tReq := grb.MustVector[T](n)
 			if err := grb.VxM(tReq, grb.NoVMask, nil, minPlus, tB, AL, nil); err != nil {
 				return nil, wrap(StatusInvalidValue, err, "sssp light relax")
+			}
+			if prb.Enabled() {
+				bucketWork += int64(tReq.NVals())
 			}
 			// Improvements only: tless = tReq < t (line 14's guard).
 			tless := grb.MustVector[bool](n)
@@ -166,9 +175,16 @@ func SSSPDeltaSteppingCtx[T grb.Number](ctx context.Context, g *Graph[T], src in
 			if err := grb.VxM(tReq, grb.NoVMask, nil, minPlus, te, AH, nil); err != nil {
 				return nil, wrap(StatusInvalidValue, err, "sssp heavy relax")
 			}
+			if prb.Enabled() {
+				bucketWork += int64(tReq.NVals())
+			}
 			if err := grb.EWiseAddV(t, grb.NoVMask, nil, minOp, t, tReq, nil); err != nil {
 				return nil, wrap(StatusInvalidValue, err, "sssp heavy merge")
 			}
+		}
+		if prb.Enabled() {
+			prb.Iter(IterStat{Iter: i, Frontier: bucketFront, Work: bucketWork})
+			prb.Add("relaxations", bucketWork)
 		}
 		// Terminate when no finite tentative distance ≥ (i+1)Δ remains
 		// (line 6's condition); otherwise skip straight to the next

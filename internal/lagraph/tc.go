@@ -27,6 +27,22 @@ const (
 	TCCohen
 )
 
+// String names the formulation for reports and logs.
+func (m TCMethod) String() string {
+	switch m {
+	case TCSandiaLUT:
+		return "sandia-lut"
+	case TCSandiaLL:
+		return "sandia-ll"
+	case TCBurkhardt:
+		return "burkhardt"
+	case TCCohen:
+		return "cohen"
+	default:
+		return "unknown"
+	}
+}
+
 // TriangleCount is the Basic-mode entry: it verifies the graph is
 // undirected with no self-edges (removing them on a temporary copy if
 // needed), caches RowDegree for the sort heuristic, and runs Algorithm 6
@@ -100,8 +116,16 @@ func triangleCount[T grb.Value](ctx context.Context, g *Graph[T], method TCMetho
 	if g == nil || g.A == nil {
 		return 0, errf(StatusInvalidGraph, "TriangleCountAdvanced: nil graph")
 	}
+	prb := ProbeFrom(ctx)
+	prb.SetMethod(method.String())
 	A := g.A
 	n := A.NRows()
+	if prb.Enabled() {
+		prb.Add("nnz", int64(A.NVals()))
+		if presort {
+			prb.Add("presorted", 1)
+		}
+	}
 	if presort {
 		if g.CachedRowDegree() == nil {
 			return 0, errf(StatusPropertyMissing, "TriangleCountAdvanced: presort needs RowDegree cached")
@@ -154,6 +178,9 @@ func triangleCount[T grb.Value](ctx context.Context, g *Graph[T], method TCMetho
 		if err := grb.MxM(C, grb.StructMaskOf(L), nil, semiring, L, U, grb.DescT1); err != nil {
 			return 0, wrap(StatusInvalidValue, err, "TC masked dot")
 		}
+		if prb.Enabled() {
+			prb.Add("nnz_c", int64(C.NVals()))
+		}
 		return grb.ReduceMatrixToScalar(grb.PlusMonoid[int64](), C), nil
 	case TCSandiaLL:
 		L, err := tril()
@@ -163,10 +190,16 @@ func triangleCount[T grb.Value](ctx context.Context, g *Graph[T], method TCMetho
 		if err := grb.MxM(C, grb.StructMaskOf(L), nil, semiring, L, L, nil); err != nil {
 			return 0, wrap(StatusInvalidValue, err, "TC LL saxpy")
 		}
+		if prb.Enabled() {
+			prb.Add("nnz_c", int64(C.NVals()))
+		}
 		return grb.ReduceMatrixToScalar(grb.PlusMonoid[int64](), C), nil
 	case TCBurkhardt:
 		if err := grb.MxM(C, grb.StructMaskOf(A), nil, semiring, A, A, nil); err != nil {
 			return 0, wrap(StatusInvalidValue, err, "TC Burkhardt")
+		}
+		if prb.Enabled() {
+			prb.Add("nnz_c", int64(C.NVals()))
 		}
 		return grb.ReduceMatrixToScalar(grb.PlusMonoid[int64](), C) / 6, nil
 	case TCCohen:
@@ -180,6 +213,9 @@ func triangleCount[T grb.Value](ctx context.Context, g *Graph[T], method TCMetho
 		}
 		if err := grb.MxM(C, grb.StructMaskOf(A), nil, semiring, L, U, nil); err != nil {
 			return 0, wrap(StatusInvalidValue, err, "TC Cohen")
+		}
+		if prb.Enabled() {
+			prb.Add("nnz_c", int64(C.NVals()))
 		}
 		return grb.ReduceMatrixToScalar(grb.PlusMonoid[int64](), C) / 2, nil
 	default:

@@ -216,14 +216,27 @@ func (t *Tracer) log(tr *Trace) {
 	if t.opts.SlowThreshold > 0 && dur >= t.opts.SlowThreshold {
 		spans := tr.Snapshot().Spans
 		breakdown := make([]any, 0, len(spans))
+		iterations := ""
 		for _, s := range spans {
 			breakdown = append(breakdown, slog.Float64(s.Name, s.Seconds))
+			// Kernel spans carry the run report's iteration count; surface
+			// it so a slow line says how much work the kernel actually did.
+			for _, a := range s.Attrs {
+				if a.Key == "iterations" {
+					iterations = a.Value
+				}
+			}
 		}
-		lg.Warn("slow request",
+		args := []any{
 			slog.String("trace", tr.id),
 			slog.Duration("duration", dur),
 			slog.Duration("threshold", t.opts.SlowThreshold),
-			slog.Group("spans", breakdown...))
+		}
+		if iterations != "" {
+			args = append(args, slog.String("iterations", iterations))
+		}
+		args = append(args, slog.Group("spans", breakdown...))
+		lg.Warn("slow request", args...)
 	}
 }
 

@@ -33,19 +33,39 @@ type algoResponse struct {
 	Algorithm string
 	Seconds   float64
 	Result    algo.Result
+	// Report is the run's introspection record. It always rides the cached
+	// response (immutable, so cache hits keep the original run's report)
+	// but is rendered only under ?explain=1 and GET /jobs/{id}/report —
+	// the default wire shape is unchanged.
+	Report *algo.RunReport
 }
 
 // MarshalJSON inlines the kernel's result entries next to the envelope
 // fields, keeping the wire shape flat ({"graph":..., "ranks":...}).
 func (r *algoResponse) MarshalJSON() ([]byte, error) {
-	out := make(map[string]any, len(r.Result)+3)
+	return json.Marshal(r.envelope(false))
+}
+
+// envelope renders the flat response map, optionally with the report.
+func (r *algoResponse) envelope(explain bool) map[string]any {
+	out := make(map[string]any, len(r.Result)+4)
 	for k, v := range r.Result {
 		out[k] = v
 	}
 	out["graph"] = r.Graph
 	out["algorithm"] = r.Algorithm
 	out["seconds"] = r.Seconds
-	return json.Marshal(out)
+	if explain && r.Report != nil {
+		out["report"] = r.Report
+	}
+	return out
+}
+
+// explainResponse renders an algoResponse with its report included.
+type explainResponse struct{ *algoResponse }
+
+func (r explainResponse) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.envelope(true))
 }
 
 // handleAlgorithm is the synchronous algorithm endpoint: submit-and-wait
@@ -85,7 +105,17 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "request abandoned")
 		return
 	}
-	s.writeJobOutcome(w, job)
+	s.writeJobOutcomeExplain(w, job, explainRequested(r))
+}
+
+// explainRequested reports whether the request opted into the run-report
+// rendering (?explain=1 or any usual truthy spelling).
+func explainRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("explain") {
+	case "1", "true", "yes", "on":
+		return true
+	}
+	return false
 }
 
 // handleListAlgorithms is GET /algorithms: the whole catalog, each entry
@@ -112,7 +142,18 @@ func (s *Server) handleGetAlgorithm(w http.ResponseWriter, r *http.Request) {
 // always has: the bare result envelope on success, a mapped error
 // otherwise.
 func (s *Server) writeJobOutcome(w http.ResponseWriter, j *jobs.Job) {
+	s.writeJobOutcomeExplain(w, j, false)
+}
+
+// writeJobOutcomeExplain is writeJobOutcome with opt-in report rendering:
+// under explain a successful algorithm response carries its "report"
+// envelope key.
+func (s *Server) writeJobOutcomeExplain(w http.ResponseWriter, j *jobs.Job, explain bool) {
 	if v, ok := j.Result(); ok {
+		if resp, isAlgo := v.(*algoResponse); isAlgo && explain {
+			writeJSON(w, http.StatusOK, explainResponse{resp})
+			return
+		}
 		writeJSON(w, http.StatusOK, v)
 		return
 	}

@@ -65,7 +65,9 @@ func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc
 }
 
 // handleListTraces is GET /debug/traces: the finished-trace ring, newest
-// first, at most ?limit entries.
+// first, at most ?limit entries, optionally restricted to one registered
+// route with ?route= (matched against the root span's route attribute) so
+// the bounded ring stays usable on a busy daemon.
 func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
 	limit := 0
 	if q := r.URL.Query().Get("limit"); q != "" {
@@ -76,12 +78,41 @@ func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	traces := s.tracer.Traces(limit)
+	route := r.URL.Query().Get("route")
+	var traces []obs.TraceInfo
+	if route == "" {
+		traces = s.tracer.Traces(limit)
+	} else {
+		// Filter before applying the limit, so ?route=&limit= returns up to
+		// limit matching traces, not the matches among the newest limit.
+		for _, tr := range s.tracer.Traces(0) {
+			if traceRoute(tr) != route {
+				continue
+			}
+			traces = append(traces, tr)
+			if limit > 0 && len(traces) == limit {
+				break
+			}
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"started": s.tracer.Started(),
 		"count":   len(traces),
 		"traces":  traces,
 	})
+}
+
+// traceRoute extracts the root span's route attribute ("" when absent).
+func traceRoute(tr obs.TraceInfo) string {
+	if len(tr.Spans) == 0 {
+		return ""
+	}
+	for _, a := range tr.Spans[0].Attrs {
+		if a.Key == "route" {
+			return a.Value
+		}
+	}
+	return ""
 }
 
 // handleGetTrace is GET /debug/traces/{id}: one ringed trace by id.

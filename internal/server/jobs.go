@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"lagraph/internal/algo"
 	"lagraph/internal/jobs"
+	"lagraph/internal/lagraph"
 	"lagraph/internal/obs"
 	"lagraph/internal/registry"
 )
@@ -19,6 +21,7 @@ import (
 //	GET    /jobs                 list retained jobs, newest first
 //	GET    /jobs/{id}            one job's status
 //	GET    /jobs/{id}/result     the result once the job is done
+//	GET    /jobs/{id}/report     the run's introspection report once done
 //	DELETE /jobs/{id}            cancel (queued jobs die instantly; running
 //	                             jobs stop at their next iteration check)
 //
@@ -79,7 +82,9 @@ func (s *Server) submitAlgorithmJob(ctx context.Context, name string, d *algo.De
 			// EnsureProperties also finalizes a streamed-in snapshot's
 			// pending deltas before any kernel reads the matrix structure.
 			pctx, psp := obs.StartSpan(ctx, "properties", obs.String("graph", name))
+			pstart := time.Now()
 			err := entry.EnsureProperties(d.RequiredProperties(g)...)
+			propSecs := time.Since(pstart).Seconds()
 			psp.End()
 			if err != nil {
 				s.algErrors.Inc()
@@ -89,12 +94,21 @@ func (s *Server) submitAlgorithmJob(ctx context.Context, name string, d *algo.De
 				return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
 			}
 			resp := &algoResponse{Graph: name, Algorithm: d.Name}
+			// Every service run carries a probe: the report feeds the
+			// explain surfaces, the per-algorithm metrics and the tracer.
+			prb := lagraph.NewProbe(0)
 			kctx, ksp := obs.StartSpan(pctx, "kernel:"+d.Name)
+			kctx = lagraph.WithProbe(kctx, prb)
 			start := time.Now()
 			res, err := d.Run(kctx, g, p)
 			resp.Seconds = time.Since(start).Seconds()
-			ksp.End()
 			resp.Result = res
+			rep := algo.NewReport(d.Name, prb, propSecs, resp.Seconds)
+			for _, ev := range rep.SpanEvents() {
+				ksp.SetAttr(ev[0], ev[1])
+			}
+			ksp.SetAttr("iterations", strconv.Itoa(rep.Iterations))
+			ksp.End()
 			if err != nil {
 				if !errors.Is(err, context.Canceled) {
 					s.algErrors.Inc()
@@ -108,6 +122,8 @@ func (s *Server) submitAlgorithmJob(ctx context.Context, name string, d *algo.De
 				s.algErrors.Inc()
 				return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
 			}
+			resp.Report = rep
+			s.recordReport(rep)
 			entry.CountAlgRun()
 			return resp, nil
 		},
@@ -209,6 +225,56 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	case jobs.StateDone:
 		v, _ := job.Result()
 		writeJSON(w, http.StatusOK, v)
+	case jobs.StateCancelled:
+		writeError(w, http.StatusGone, fmt.Sprintf("job %q was cancelled", id))
+	case jobs.StateFailed:
+		s.writeJobOutcome(w, job)
+	default:
+		writeJSON(w, http.StatusConflict, info)
+	}
+}
+
+// recordReport feeds a finished run's report aggregates into the metrics
+// registry: iteration totals, convergence outcomes and named work
+// counters, all labelled by algorithm.
+func (s *Server) recordReport(rep *algo.RunReport) {
+	if rep == nil {
+		return
+	}
+	s.algIters.With(rep.Algorithm).Add(float64(rep.Iterations))
+	if rep.Converged != nil {
+		s.algConverged.With(rep.Algorithm, strconv.FormatBool(*rep.Converged)).Inc()
+	}
+	for name, v := range rep.Counters {
+		s.algWork.With(rep.Algorithm, name).Add(float64(v))
+	}
+}
+
+// handleJobReport is GET /jobs/{id}/report: the run's introspection
+// report once the job is done. The report is part of the cached immutable
+// response, so deduplicated and cache-served jobs report the original
+// computation.
+func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("job %q not found", id))
+		return
+	}
+	info := job.Info()
+	switch info.State {
+	case jobs.StateDone:
+		v, _ := job.Result()
+		resp, ok := v.(*algoResponse)
+		if !ok || resp.Report == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("job %q has no run report", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"graph":  resp.Graph,
+			"job":    id,
+			"report": resp.Report,
+		})
 	case jobs.StateCancelled:
 		writeError(w, http.StatusGone, fmt.Sprintf("job %q was cancelled", id))
 	case jobs.StateFailed:

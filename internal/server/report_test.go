@@ -1,0 +1,185 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"lagraph/internal/algo"
+)
+
+// reportNonEmpty mirrors RunReport.NonEmpty on the decoded JSON shape.
+func reportNonEmpty(rep map[string]any) bool {
+	if n, _ := rep["iterations"].(float64); n > 0 {
+		return true
+	}
+	if m, _ := rep["method"].(string); m != "" {
+		return true
+	}
+	if c, _ := rep["counters"].(map[string]any); len(c) > 0 {
+		return true
+	}
+	return false
+}
+
+// TestExplainAllCatalogedAlgorithms is the acceptance sweep: every
+// algorithm the catalog registers must return a non-empty run report via
+// ?explain=1 — proving the probe threads through every kernel — while
+// the default (no explain) wire shape stays report-free.
+func TestExplainAllCatalogedAlgorithms(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	loadSyntheticGraph(t, ts.URL, "und", "kron", 7)
+
+	for _, name := range algo.Default().Names() {
+		t.Run(name, func(t *testing.T) {
+			url := fmt.Sprintf("%s/graphs/und/algorithms/%s?explain=1", ts.URL, name)
+			code, body := doJSON(t, "POST", url, nil)
+			if code != 200 {
+				t.Fatalf("explain %s: status %d, body %v", name, code, body)
+			}
+			rep, ok := body["report"].(map[string]any)
+			if !ok {
+				t.Fatalf("explain %s: no report in %v", name, body)
+			}
+			if rep["algorithm"] != name {
+				t.Errorf("report.algorithm = %v, want %q", rep["algorithm"], name)
+			}
+			if !reportNonEmpty(rep) {
+				t.Errorf("explain %s: empty report %v", name, rep)
+			}
+			if _, ok := rep["kernel_seconds"]; !ok {
+				t.Errorf("explain %s: report missing kernel_seconds: %v", name, rep)
+			}
+		})
+	}
+
+	// Without explain the envelope must stay exactly as before: no report
+	// key, even though the cached response carries one internally.
+	code, body := doJSON(t, "POST", ts.URL+"/graphs/und/algorithms/cc", nil)
+	if code != 200 {
+		t.Fatalf("plain cc: %d %v", code, body)
+	}
+	if _, ok := body["report"]; ok {
+		t.Fatalf("plain response leaked the report: %v", body)
+	}
+	// The same cached computation, re-requested with explain, still has it:
+	// reports survive result-cache hits.
+	code, body = doJSON(t, "POST", ts.URL+"/graphs/und/algorithms/cc?explain=1", nil)
+	if code != 200 {
+		t.Fatalf("explain cc after cache: %d %v", code, body)
+	}
+	if _, ok := body["report"].(map[string]any); !ok {
+		t.Fatalf("cache-served explain lost the report: %v", body)
+	}
+}
+
+// TestJobReportEndpoint covers GET /jobs/{id}/report: the async surface
+// of the same run report.
+func TestJobReportEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	loadSyntheticGraph(t, ts.URL, "g", "kron", 7)
+
+	code, job := doJSON(t, "POST", ts.URL+"/graphs/g/jobs", map[string]any{
+		"algorithm": "pagerank", "params": map[string]any{"max_iter": 20},
+	})
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %v", code, job)
+	}
+	id := job["id"].(string)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, info := doJSON(t, "GET", ts.URL+"/jobs/"+id, nil)
+		if code != 200 {
+			t.Fatalf("poll: %d", code)
+		}
+		if info["state"] == "done" {
+			break
+		}
+		if info["state"] == "failed" || info["state"] == "cancelled" {
+			t.Fatalf("job ended %v: %v", info["state"], info["error"])
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	code, body := doJSON(t, "GET", ts.URL+"/jobs/"+id+"/report", nil)
+	if code != 200 {
+		t.Fatalf("report: %d %v", code, body)
+	}
+	rep, ok := body["report"].(map[string]any)
+	if !ok {
+		t.Fatalf("no report in %v", body)
+	}
+	if rep["algorithm"] != "pagerank" || !reportNonEmpty(rep) {
+		t.Fatalf("bad report: %v", rep)
+	}
+	if body["graph"] != "g" || body["job"] != id {
+		t.Fatalf("report envelope: %v", body)
+	}
+	// The plain result endpoint stays report-free.
+	code, res := doJSON(t, "GET", ts.URL+"/jobs/"+id+"/result", nil)
+	if code != 200 {
+		t.Fatalf("result: %d", code)
+	}
+	if _, ok := res["report"]; ok {
+		t.Fatalf("result leaked the report: %v", res)
+	}
+
+	if code, _ := doJSON(t, "GET", ts.URL+"/jobs/nope/report", nil); code != 404 {
+		t.Fatalf("unknown job report: %d, want 404", code)
+	}
+}
+
+// TestTraceRouteFilter covers GET /debug/traces?route= (and its
+// composition with ?limit=).
+func TestTraceRouteFilter(t *testing.T) {
+	ts, _ := newTestServer(t, 0)
+	for i := 0; i < 3; i++ {
+		if code, _ := doJSON(t, "GET", ts.URL+"/healthz", nil); code != 200 {
+			t.Fatal("healthz failed")
+		}
+		if code, _ := doJSON(t, "GET", ts.URL+"/stats", nil); code != 200 {
+			t.Fatal("stats failed")
+		}
+	}
+
+	code, body := doJSON(t, "GET", ts.URL+"/debug/traces?route=/healthz", nil)
+	if code != 200 {
+		t.Fatalf("traces: %d", code)
+	}
+	traces := body["traces"].([]any)
+	if len(traces) != 3 {
+		t.Fatalf("got %d /healthz traces, want 3: %v", len(traces), body)
+	}
+	for _, raw := range traces {
+		tr := raw.(map[string]any)
+		spans := tr["spans"].([]any)
+		root := spans[0].(map[string]any)
+		found := false
+		for _, a := range root["attrs"].([]any) {
+			attr := a.(map[string]any)
+			if attr["key"] == "route" && attr["value"] == "/healthz" {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("filtered trace is not /healthz: %v", tr)
+		}
+	}
+
+	// limit applies after the filter: 2 of the 3 matches.
+	code, body = doJSON(t, "GET", ts.URL+"/debug/traces?route=/healthz&limit=2", nil)
+	if code != 200 || int(body["count"].(float64)) != 2 {
+		t.Fatalf("route+limit: %d %v", code, body)
+	}
+
+	// A route nobody hit filters to zero, not an error.
+	code, body = doJSON(t, "GET", ts.URL+"/debug/traces?route=/graphs", nil)
+	if code != 200 || int(body["count"].(float64)) != 0 {
+		t.Fatalf("unmatched route: %d %v", code, body)
+	}
+}

@@ -14,6 +14,7 @@
 //	GET    /jobs                            list jobs
 //	GET    /jobs/{id}                       job status
 //	GET    /jobs/{id}/result                job result once done
+//	GET    /jobs/{id}/report                the run's introspection report
 //	DELETE /jobs/{id}                       cancel a job
 //	GET    /healthz                         liveness probe
 //	GET    /stats                           registry + jobs + server counters
@@ -131,6 +132,11 @@ type Server struct {
 	algErrors *obs.Counter
 	httpReqs  *obs.CounterVec   // http_requests_total{route,method,code}
 	httpSecs  *obs.HistogramVec // http_request_seconds{route}
+
+	// Per-algorithm run-report aggregates, fed from every kernel's probe.
+	algIters     *obs.CounterVec // algorithm_iterations_total{algorithm}
+	algConverged *obs.CounterVec // algorithm_converged_total{algorithm,converged}
+	algWork      *obs.CounterVec // algorithm_work_total{algorithm,counter}
 }
 
 // New builds a Server around an existing registry.
@@ -185,6 +191,12 @@ func New(reg *registry.Registry, opts Options) *Server {
 		algErrors: o.Counter("algorithm_errors_total", "Algorithm runs that failed server-side (property or kernel faults)."),
 		httpReqs:  o.CounterVec("http_requests_total", "HTTP requests by route, method and status code.", "route", "method", "code"),
 		httpSecs:  o.HistogramVec("http_request_seconds", "HTTP request latency by route.", nil, "route"),
+		algIters: o.CounterVec("algorithm_iterations_total",
+			"Kernel iterations executed (BFS levels, PageRank sweeps, SSSP buckets, FastSV rounds), from run reports.", "algorithm"),
+		algConverged: o.CounterVec("algorithm_converged_total",
+			"Iterative kernel completions by convergence outcome, from run reports.", "algorithm", "converged"),
+		algWork: o.CounterVec("algorithm_work_total",
+			"Named kernel work counters (relaxations, nnz processed), from run reports.", "algorithm", "counter"),
 	}
 	o.GaugeFunc("http_in_flight", "Requests currently holding a limiter slot.",
 		func() float64 { return float64(len(s.sem)) })
@@ -222,6 +234,7 @@ func New(reg *registry.Registry, opts Options) *Server {
 	s.mux.HandleFunc("GET /jobs", s.instrumented("/jobs", s.handleListJobs))
 	s.mux.HandleFunc("GET /jobs/{id}", s.instrumented("/jobs/{id}", s.handleGetJob))
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.instrumented("/jobs/{id}/result", s.handleJobResult))
+	s.mux.HandleFunc("GET /jobs/{id}/report", s.instrumented("/jobs/{id}/report", s.handleJobReport))
 	s.mux.HandleFunc("DELETE /jobs/{id}", s.instrumented("/jobs/{id}", s.handleCancelJob))
 	// Catalog introspection is cheap and read-only; it bypasses the
 	// limiter so clients can discover the API even under load.
