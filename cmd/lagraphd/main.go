@@ -12,11 +12,21 @@
 // and a restart recovers every graph at the version it last published
 // (see internal/store).
 //
-// Observability: GET /metrics serves every subsystem's counters in the
-// Prometheus text format, GET /debug/traces serves recent request traces
-// (ids propagate via X-Trace-Id), the access and slow-query logs are
-// structured slog records (-log-level, -log-format, -slow-query), and
-// -pprof-addr exposes net/http/pprof on its own listener.
+// Observability: GET /metrics serves every subsystem's counters — plus
+// Go-runtime telemetry (heap, GC pauses, goroutines, scheduling latency)
+// — in the Prometheus text format, GET /debug/traces serves recent
+// request traces (ids propagate via X-Trace-Id), the access and
+// slow-query logs are structured slog records (-log-level, -log-format,
+// -slow-query), and -pprof-addr exposes net/http/pprof on its own
+// listener. A built-in flight recorder (-incident-window, default 30s)
+// continuously rings recent logs, traces and metric snapshots; anomalies
+// — a slow query, a failed job, a saturated queue, a WAL fsync stall
+// (-fsync-alert), a heap high-watermark crossing (-heap-alert-bytes) —
+// freeze the ring into incidents served by GET /debug/incidents, and
+// GET /debug/bundle ships everything (incidents, current scrape, build
+// info, recent traces, component health, a goroutine dump) as one
+// tar.gz. GET /healthz reports per-component readiness: store
+// writability, job-queue headroom, compactor liveness.
 //
 // Quickstart:
 //
@@ -31,6 +41,8 @@
 //	curl localhost:8080/jobs
 //	curl localhost:8080/stats
 //	curl localhost:8080/metrics
+//	curl localhost:8080/debug/incidents
+//	curl localhost:8080/debug/bundle | tar tz
 package main
 
 import (
@@ -106,9 +118,14 @@ func main() {
 
 		logLevel      = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		logFormat     = flag.String("log-format", "text", "log encoding: text|json")
-		slowQuery     = flag.Duration("slow-query", 0, "log requests at least this slow with their span breakdown (0 disables)")
+		slowQuery     = flag.Duration("slow-query", 0, "log requests at least this slow with their span breakdown, and capture a slow_query incident (0 disables)")
 		traceCapacity = flag.Int("trace-capacity", 0, "finished-trace ring size served by /debug/traces (0 = 256)")
 		pprofAddr     = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty disables)")
+
+		incidentWindow   = flag.Duration("incident-window", 30*time.Second, "flight-recorder lookback per incident and per-trigger debounce (0 disables the recorder)")
+		incidentCapacity = flag.Int("incident-capacity", 0, "retained-incident bound served by /debug/incidents (0 = 16)")
+		fsyncAlert       = flag.Duration("fsync-alert", 0, "capture a wal_fsync_stall incident when one WAL append+fsync is at least this slow (0 disables; with -data-dir)")
+		heapAlertBytes   = flag.Int64("heap-alert-bytes", 0, "capture a heap_watermark incident when the heap high watermark crosses this many bytes (0 disables)")
 	)
 	flag.Parse()
 
@@ -157,6 +174,10 @@ func main() {
 		Logger:           logger,
 		SlowThreshold:    *slowQuery,
 		TraceCapacity:    *traceCapacity,
+		IncidentWindow:   *incidentWindow,
+		IncidentCapacity: *incidentCapacity,
+		FsyncAlert:       *fsyncAlert,
+		HeapAlertBytes:   *heapAlertBytes,
 	})
 	if st != nil {
 		stats := st.StatsSnapshot()

@@ -122,6 +122,15 @@ type Options struct {
 	// once. Nil selects a private registry (the instruments still work;
 	// they are simply not scraped).
 	Obs *obs.Registry
+	// OnFailed, when set, is invoked off the engine mutex each time a
+	// job reaches the failed state (not cancelled, not done) — the
+	// flight recorder's job-failure trigger.
+	OnFailed func(key Key, err error)
+	// OnSaturated, when set, is invoked each time a submission is
+	// rejected with ErrQueueFull — the flight recorder's
+	// queue-saturation trigger. queued/depth describe the queue at
+	// rejection time.
+	OnSaturated func(queued, depth int)
 }
 
 func (o *Options) fill() {
@@ -439,7 +448,11 @@ func (e *Engine) Submit(req Request) (j *Job, isNew bool, err error) {
 	select {
 	case e.queue <- j:
 	default:
+		queued := len(e.queue)
 		e.mu.Unlock()
+		if e.opts.OnSaturated != nil {
+			e.opts.OnSaturated(queued, e.opts.QueueDepth)
+		}
 		return nil, false, fmt.Errorf("%w (depth %d)", ErrQueueFull, e.opts.QueueDepth)
 	}
 	e.submitted.Inc()
@@ -565,6 +578,10 @@ func (e *Engine) finishLocked(j *Job, v any, err error) []func() {
 	close(j.done)
 	hooks := j.onDone
 	j.onDone = nil
+	if j.state == StateFailed && e.opts.OnFailed != nil {
+		key, ferr := j.key, j.err
+		hooks = append(hooks, func() { e.opts.OnFailed(key, ferr) })
+	}
 	return hooks
 }
 
@@ -666,6 +683,13 @@ func (e *Engine) WaitOrAbandon(ctx context.Context, j *Job) bool {
 // dropping a deleted graph's results frees their memory immediately.
 func (e *Engine) InvalidateGraph(name string) int {
 	return e.cache.invalidateGraph(name)
+}
+
+// QueueHeadroom reports queued jobs against the queue bound — the
+// /healthz queue-component probe. queued == depth means the next
+// submission answers 429.
+func (e *Engine) QueueHeadroom() (queued, depth int) {
+	return int(e.queuedG.Int()), e.opts.QueueDepth
 }
 
 // StatsSnapshot returns the engine counters. The values are read from

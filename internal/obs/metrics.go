@@ -297,6 +297,16 @@ type GaugeVec struct{ f *family }
 
 func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).gauge }
 
+// Func makes the series for the given label values collect fn at scrape
+// time — the labeled sibling of GaugeFunc, used for per-component
+// readiness where the value is defined by a probe, not a setter.
+func (v *GaugeVec) Func(fn func() float64, values ...string) {
+	s := v.f.get(values)
+	v.f.mu.Lock()
+	s.collect = fn
+	v.f.mu.Unlock()
+}
+
 // GaugeVec registers (or returns) a labeled gauge family.
 func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
 	return &GaugeVec{r.register(name, help, kindGauge, labels, nil)}

@@ -1,0 +1,533 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+)
+
+// Flight recorder: a bounded in-memory black box that continuously
+// records recent slog records, finished-trace summaries and periodic
+// metric snapshots. When an anomaly trigger fires — a slow query, a
+// failed job, a saturated queue, a WAL fsync stall, a heap
+// high-watermark crossing — the rings are frozen into an Incident: the
+// last Window of evidence plus on-demand goroutine and heap profile
+// summaries, captured at the moment the anomaly happened instead of
+// whenever a human shows up. Incidents are retained in a bounded list
+// served by GET /debug/incidents[/{id}] and bundled by
+// GET /debug/bundle.
+//
+// Triggers debounce per kind: a burst of identical anomalies inside one
+// Window folds into the existing incident (its Coalesced counter
+// counts the folds) instead of minting 100 near-identical captures.
+//
+// All methods are nil-receiver safe, so a server built without a
+// recorder (-incident-window 0) wires the same call sites and pays
+// nothing — not even an allocation — on the request hot path.
+
+// TriggerKind classifies what froze the ring.
+type TriggerKind string
+
+const (
+	TriggerSlowQuery      TriggerKind = "slow_query"
+	TriggerJobFailure     TriggerKind = "job_failure"
+	TriggerQueueSaturated TriggerKind = "queue_saturated"
+	TriggerFsyncStall     TriggerKind = "wal_fsync_stall"
+	TriggerHeapWatermark  TriggerKind = "heap_watermark"
+)
+
+// LogRecord is one captured slog record.
+type LogRecord struct {
+	Time  time.Time `json:"time"`
+	Level string    `json:"level"`
+	Msg   string    `json:"msg"`
+	Attrs []Attr    `json:"attrs,omitempty"`
+}
+
+// MetricSnapshot is one timestamped sample of the runtime metric set.
+type MetricSnapshot struct {
+	Time   time.Time          `json:"time"`
+	Values map[string]float64 `json:"values"`
+}
+
+// GoroutineSummary is the on-demand goroutine profile capture.
+type GoroutineSummary struct {
+	Count int    `json:"count"`
+	Dump  string `json:"dump"` // pprof "goroutine" debug=1 text, size-capped
+}
+
+// HeapSummary is the on-demand heap profile capture.
+type HeapSummary struct {
+	AllocBytes        uint64  `json:"alloc_bytes"`
+	SysBytes          uint64  `json:"sys_bytes"`
+	Objects           uint64  `json:"objects"`
+	GCCycles          uint32  `json:"gc_cycles"`
+	PauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+}
+
+// Incident is one frozen capture.
+type Incident struct {
+	ID            string      `json:"id"`
+	Kind          TriggerKind `json:"kind"`
+	Detail        string      `json:"detail"`
+	At            time.Time   `json:"at"`
+	WindowSeconds float64     `json:"window_seconds"`
+	// Coalesced counts later triggers of the same kind folded into this
+	// incident because they fired inside its debounce window.
+	Coalesced  int64            `json:"coalesced"`
+	Logs       []LogRecord      `json:"logs"`
+	Traces     []TraceInfo      `json:"traces"`
+	Snapshots  []MetricSnapshot `json:"metric_snapshots"`
+	Goroutines GoroutineSummary `json:"goroutines"`
+	Heap       HeapSummary      `json:"heap"`
+}
+
+// IncidentSummary is the list-endpoint rendering: identity and counts,
+// not the full capture.
+type IncidentSummary struct {
+	ID            string      `json:"id"`
+	Kind          TriggerKind `json:"kind"`
+	Detail        string      `json:"detail"`
+	At            time.Time   `json:"at"`
+	WindowSeconds float64     `json:"window_seconds"`
+	Coalesced     int64       `json:"coalesced"`
+	Logs          int         `json:"logs"`
+	Traces        int         `json:"traces"`
+	Snapshots     int         `json:"metric_snapshots"`
+}
+
+// stamped pairs a ring entry with its record time so incident capture
+// can cut the ring at the window boundary.
+type stamped[T any] struct {
+	at time.Time
+	v  T
+}
+
+// flightRing is a bounded ring of timestamped entries.
+type flightRing[T any] struct {
+	buf  []stamped[T]
+	next int
+	capn int
+}
+
+func newFlightRing[T any](capn int) *flightRing[T] {
+	return &flightRing[T]{capn: capn}
+}
+
+func (r *flightRing[T]) push(at time.Time, v T) {
+	if len(r.buf) < r.capn {
+		r.buf = append(r.buf, stamped[T]{at, v})
+		return
+	}
+	r.buf[r.next] = stamped[T]{at, v}
+	r.next = (r.next + 1) % r.capn
+}
+
+// since returns the entries recorded at or after cutoff, oldest first.
+// Entries are value copies taken at record time, so nothing the caller
+// gets can be mutated by a concurrent eviction.
+func (r *flightRing[T]) since(cutoff time.Time) []T {
+	ordered := r.buf
+	if len(r.buf) == r.capn && r.next > 0 {
+		ordered = make([]stamped[T], 0, len(r.buf))
+		ordered = append(ordered, r.buf[r.next:]...)
+		ordered = append(ordered, r.buf[:r.next]...)
+	}
+	out := make([]T, 0, len(ordered))
+	for _, s := range ordered {
+		if !s.at.Before(cutoff) {
+			out = append(out, s.v)
+		}
+	}
+	return out
+}
+
+// RecorderOptions configures a Recorder.
+type RecorderOptions struct {
+	// Window is both the lookback captured into each incident and the
+	// per-kind trigger debounce. <= 0 means 30s.
+	Window time.Duration
+	// Capacity bounds retained incidents (oldest evicted). <= 0 means 16.
+	Capacity int
+	// LogCapacity bounds the log ring. <= 0 means 512.
+	LogCapacity int
+	// TraceCapacity bounds the finished-trace ring. <= 0 means 128.
+	TraceCapacity int
+	// SnapshotCapacity bounds the metric-snapshot ring. <= 0 means 32.
+	SnapshotCapacity int
+	// SnapshotInterval paces the background sampler. <= 0 means
+	// min(Window/4, 5s), floored at 1s.
+	SnapshotInterval time.Duration
+	// MaxDumpBytes caps the goroutine dump text per incident. <= 0 means
+	// 64 KiB.
+	MaxDumpBytes int
+	// Source produces one metric snapshot (typically
+	// RuntimeSource.Snapshot). Nil disables periodic sampling; incidents
+	// still capture one fresh snapshot... of nothing, so wire it.
+	Source func() map[string]float64
+	// Obs receives the recorder's own families (incidents_total,
+	// incidents_coalesced_total, incidents_retained). Nil keeps them
+	// private.
+	Obs *Registry
+}
+
+// Recorder is the flight recorder.
+type Recorder struct {
+	opts RecorderOptions
+
+	mu         sync.Mutex
+	logs       *flightRing[LogRecord]
+	traces     *flightRing[TraceInfo]
+	snaps      *flightRing[MetricSnapshot]
+	incidents  []*Incident // oldest first
+	lastByKind map[TriggerKind]*Incident
+	seq        int64
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stopCh    chan struct{}
+	wg        sync.WaitGroup
+
+	incidentsTotal *CounterVec
+	coalescedTotal *CounterVec
+}
+
+// NewRecorder builds a recorder. Call Start to run the snapshot sampler
+// and Stop on shutdown.
+func NewRecorder(opts RecorderOptions) *Recorder {
+	if opts.Window <= 0 {
+		opts.Window = 30 * time.Second
+	}
+	if opts.Capacity <= 0 {
+		opts.Capacity = 16
+	}
+	if opts.LogCapacity <= 0 {
+		opts.LogCapacity = 512
+	}
+	if opts.TraceCapacity <= 0 {
+		opts.TraceCapacity = 128
+	}
+	if opts.SnapshotCapacity <= 0 {
+		opts.SnapshotCapacity = 32
+	}
+	if opts.SnapshotInterval <= 0 {
+		opts.SnapshotInterval = min(opts.Window/4, 5*time.Second)
+		if opts.SnapshotInterval < time.Second {
+			opts.SnapshotInterval = time.Second
+		}
+	}
+	if opts.MaxDumpBytes <= 0 {
+		opts.MaxDumpBytes = 64 << 10
+	}
+	reg := opts.Obs
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	r := &Recorder{
+		opts:       opts,
+		logs:       newFlightRing[LogRecord](opts.LogCapacity),
+		traces:     newFlightRing[TraceInfo](opts.TraceCapacity),
+		snaps:      newFlightRing[MetricSnapshot](opts.SnapshotCapacity),
+		lastByKind: make(map[TriggerKind]*Incident),
+		stopCh:     make(chan struct{}),
+		incidentsTotal: reg.CounterVec("incidents_total",
+			"Incidents captured by the flight recorder.", "kind"),
+		coalescedTotal: reg.CounterVec("incidents_coalesced_total",
+			"Triggers folded into an existing incident inside its debounce window.", "kind"),
+	}
+	reg.GaugeFunc("incidents_retained",
+		"Incidents currently retained by the flight recorder.",
+		func() float64 {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return float64(len(r.incidents))
+		})
+	return r
+}
+
+// Start launches the periodic metric-snapshot sampler. No-op without a
+// Source, and nil-safe.
+func (r *Recorder) Start() {
+	if r == nil || r.opts.Source == nil {
+		return
+	}
+	r.startOnce.Do(func() {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			t := time.NewTicker(r.opts.SnapshotInterval)
+			defer t.Stop()
+			r.RecordSnapshot(r.opts.Source())
+			for {
+				select {
+				case <-r.stopCh:
+					return
+				case <-t.C:
+					r.RecordSnapshot(r.opts.Source())
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the sampler. Nil-safe and idempotent.
+func (r *Recorder) Stop() {
+	if r == nil {
+		return
+	}
+	r.stopOnce.Do(func() { close(r.stopCh) })
+	r.wg.Wait()
+}
+
+// RecordLog feeds one log record into the flight ring. Nil-safe.
+func (r *Recorder) RecordLog(rec LogRecord) {
+	if r == nil {
+		return
+	}
+	if rec.Time.IsZero() {
+		rec.Time = time.Now()
+	}
+	r.mu.Lock()
+	r.logs.push(rec.Time, rec)
+	r.mu.Unlock()
+}
+
+// RecordTrace feeds one finished-trace snapshot into the flight ring.
+// The TraceInfo is a value copy made by Trace.Snapshot, so an incident
+// serializing it later cannot race the tracer's own ring eviction.
+// Nil-safe.
+func (r *Recorder) RecordTrace(ti TraceInfo) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.traces.push(time.Now(), ti)
+	r.mu.Unlock()
+}
+
+// RecordSnapshot feeds one metric snapshot into the flight ring.
+// Nil-safe.
+func (r *Recorder) RecordSnapshot(values map[string]float64) {
+	if r == nil || values == nil {
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.snaps.push(now, MetricSnapshot{Time: now, Values: values})
+	r.mu.Unlock()
+}
+
+// Trigger freezes the rings into an incident, or folds into the
+// previous incident of the same kind when it fired inside the debounce
+// window. Returns the incident id ("" on a nil recorder). Nil-safe.
+func (r *Recorder) Trigger(kind TriggerKind, detail string) string {
+	if r == nil {
+		return ""
+	}
+	now := time.Now()
+	r.mu.Lock()
+	if last := r.lastByKind[kind]; last != nil && now.Sub(last.At) < r.opts.Window {
+		last.Coalesced++
+		id := last.ID
+		r.mu.Unlock()
+		r.coalescedTotal.With(string(kind)).Inc()
+		return id
+	}
+	// New incident: cut the rings at the window boundary under the lock,
+	// so concurrent feeds cannot tear the capture.
+	cutoff := now.Add(-r.opts.Window)
+	r.seq++
+	inc := &Incident{
+		ID:            fmt.Sprintf("inc-%06d", r.seq),
+		Kind:          kind,
+		Detail:        detail,
+		At:            now,
+		WindowSeconds: r.opts.Window.Seconds(),
+		Logs:          r.logs.since(cutoff),
+		Traces:        r.traces.since(cutoff),
+		Snapshots:     r.snaps.since(cutoff),
+	}
+	r.incidents = append(r.incidents, inc)
+	if len(r.incidents) > r.opts.Capacity {
+		drop := r.incidents[0]
+		if r.lastByKind[drop.Kind] == drop {
+			delete(r.lastByKind, drop.Kind)
+		}
+		r.incidents = append([]*Incident(nil), r.incidents[1:]...)
+	}
+	r.lastByKind[kind] = inc
+	r.mu.Unlock()
+
+	// Profile summaries stop the world briefly; collect them off the
+	// lock so the hot-path feeds never wait on pprof.
+	g, h := captureProfiles(r.opts.MaxDumpBytes)
+	var fresh *MetricSnapshot
+	if r.opts.Source != nil {
+		// Always capture one at-incident snapshot: the sampler may not
+		// have ticked yet, and the acceptance contract is that every
+		// incident carries at least one metric snapshot.
+		fresh = &MetricSnapshot{Time: time.Now(), Values: r.opts.Source()}
+	}
+	r.mu.Lock()
+	inc.Goroutines, inc.Heap = g, h
+	if fresh != nil {
+		r.snaps.push(fresh.Time, *fresh)
+		inc.Snapshots = append(inc.Snapshots, *fresh)
+	}
+	r.mu.Unlock()
+	r.incidentsTotal.With(string(kind)).Inc()
+	return inc.ID
+}
+
+// Incidents lists retained incidents, newest first. Nil-safe.
+func (r *Recorder) Incidents() []IncidentSummary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]IncidentSummary, 0, len(r.incidents))
+	for i := len(r.incidents) - 1; i >= 0; i-- {
+		inc := r.incidents[i]
+		out = append(out, IncidentSummary{
+			ID:            inc.ID,
+			Kind:          inc.Kind,
+			Detail:        inc.Detail,
+			At:            inc.At,
+			WindowSeconds: inc.WindowSeconds,
+			Coalesced:     inc.Coalesced,
+			Logs:          len(inc.Logs),
+			Traces:        len(inc.Traces),
+			Snapshots:     len(inc.Snapshots),
+		})
+	}
+	return out
+}
+
+// Incident returns one retained incident by id. The returned value
+// shares the capture slices (immutable once captured) but copies the
+// mutable header fields under the lock. Nil-safe.
+func (r *Recorder) Incident(id string) (Incident, bool) {
+	if r == nil {
+		return Incident{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, inc := range r.incidents {
+		if inc.ID == id {
+			return *inc, true
+		}
+	}
+	return Incident{}, false
+}
+
+// Dump returns full copies of every retained incident, newest first —
+// the /debug/bundle feed. Nil-safe.
+func (r *Recorder) Dump() []Incident {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Incident, 0, len(r.incidents))
+	for i := len(r.incidents) - 1; i >= 0; i-- {
+		out = append(out, *r.incidents[i])
+	}
+	return out
+}
+
+// captureProfiles collects the goroutine and heap summaries.
+func captureProfiles(maxDump int) (GoroutineSummary, HeapSummary) {
+	var buf bytes.Buffer
+	if p := pprof.Lookup("goroutine"); p != nil {
+		_ = p.WriteTo(&buf, 1)
+	}
+	dump := buf.String()
+	if len(dump) > maxDump {
+		dump = dump[:maxDump] + "\n... (truncated)"
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return GoroutineSummary{Count: runtime.NumGoroutine(), Dump: dump},
+		HeapSummary{
+			AllocBytes:        ms.HeapAlloc,
+			SysBytes:          ms.HeapSys,
+			Objects:           ms.HeapObjects,
+			GCCycles:          ms.NumGC,
+			PauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+		}
+}
+
+// WrapHandler tees slog records through the flight ring on their way to
+// inner (slog.DiscardHandler when inner is nil). The tee is always
+// enabled — the ring wants records even when the inner handler's level
+// filters them — so inner's Enabled gates only the inner delivery.
+func (r *Recorder) WrapHandler(inner slog.Handler) slog.Handler {
+	if inner == nil {
+		inner = slog.DiscardHandler
+	}
+	return &recorderHandler{rec: r, inner: inner}
+}
+
+// recorderHandler is the slog tee.
+type recorderHandler struct {
+	rec    *Recorder
+	inner  slog.Handler
+	attrs  []Attr // accumulated WithAttrs, already flattened
+	prefix string // accumulated WithGroup, "a.b." style
+}
+
+func (h *recorderHandler) Enabled(context.Context, slog.Level) bool { return true }
+
+func (h *recorderHandler) Handle(ctx context.Context, rec slog.Record) error {
+	lr := LogRecord{Time: rec.Time, Level: rec.Level.String(), Msg: rec.Message}
+	lr.Attrs = append(lr.Attrs, h.attrs...)
+	rec.Attrs(func(a slog.Attr) bool {
+		lr.Attrs = appendFlatAttr(lr.Attrs, h.prefix, a)
+		return true
+	})
+	h.rec.RecordLog(lr)
+	if h.inner.Enabled(ctx, rec.Level) {
+		return h.inner.Handle(ctx, rec)
+	}
+	return nil
+}
+
+func (h *recorderHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.inner = h.inner.WithAttrs(attrs)
+	nh.attrs = append([]Attr(nil), h.attrs...)
+	for _, a := range attrs {
+		nh.attrs = appendFlatAttr(nh.attrs, h.prefix, a)
+	}
+	return &nh
+}
+
+func (h *recorderHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	nh.inner = h.inner.WithGroup(name)
+	nh.prefix = h.prefix + name + "."
+	return &nh
+}
+
+// appendFlatAttr renders a slog.Attr as flat key/value strings, dotting
+// group members.
+func appendFlatAttr(dst []Attr, prefix string, a slog.Attr) []Attr {
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		p := prefix
+		if a.Key != "" {
+			p = prefix + a.Key + "."
+		}
+		for _, m := range v.Group() {
+			dst = appendFlatAttr(dst, p, m)
+		}
+		return dst
+	}
+	return append(dst, Attr{Key: prefix + a.Key, Value: v.String()})
+}

@@ -1,0 +1,236 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTriggerDebounce is the coalescing contract: a burst of 100
+// identical anomalies inside one incident window produces exactly one
+// incident whose Coalesced counter records the folds — not 100 captures.
+func TestTriggerDebounce(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRecorder(RecorderOptions{Window: time.Hour, Obs: reg})
+
+	var first string
+	for i := 0; i < 100; i++ {
+		id := r.Trigger(TriggerSlowQuery, fmt.Sprintf("burst %d", i))
+		if i == 0 {
+			first = id
+		} else if id != first {
+			t.Fatalf("trigger %d minted new incident %s, want fold into %s", i, id, first)
+		}
+	}
+	incs := r.Incidents()
+	if len(incs) != 1 {
+		t.Fatalf("retained %d incidents, want 1", len(incs))
+	}
+	if incs[0].Coalesced != 99 {
+		t.Fatalf("coalesced = %d, want 99", incs[0].Coalesced)
+	}
+	// A different kind inside the same window is a new incident.
+	if id := r.Trigger(TriggerJobFailure, "boom"); id == first {
+		t.Fatal("distinct kind coalesced into the slow-query incident")
+	}
+	if got := len(r.Incidents()); got != 2 {
+		t.Fatalf("retained %d incidents after second kind, want 2", got)
+	}
+
+	// The recorder's own families agree.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`incidents_total{kind="slow_query"} 1`,
+		`incidents_coalesced_total{kind="slow_query"} 99`,
+		`incidents_total{kind="job_failure"} 1`,
+		"incidents_retained 2",
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestIncidentWindowCut asserts an incident captures only ring entries
+// inside the lookback window, and always at least one metric snapshot.
+func TestIncidentWindowCut(t *testing.T) {
+	r := NewRecorder(RecorderOptions{
+		Window: 10 * time.Second,
+		Source: func() map[string]float64 { return map[string]float64{"x": 1} },
+	})
+	r.RecordLog(LogRecord{Time: time.Now().Add(-time.Minute), Level: "INFO", Msg: "ancient"})
+	r.RecordLog(LogRecord{Time: time.Now(), Level: "WARN", Msg: "recent"})
+
+	id := r.Trigger(TriggerFsyncStall, "wal stalled")
+	inc, ok := r.Incident(id)
+	if !ok {
+		t.Fatalf("incident %s not retrievable", id)
+	}
+	if len(inc.Logs) != 1 || inc.Logs[0].Msg != "recent" {
+		t.Fatalf("captured logs = %+v, want only the recent record", inc.Logs)
+	}
+	if len(inc.Snapshots) == 0 {
+		t.Fatal("incident carries no metric snapshot; the at-trigger capture must always run")
+	}
+	if inc.Goroutines.Count <= 0 || inc.Goroutines.Dump == "" {
+		t.Fatalf("goroutine summary empty: %+v", inc.Goroutines)
+	}
+	if inc.Heap.SysBytes == 0 {
+		t.Fatalf("heap summary empty: %+v", inc.Heap)
+	}
+	if inc.WindowSeconds != 10 {
+		t.Fatalf("window_seconds = %v, want 10", inc.WindowSeconds)
+	}
+}
+
+// TestIncidentEviction bounds retention: the oldest incident is dropped
+// (and its debounce anchor cleared) once capacity is exceeded.
+func TestIncidentEviction(t *testing.T) {
+	r := NewRecorder(RecorderOptions{Window: time.Hour, Capacity: 2})
+	a := r.Trigger(TriggerSlowQuery, "a")
+	b := r.Trigger(TriggerJobFailure, "b")
+	c := r.Trigger(TriggerFsyncStall, "c")
+
+	if _, ok := r.Incident(a); ok {
+		t.Fatal("oldest incident survived past capacity")
+	}
+	for _, id := range []string{b, c} {
+		if _, ok := r.Incident(id); !ok {
+			t.Fatalf("incident %s evicted early", id)
+		}
+	}
+	// The evicted incident's kind can capture again immediately: its
+	// debounce anchor left with it.
+	if id := r.Trigger(TriggerSlowQuery, "a2"); id == a {
+		t.Fatal("evicted incident still anchors its kind's debounce")
+	}
+	if got := len(r.Incidents()); got != 2 {
+		t.Fatalf("retained %d, want 2", got)
+	}
+}
+
+// TestNilRecorderZeroAlloc pins the disabled path: a server built
+// without a flight recorder wires the same call sites with a nil
+// *Recorder, and those calls must cost zero allocations on the request
+// hot path.
+func TestNilRecorderZeroAlloc(t *testing.T) {
+	var r *Recorder
+	rec := LogRecord{Time: time.Now(), Level: "INFO", Msg: "m"}
+	ti := TraceInfo{ID: "t"}
+	vals := map[string]float64{"x": 1}
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.RecordLog(rec)
+		r.RecordTrace(ti)
+		r.RecordSnapshot(vals)
+		if r.Trigger(TriggerSlowQuery, "slow") != "" {
+			t.Fatal("nil recorder returned an incident id")
+		}
+		r.Start()
+		r.Stop()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled-recorder path allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestRecorderHandlerTee drives slog through the wrapping handler: every
+// record lands in the flight ring regardless of the inner handler's
+// level, WithAttrs/WithGroup context is flattened into dotted keys, and
+// the inner handler still only sees what its level admits.
+func TestRecorderHandlerTee(t *testing.T) {
+	r := NewRecorder(RecorderOptions{Window: time.Hour})
+	var sink strings.Builder
+	inner := slog.NewTextHandler(&sink, &slog.HandlerOptions{Level: slog.LevelWarn})
+	lg := slog.New(r.WrapHandler(inner)).With("svc", "lagraphd").WithGroup("req")
+
+	lg.Info("below level", "route", "/healthz")
+	lg.Warn("at level", slog.Group("timing", slog.Duration("elapsed", time.Second)))
+
+	inc, _ := r.Incident(r.Trigger(TriggerSlowQuery, "capture"))
+	if len(inc.Logs) != 2 {
+		t.Fatalf("ring captured %d records, want 2 (level must not gate the tee)", len(inc.Logs))
+	}
+	attrs := map[string]string{}
+	for _, rec := range inc.Logs {
+		for _, a := range rec.Attrs {
+			attrs[a.Key] = a.Value
+		}
+	}
+	if attrs["svc"] != "lagraphd" {
+		t.Errorf("WithAttrs context lost: %v", attrs)
+	}
+	if attrs["req.route"] != "/healthz" {
+		t.Errorf("group prefix lost: %v", attrs)
+	}
+	if _, ok := attrs["req.timing.elapsed"]; !ok {
+		t.Errorf("nested group not flattened: %v", attrs)
+	}
+	if strings.Contains(sink.String(), "below level") {
+		t.Error("inner handler received a record its level filters")
+	}
+	if !strings.Contains(sink.String(), "at level") {
+		t.Error("inner handler missed an admitted record")
+	}
+}
+
+// TestTraceEvictionDuringCaptureRace is the regression for the
+// half-serialized-trace bug: traces finishing (and evicting ring
+// entries, mutating spans) while incident captures serialize the flight
+// ring must never tear — the recorder holds value snapshots cut by
+// Trace.Snapshot, not live *Trace pointers. Run under -race in CI.
+func TestTraceEvictionDuringCaptureRace(t *testing.T) {
+	r := NewRecorder(RecorderOptions{Window: time.Hour, TraceCapacity: 4})
+	tracer := NewTracer(TracerOptions{
+		Capacity: 4,
+		OnFinish: r.RecordTrace,
+	})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // producer: finish traces fast enough to churn both rings
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr := tracer.Start(fmt.Sprintf("race-%d", i))
+			sp := tr.startSpan("work", "", String("i", fmt.Sprint(i)))
+			sp.SetAttr("k", "v")
+			sp.End()
+			tr.Finish()
+		}
+	}()
+	wg.Add(1)
+	go func() { // reader: freeze and serialize concurrently
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			kind := TriggerKind(fmt.Sprintf("kind_%d", i)) // distinct kinds defeat debounce
+			r.Trigger(kind, "capture under churn")
+			if _, err := json.Marshal(r.Dump()); err != nil {
+				t.Errorf("serializing incidents: %v", err)
+				return
+			}
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	for _, inc := range r.Dump() {
+		for _, ti := range inc.Traces {
+			if ti.ID == "" || len(ti.Spans) == 0 {
+				t.Fatalf("half-captured trace in incident %s: %+v", inc.ID, ti)
+			}
+		}
+	}
+}

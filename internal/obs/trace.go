@@ -33,6 +33,10 @@ type TracerOptions struct {
 	// SlowThreshold gates the slow-query log: a finished trace at least
 	// this slow logs a warning with its span breakdown. 0 disables.
 	SlowThreshold time.Duration
+	// OnFinish, when set, receives a snapshot of each finished trace —
+	// the flight recorder's trace feed. The snapshot is a value copy,
+	// safe to hold after the trace is evicted from the ring.
+	OnFinish func(TraceInfo)
 }
 
 // Tracer owns the finished-trace ring.
@@ -198,6 +202,9 @@ func (tr *Trace) Finish() {
 	}
 	t.mu.Unlock()
 	t.log(tr)
+	if t.opts.OnFinish != nil {
+		t.opts.OnFinish(tr.Snapshot())
+	}
 }
 
 // log emits the access-log record and, past the threshold, the

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"strconv"
 	"time"
@@ -64,19 +65,30 @@ func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc
 	}
 }
 
+// Trace-listing bounds: without ?limit= the newest defaultTraceLimit
+// traces render; explicit limits are clamped to maxTraceLimit. Rendering
+// the whole ring (up to -trace-capacity snapshots, each with its span
+// tree) on every curl made the endpoint its own slow query.
+const (
+	defaultTraceLimit = 64
+	maxTraceLimit     = 256
+)
+
 // handleListTraces is GET /debug/traces: the finished-trace ring, newest
-// first, at most ?limit entries, optionally restricted to one registered
-// route with ?route= (matched against the root span's route attribute) so
-// the bounded ring stays usable on a busy daemon.
+// first, at most ?limit entries (default 64, capped at 256), optionally
+// restricted to one registered route with ?route= (matched against the
+// root span's route attribute) so the bounded ring stays usable on a
+// busy daemon.
 func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
-	limit := 0
+	limit := defaultTraceLimit
 	if q := r.URL.Query().Get("limit"); q != "" {
 		n, err := strconv.Atoi(q)
-		if err != nil || n < 0 {
-			writeError(w, http.StatusBadRequest, "limit must be a non-negative integer")
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("limit must be a positive integer (default %d, max %d)", defaultTraceLimit, maxTraceLimit))
 			return
 		}
-		limit = n
+		limit = min(n, maxTraceLimit)
 	}
 	route := r.URL.Query().Get("route")
 	var traces []obs.TraceInfo
@@ -90,13 +102,14 @@ func (s *Server) handleListTraces(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			traces = append(traces, tr)
-			if limit > 0 && len(traces) == limit {
+			if len(traces) == limit {
 				break
 			}
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"started": s.tracer.Started(),
+		"limit":   limit,
 		"count":   len(traces),
 		"traces":  traces,
 	})

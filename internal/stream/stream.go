@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lagraph/internal/grb"
@@ -204,6 +205,11 @@ type Engine struct {
 	compactCh chan string
 	wg        sync.WaitGroup
 
+	// compactorBeat is the unixnano of the compactor goroutine's last
+	// liveness beat — ticked while idle, stamped around each merge — so
+	// /healthz can tell a healthy-but-busy compactor from a dead one.
+	compactorBeat atomic.Int64
+
 	// Engine telemetry: obs instruments shared by StatsSnapshot and the
 	// Prometheus exposition.
 	batches      *obs.Counter
@@ -251,6 +257,7 @@ func NewEngine(reg *registry.Registry, opts Options) *Engine {
 			return float64(len(e.states))
 		})
 	reg.AddRemoveListener(func(name string, _ registry.RemoveReason) { e.Forget(name) })
+	e.beat()
 	e.wg.Add(1)
 	go e.compactor()
 	return e
@@ -646,11 +653,49 @@ func (e *Engine) maybeScheduleCompact(name string, st *graphState) bool {
 	}
 }
 
-// compactor drains compaction requests until Close.
+// compactorBeatInterval paces the compactor's idle liveness beats.
+const compactorBeatInterval = time.Second
+
+// beat stamps the compactor-liveness heartbeat.
+func (e *Engine) beat() { e.compactorBeat.Store(time.Now().UnixNano()) }
+
+// CompactorLive reports whether the compactor goroutine has beaten its
+// heartbeat within staleAfter — the /healthz compactor-component probe.
+// A compactor mid-merge on a huge graph beats only at merge boundaries,
+// so probes should pass a staleAfter comfortably above expected merge
+// times.
+func (e *Engine) CompactorLive(staleAfter time.Duration) (bool, string) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return false, "stream engine closed"
+	}
+	age := time.Since(time.Unix(0, e.compactorBeat.Load()))
+	if age > staleAfter {
+		return false, fmt.Sprintf("no compactor heartbeat for %s", age.Round(time.Millisecond))
+	}
+	return true, ""
+}
+
+// compactor drains compaction requests until Close, beating the
+// liveness heartbeat while idle and around each merge.
 func (e *Engine) compactor() {
 	defer e.wg.Done()
-	for name := range e.compactCh {
-		e.compactOne(name)
+	tick := time.NewTicker(compactorBeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case name, ok := <-e.compactCh:
+			if !ok {
+				return
+			}
+			e.beat()
+			e.compactOne(name)
+			e.beat()
+		case <-tick.C:
+			e.beat()
+		}
 	}
 }
 
