@@ -64,6 +64,7 @@ import (
 	"lagraph/internal/registry"
 	"lagraph/internal/server"
 	"lagraph/internal/store"
+	"lagraph/internal/tenant"
 )
 
 // newLogger builds the daemon's slog logger from the -log-level and
@@ -99,6 +100,7 @@ func main() {
 		maxBytes    = flag.Int64("max-bytes", 1<<30, "registry memory budget in bytes (0 = unlimited)")
 		maxInflight = flag.Int("max-inflight", 0, "max concurrently served requests (0 = 2x worker threads)")
 		maxUpload   = flag.Int64("max-upload-bytes", 64<<20, "max POST /graphs body size")
+		maxParams   = flag.Int64("max-params-bytes", 1<<20, "max algorithm-parameter and job-submission body size")
 		threads     = flag.Int("threads", 0, "kernel worker threads (0 = GOMAXPROCS)")
 		gracePeriod = flag.Duration("grace", 10*time.Second, "graceful-shutdown drain period")
 
@@ -126,6 +128,12 @@ func main() {
 		incidentCapacity = flag.Int("incident-capacity", 0, "retained-incident bound served by /debug/incidents (0 = 16)")
 		fsyncAlert       = flag.Duration("fsync-alert", 0, "capture a wal_fsync_stall incident when one WAL append+fsync is at least this slow (0 disables; with -data-dir)")
 		heapAlertBytes   = flag.Int64("heap-alert-bytes", 0, "capture a heap_watermark incident when the heap high watermark crosses this many bytes (0 disables)")
+
+		authTokens       = flag.String("auth-tokens", "", "tenant token file (JSON); enables multi-tenant mode with bearer auth, per-tenant namespaces and quotas (empty = single-tenant, no auth)")
+		tenantMaxGraphs  = flag.Int("tenant-max-graphs", 0, "default per-tenant resident-graph quota for tenants without their own (0 = unlimited; with -auth-tokens)")
+		tenantMaxBytes   = flag.Int64("tenant-max-bytes", 0, "default per-tenant resident-byte quota (0 = unlimited; with -auth-tokens)")
+		tenantMaxRunning = flag.Int("tenant-max-running", 0, "default per-tenant concurrently running job bound (0 = unlimited; with -auth-tokens)")
+		tenantMaxQueued  = flag.Int("tenant-max-queued", 0, "default per-tenant queued-job bound (0 = unlimited; with -auth-tokens)")
 	)
 	flag.Parse()
 
@@ -142,6 +150,15 @@ func main() {
 
 	if *threads > 0 {
 		parallel.SetMaxThreads(*threads)
+	}
+
+	var tenants *tenant.Config
+	if *authTokens != "" {
+		var err error
+		tenants, err = tenant.Load(*authTokens)
+		if err != nil {
+			fatal("loading tenant tokens", "file", *authTokens, "error", err)
+		}
 	}
 
 	var st *store.Store
@@ -161,6 +178,7 @@ func main() {
 	srv := server.New(reg, server.Options{
 		MaxInFlight:      *maxInflight,
 		MaxUploadBytes:   *maxUpload,
+		MaxParamsBytes:   *maxParams,
 		Workers:          *workers,
 		QueueDepth:       *queueDepth,
 		ResultTTL:        *resultTTL,
@@ -178,7 +196,17 @@ func main() {
 		IncidentCapacity: *incidentCapacity,
 		FsyncAlert:       *fsyncAlert,
 		HeapAlertBytes:   *heapAlertBytes,
+		Tenants:          tenants,
+		TenantDefaults: tenant.Defaults{
+			MaxGraphs:        *tenantMaxGraphs,
+			MaxResidentBytes: *tenantMaxBytes,
+			MaxRunningJobs:   *tenantMaxRunning,
+			MaxQueuedJobs:    *tenantMaxQueued,
+		},
 	})
+	if tenants != nil {
+		logger.Info("multi-tenant mode", "tenants", len(tenants.Tenants), "file", *authTokens)
+	}
 	if st != nil {
 		stats := st.StatsSnapshot()
 		if rec := stats.Recovery; rec != nil {

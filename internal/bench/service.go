@@ -29,8 +29,10 @@ func (r ServiceResult) OK() bool { return r.Err == nil && r.Status >= 200 && r.S
 
 // timedCall issues one timed JSON request: body (if any) is marshalled
 // and sent with a JSON content type, the response is decoded into out (or
-// drained when out is nil), and a non-2xx status becomes an error.
-func timedCall(client *http.Client, op, method, url string, body, out any) ServiceResult {
+// drained when out is nil), and a non-2xx status becomes an error. token,
+// when non-empty, rides as a bearer Authorization header so the workloads
+// can drive a multi-tenant daemon.
+func timedCall(client *http.Client, token, op, method, url string, body, out any) ServiceResult {
 	var rd io.Reader
 	if body != nil {
 		b, err := json.Marshal(body)
@@ -45,6 +47,9 @@ func timedCall(client *http.Client, op, method, url string, body, out any) Servi
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
 	}
 	start := time.Now()
 	resp, err := client.Do(req)
@@ -74,6 +79,7 @@ type ServiceSmokeOptions struct {
 	EdgeFactor int
 	Seed       uint64 // generator seed for every loaded graph (default 42)
 	Client     *http.Client
+	Token      string // bearer token for a multi-tenant daemon (empty = no auth)
 }
 
 // serviceAlgorithms maps each endpoint to its parameters; undirected-only
@@ -113,7 +119,7 @@ func ServiceSmoke(baseURL string, opts ServiceSmokeOptions) []ServiceResult {
 
 	var results []ServiceResult
 	call := func(op, method, url string, body any) ServiceResult {
-		return timedCall(client, op, method, url, body, nil)
+		return timedCall(client, opts.Token, op, method, url, body, nil)
 	}
 
 	for _, class := range GraphNames {
@@ -149,6 +155,7 @@ type MutateChurnOptions struct {
 	Rounds     int    // mutate+query rounds (default 12)
 	BatchOps   int    // edge operations per mutation batch (default 16)
 	Client     *http.Client
+	Token      string // bearer token for a multi-tenant daemon (empty = no auth)
 }
 
 // MutateChurnReport summarizes the mixed workload: how the graph version
@@ -204,7 +211,7 @@ func ServiceMutateChurn(baseURL string, opts MutateChurnOptions) (MutateChurnRep
 	rep.Rounds = opts.Rounds
 
 	do := func(op, method, url string, body, out any) ServiceResult {
-		return timedCall(client, op, method, url, body, out)
+		return timedCall(client, opts.Token, op, method, url, body, out)
 	}
 	var mu sync.Mutex
 	record := func(r ServiceResult) bool {
@@ -320,6 +327,7 @@ type JobsBurstOptions struct {
 	Seed       uint64 // generator seed for the queried graph (default 42)
 	Burst      int    // identical submissions per wave (default 8)
 	Client     *http.Client
+	Token      string // bearer token for a multi-tenant daemon (empty = no auth)
 }
 
 // JobsBurstReport summarizes what the engine did with the duplicate
@@ -365,7 +373,7 @@ func ServiceJobsBurst(baseURL string, opts JobsBurstOptions) (JobsBurstReport, e
 	var rep JobsBurstReport
 
 	do := func(op, method, url string, body any, out any) ServiceResult {
-		return timedCall(client, op, method, url, body, out)
+		return timedCall(client, opts.Token, op, method, url, body, out)
 	}
 	record := func(r ServiceResult) bool {
 		rep.Results = append(rep.Results, r)

@@ -1,0 +1,281 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gatedEngine builds a 1-worker engine whose first job blocks on the
+// returned release func, so tests can stage a known queue before any
+// dequeue happens.
+func gatedEngine(t *testing.T, workers int) (*Engine, func()) {
+	t.Helper()
+	e := NewEngine(Options{Workers: workers, QueueDepth: 64})
+	t.Cleanup(e.Close)
+	gate := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		_, _, err := e.Submit(Request{
+			Key: testKey("gate", 1, "block", fmt.Sprintf("{%d}", i)),
+			Pin: true,
+			Run: func(ctx context.Context) (any, error) {
+				select {
+				case <-gate:
+					return nil, nil
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			},
+		})
+		if err != nil {
+			t.Fatalf("gate submit: %v", err)
+		}
+	}
+	// Wait until every worker is occupied so staged submissions queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for e.StatsSnapshot().Running != workers {
+		if time.Now().After(deadline) {
+			t.Fatalf("gate jobs never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var once sync.Once
+	return e, func() { once.Do(func() { close(gate) }) }
+}
+
+// TestWeightedDequeueOrder stages four jobs per class behind a blocked
+// worker and asserts the exact weighted round-robin service order:
+// 4 interactive, 2 normal, 1 batch per credit cycle, refilling when the
+// classes with credit run dry.
+func TestWeightedDequeueOrder(t *testing.T) {
+	e, release := gatedEngine(t, 1)
+
+	var mu sync.Mutex
+	var order []string
+	jobsPerClass := 4
+	var done []*Job
+	for i := 0; i < jobsPerClass; i++ {
+		for _, c := range []Class{ClassInteractive, ClassNormal, ClassBatch} {
+			name := fmt.Sprintf("%s%d", c.String()[:1], i+1)
+			j, isNew, err := e.Submit(Request{
+				Key:   testKey("g", 1, name, "{}"),
+				Class: c,
+				Pin:   true,
+				Run: func(ctx context.Context) (any, error) {
+					mu.Lock()
+					order = append(order, name)
+					mu.Unlock()
+					return nil, nil
+				},
+			})
+			if err != nil || !isNew {
+				t.Fatalf("submit %s: isNew=%v err=%v", name, isNew, err)
+			}
+			done = append(done, j)
+		}
+	}
+	release()
+	for _, j := range done {
+		<-j.Done()
+	}
+
+	// The gate job (class normal) spent one normal credit of cycle 1, so
+	// cycle 1 continues i1 i2 i3 i4 n1 b1; after the refill, interactive
+	// is dry: n2 n3 b2; refill: n4; then batch alone: b3 b4.
+	want := []string{"i1", "i2", "i3", "i4", "n1", "b1", "n2", "n3", "b2", "n4", "b3", "b4"}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != len(want) {
+		t.Fatalf("ran %d jobs, want %d: %v", len(order), len(want), order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dequeue order %v, want %v", order, want)
+		}
+	}
+}
+
+// TestDedupPromotesQueuedJob: a batch job attached by an interactive
+// submission moves to the interactive queue and outruns older batch work.
+func TestDedupPromotesQueuedJob(t *testing.T) {
+	e, release := gatedEngine(t, 1)
+
+	var mu sync.Mutex
+	var order []string
+	submit := func(name string, c Class) *Job {
+		t.Helper()
+		j, _, err := e.Submit(Request{
+			Key:   testKey("g", 1, name, "{}"),
+			Class: c,
+			Pin:   true,
+			Run: func(ctx context.Context) (any, error) {
+				mu.Lock()
+				order = append(order, name)
+				mu.Unlock()
+				return nil, nil
+			},
+		})
+		if err != nil {
+			t.Fatalf("submit %s: %v", name, err)
+		}
+		return j
+	}
+	j1 := submit("b-old", ClassBatch)
+	j2 := submit("b-promoted", ClassBatch)
+	// Identical key re-submitted as interactive: attaches and promotes.
+	if _, isNew, err := e.Submit(Request{
+		Key:   testKey("g", 1, "b-promoted", "{}"),
+		Class: ClassInteractive,
+		Pin:   true,
+		Run:   func(ctx context.Context) (any, error) { return nil, nil },
+	}); err != nil || isNew {
+		t.Fatalf("dedup attach: isNew=%v err=%v", isNew, err)
+	}
+	release()
+	<-j1.Done()
+	<-j2.Done()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "b-promoted" || order[1] != "b-old" {
+		t.Fatalf("order = %v, want [b-promoted b-old]", order)
+	}
+}
+
+// TestTenantMaxQueued: the tenant's own queue allowance rejects with
+// ErrTenantQuota (naming the quota) while other tenants keep submitting.
+func TestTenantMaxQueued(t *testing.T) {
+	e, release := gatedEngine(t, 1)
+	defer release()
+
+	submit := func(tenant, name string) error {
+		_, _, err := e.Submit(Request{
+			Key:       testKey("g", 1, name, "{}"),
+			Tenant:    tenant,
+			MaxQueued: 2,
+			Pin:       true,
+			Run:       func(ctx context.Context) (any, error) { return nil, nil },
+		})
+		return err
+	}
+	if err := submit("acme", "a1"); err != nil {
+		t.Fatalf("a1: %v", err)
+	}
+	if err := submit("acme", "a2"); err != nil {
+		t.Fatalf("a2: %v", err)
+	}
+	err := submit("acme", "a3")
+	if !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("a3: err = %v, want ErrTenantQuota", err)
+	}
+	for _, frag := range []string{`tenant "acme"`, "max_queued_jobs 2"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("quota error %q does not name %q", err, frag)
+		}
+	}
+	// A different tenant is not affected by acme's quota.
+	if err := submit("globex", "g1"); err != nil {
+		t.Fatalf("globex: %v", err)
+	}
+	if q, r := e.TenantCounts("acme"); q != 2 || r != 0 {
+		t.Fatalf("acme counts = (%d,%d), want (2,0)", q, r)
+	}
+}
+
+// TestTenantMaxRunning: with two workers and a running cap of 1, a
+// tenant's second job waits for its first while another tenant's job
+// runs beside it — the cap defers, it does not block the pool.
+func TestTenantMaxRunning(t *testing.T) {
+	e := NewEngine(Options{Workers: 2, QueueDepth: 16})
+	defer e.Close()
+
+	aGate := make(chan struct{})
+	bRan := make(chan struct{})
+	var aConcurrent, aMax int
+	var mu sync.Mutex
+	runA := func(ctx context.Context) (any, error) {
+		mu.Lock()
+		aConcurrent++
+		if aConcurrent > aMax {
+			aMax = aConcurrent
+		}
+		mu.Unlock()
+		select {
+		case <-aGate:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		mu.Lock()
+		aConcurrent--
+		mu.Unlock()
+		return nil, nil
+	}
+	var aJobs []*Job
+	for i := 0; i < 2; i++ {
+		j, _, err := e.Submit(Request{
+			Key: testKey("g", 1, fmt.Sprintf("a%d", i), "{}"), Tenant: "acme",
+			MaxRunning: 1, Pin: true, Run: runA,
+		})
+		if err != nil {
+			t.Fatalf("a%d: %v", i, err)
+		}
+		aJobs = append(aJobs, j)
+	}
+	// The free worker must pick up globex's job even though acme's second
+	// job is ahead of it in the queue.
+	jb, _, err := e.Submit(Request{
+		Key: testKey("g", 1, "b", "{}"), Tenant: "globex", Pin: true,
+		Run: func(ctx context.Context) (any, error) { close(bRan); return nil, nil },
+	})
+	if err != nil {
+		t.Fatalf("b: %v", err)
+	}
+	select {
+	case <-bRan:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("globex job never ran past acme's capped backlog")
+	}
+	<-jb.Done()
+	close(aGate)
+	for _, j := range aJobs {
+		<-j.Done()
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if aMax != 1 {
+		t.Fatalf("acme max concurrency = %d, want 1 (MaxRunning)", aMax)
+	}
+}
+
+// TestRetryAfterHint: no history yields the conservative default; a fast
+// drain history yields a small bounded hint.
+func TestRetryAfterHint(t *testing.T) {
+	e := NewEngine(Options{Workers: 1, QueueDepth: 4})
+	defer e.Close()
+
+	if got := e.RetryAfterHint(); got != retryAfterDefault {
+		t.Fatalf("empty-history hint = %d, want default %d", got, retryAfterDefault)
+	}
+	for i := 0; i < 8; i++ {
+		j, _, err := e.Submit(Request{
+			Key: testKey("g", 1, fmt.Sprintf("fast%d", i), "{}"), Pin: true,
+			Run: func(ctx context.Context) (any, error) { return nil, nil },
+		})
+		if err != nil {
+			t.Fatalf("fast%d: %v", i, err)
+		}
+		<-j.Done()
+	}
+	got := e.RetryAfterHint()
+	if got < retryAfterFloor || got > retryAfterCeil {
+		t.Fatalf("hint %d outside [%d,%d]", got, retryAfterFloor, retryAfterCeil)
+	}
+	// 8 drains in well under a second against an empty queue: the floor.
+	if got != retryAfterFloor {
+		t.Fatalf("fast-drain hint = %d, want floor %d", got, retryAfterFloor)
+	}
+}

@@ -140,7 +140,9 @@ func Read(r io.Reader) (*COO, error) {
 		read++
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("mmio: %v", err)
+		// %w, not %v: an *http.MaxBytesError from a capped upload body must
+		// stay unwrappable so the server can answer 413 instead of 400.
+		return nil, fmt.Errorf("mmio: %w", err)
 	}
 	if read != nnz {
 		return nil, fmt.Errorf("mmio: expected %d entries, found %d", nnz, read)

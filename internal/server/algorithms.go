@@ -10,6 +10,7 @@ import (
 
 	"lagraph/internal/algo"
 	"lagraph/internal/jobs"
+	"lagraph/internal/tenant"
 )
 
 // Algorithm execution and introspection ride the self-describing catalog
@@ -80,12 +81,13 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	// Parameter bodies are tiny; a 1 MiB cap keeps a hostile request from
-	// buffering arbitrary JSON (uploads have their own, larger cap).
-	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	// Parameter bodies are tiny; the params cap (1 MiB by default) keeps a
+	// hostile request from buffering arbitrary JSON (uploads have their
+	// own, larger cap).
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxParamsBytes)
 	raw, err := decodeParamsBody(r.Body)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeBodyError(w, err)
 		return
 	}
 	p, err := d.Validate(raw)
@@ -93,12 +95,18 @@ func (s *Server) handleAlgorithm(w http.ResponseWriter, r *http.Request) {
 		writeValidationError(w, err)
 		return
 	}
-
-	job, err := s.submitAlgorithmJob(r.Context(), name, d, p, false, 0)
+	class, err := requestClass(r, r.URL.Query().Get("priority"))
 	if err != nil {
-		writeSubmitError(w, err)
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+
+	job, err := s.submitAlgorithmJob(r, name, d, p, false, 0, class)
+	if err != nil {
+		s.writeSubmitError(w, r, err)
+		return
+	}
+	s.record(r, tenant.OutcomeAdmitted)
 	if !s.jobs.WaitOrAbandon(r.Context(), job) {
 		// The client is gone; if it was the job's only audience the job is
 		// already cancelled. Nobody will read this response.

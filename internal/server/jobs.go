@@ -13,6 +13,7 @@ import (
 	"lagraph/internal/lagraph"
 	"lagraph/internal/obs"
 	"lagraph/internal/registry"
+	"lagraph/internal/tenant"
 )
 
 // Asynchronous jobs API:
@@ -36,6 +37,9 @@ type jobSpec struct {
 	Algorithm      string         `json:"algorithm"`
 	Params         map[string]any `json:"params"`
 	TimeoutSeconds float64        `json:"timeout_seconds"` // 0 = server default
+	// Priority selects the admission class (interactive | normal |
+	// batch); empty inherits the tenant's default, or normal.
+	Priority string `json:"priority"`
 }
 
 // maxJobTimeout bounds client-requested deadlines.
@@ -53,8 +57,9 @@ const maxJobTimeout = time.Hour
 // it to the worker's context so the property-materialization and
 // kernel-run spans land on the submitter's trace. A deduplicated
 // submission runs under the trace of whichever request created the job.
-func (s *Server) submitAlgorithmJob(ctx context.Context, name string, d *algo.Descriptor, p algo.Params, pin bool, timeout time.Duration) (*jobs.Job, error) {
-	tr := obs.FromContext(ctx)
+func (s *Server) submitAlgorithmJob(r *http.Request, display string, d *algo.Descriptor, p algo.Params, pin bool, timeout time.Duration, class jobs.Class) (*jobs.Job, error) {
+	tr := obs.FromContext(r.Context())
+	name := scopeGraph(r, display)
 	lease, err := s.reg.Acquire(name)
 	if err != nil {
 		return nil, err
@@ -67,67 +72,74 @@ func (s *Server) submitAlgorithmJob(ctx context.Context, name string, d *algo.De
 		Algorithm: d.Name,
 		Params:    p.Canonical(),
 	}
-	job, _, err := s.jobs.Submit(jobs.Request{
+	req := jobs.Request{
 		Key:     key,
 		Pin:     pin,
 		Timeout: timeout,
+		Class:   class,
 		OnDone:  lease.Release,
-		Run: func(ctx context.Context) (any, error) {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			// The worker's context is not the request's: re-attach the
-			// submitter's trace so the spans below land on it.
-			ctx = obs.NewContext(ctx, tr)
-			// EnsureProperties also finalizes a streamed-in snapshot's
-			// pending deltas before any kernel reads the matrix structure.
-			pctx, psp := obs.StartSpan(ctx, "properties", obs.String("graph", name))
-			pstart := time.Now()
-			err := entry.EnsureProperties(d.RequiredProperties(g)...)
-			propSecs := time.Since(pstart).Seconds()
-			psp.End()
-			if err != nil {
+	}
+	if t := requestTenant(r); t != nil {
+		req.Tenant = t.Name
+		req.MaxQueued = t.MaxQueuedJobs
+		req.MaxRunning = t.MaxRunningJobs
+	}
+	req.Run = func(ctx context.Context) (any, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// The worker's context is not the request's: re-attach the
+		// submitter's trace so the spans below land on it.
+		ctx = obs.NewContext(ctx, tr)
+		// EnsureProperties also finalizes a streamed-in snapshot's
+		// pending deltas before any kernel reads the matrix structure.
+		pctx, psp := obs.StartSpan(ctx, "properties", obs.String("graph", name))
+		pstart := time.Now()
+		err := entry.EnsureProperties(d.RequiredProperties(g)...)
+		propSecs := time.Since(pstart).Seconds()
+		psp.End()
+		if err != nil {
+			s.algErrors.Inc()
+			// A property materialization failing is a server-side
+			// fault, not a bad request; tag it so the HTTP layer
+			// reports 500 (the pre-engine behavior).
+			return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
+		}
+		resp := &algoResponse{Graph: display, Algorithm: d.Name}
+		// Every service run carries a probe: the report feeds the
+		// explain surfaces, the per-algorithm metrics and the tracer.
+		prb := lagraph.NewProbe(0)
+		kctx, ksp := obs.StartSpan(pctx, "kernel:"+d.Name)
+		kctx = lagraph.WithProbe(kctx, prb)
+		start := time.Now()
+		res, err := d.Run(kctx, g, p)
+		resp.Seconds = time.Since(start).Seconds()
+		resp.Result = res
+		rep := algo.NewReport(d.Name, prb, propSecs, resp.Seconds)
+		for _, ev := range rep.SpanEvents() {
+			ksp.SetAttr(ev[0], ev[1])
+		}
+		ksp.SetAttr("iterations", strconv.Itoa(rep.Iterations))
+		ksp.End()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
 				s.algErrors.Inc()
-				// A property materialization failing is a server-side
-				// fault, not a bad request; tag it so the HTTP layer
-				// reports 500 (the pre-engine behavior).
-				return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
 			}
-			resp := &algoResponse{Graph: name, Algorithm: d.Name}
-			// Every service run carries a probe: the report feeds the
-			// explain surfaces, the per-algorithm metrics and the tracer.
-			prb := lagraph.NewProbe(0)
-			kctx, ksp := obs.StartSpan(pctx, "kernel:"+d.Name)
-			kctx = lagraph.WithProbe(kctx, prb)
-			start := time.Now()
-			res, err := d.Run(kctx, g, p)
-			resp.Seconds = time.Since(start).Seconds()
-			resp.Result = res
-			rep := algo.NewReport(d.Name, prb, propSecs, resp.Seconds)
-			for _, ev := range rep.SpanEvents() {
-				ksp.SetAttr(ev[0], ev[1])
-			}
-			ksp.SetAttr("iterations", strconv.Itoa(rep.Iterations))
-			ksp.End()
-			if err != nil {
-				if !errors.Is(err, context.Canceled) {
-					s.algErrors.Inc()
-				}
-				return nil, err
-			}
-			if err := res.CheckReserved(); err != nil {
-				// A kernel colliding with the envelope is a registration
-				// bug, not a bad request: fail loudly as a 500 instead of
-				// silently clobbering the kernel's output.
-				s.algErrors.Inc()
-				return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
-			}
-			resp.Report = rep
-			s.recordReport(rep)
-			entry.CountAlgRun()
-			return resp, nil
-		},
-	})
+			return nil, err
+		}
+		if err := res.CheckReserved(); err != nil {
+			// A kernel colliding with the envelope is a registration
+			// bug, not a bad request: fail loudly as a 500 instead of
+			// silently clobbering the kernel's output.
+			s.algErrors.Inc()
+			return nil, fmt.Errorf("%w: %w", errInternalFailure, err)
+		}
+		resp.Report = rep
+		s.recordReport(rep)
+		entry.CountAlgRun()
+		return resp, nil
+	}
+	job, _, err := s.jobs.Submit(req)
 	if err != nil {
 		lease.Release() // Submit failed: the engine never took ownership
 		return nil, err
@@ -135,17 +147,25 @@ func (s *Server) submitAlgorithmJob(ctx context.Context, name string, d *algo.De
 	return job, nil
 }
 
-// writeSubmitError maps submission failures onto HTTP statuses.
-func writeSubmitError(w http.ResponseWriter, err error) {
+// writeSubmitError maps submission failures onto HTTP statuses. Both
+// saturation (queue full) and an exhausted tenant job quota answer 429,
+// and every 429 carries the drain-rate-derived Retry-After hint.
+func (s *Server) writeSubmitError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
 	case algo.IsUnknown(err):
 		writeError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, jobs.ErrTenantQuota):
+		s.record(r, tenant.OutcomeOverQuota)
+		s.setRetryAfter(w)
+		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, jobs.ErrQueueFull):
+		s.record(r, tenant.OutcomeRejected)
+		s.setRetryAfter(w)
 		writeError(w, http.StatusTooManyRequests, err.Error())
 	case errors.Is(err, jobs.ErrClosed):
 		writeError(w, http.StatusServiceUnavailable, err.Error())
 	case errors.Is(err, registry.ErrNotFound), errors.Is(err, registry.ErrClosed):
-		writeRegistryError(w, err)
+		writeRegistryError(w, r, err)
 	default:
 		writeError(w, http.StatusBadRequest, err.Error())
 	}
@@ -154,10 +174,10 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 // handleSubmitJob is POST /graphs/{name}/jobs.
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
-	r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxParamsBytes)
 	var spec jobSpec
 	if err := decodeJSONBody(r, &spec); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeBodyError(w, err)
 		return
 	}
 	if spec.Algorithm == "" {
@@ -166,6 +186,11 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	}
 	if spec.TimeoutSeconds < 0 {
 		writeError(w, http.StatusBadRequest, "timeout_seconds must be >= 0")
+		return
+	}
+	class, err := requestClass(r, spec.Priority)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	d, err := s.catalog.Lookup(spec.Algorithm)
@@ -185,28 +210,46 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		spec.TimeoutSeconds = maxJobTimeout.Seconds()
 	}
 	timeout := time.Duration(spec.TimeoutSeconds * float64(time.Second))
-	job, err := s.submitAlgorithmJob(r.Context(), name, d, p, true, timeout)
+	job, err := s.submitAlgorithmJob(r, name, d, p, true, timeout, class)
 	if err != nil {
-		writeSubmitError(w, err)
+		s.writeSubmitError(w, r, err)
 		return
 	}
-	writeJSON(w, http.StatusAccepted, job.Info())
+	s.record(r, tenant.OutcomeQueued)
+	writeJSON(w, http.StatusAccepted, displayInfo(r, job.Info()))
 }
 
-// handleListJobs is GET /jobs.
-func (s *Server) handleListJobs(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.List()})
+// displayInfo strips the tenant namespace from a job record before it
+// goes on the wire.
+func displayInfo(r *http.Request, in jobs.Info) jobs.Info {
+	in.Graph = displayName(r, in.Graph)
+	return in
+}
+
+// handleListJobs is GET /jobs: a tenant sees only jobs on its own
+// graphs, under its own names.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	list := s.jobs.List()
+	if t := requestTenant(r); t != nil {
+		kept := list[:0]
+		for _, in := range list {
+			if name, ok := t.Strip(in.Graph); ok {
+				in.Graph = name
+				kept = append(kept, in)
+			}
+		}
+		list = kept
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": list})
 }
 
 // handleGetJob is GET /jobs/{id}.
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	job, ok := s.jobs.Get(id)
+	job, _, ok := s.jobForRequest(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("job %q not found", id))
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Info())
+	writeJSON(w, http.StatusOK, displayInfo(r, job.Info()))
 }
 
 // handleJobResult is GET /jobs/{id}/result: the full algorithm response
@@ -214,10 +257,8 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 // or running; 410 after cancellation; the mapped algorithm error after a
 // failure.
 func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	job, ok := s.jobs.Get(id)
+	job, id, ok := s.jobForRequest(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("job %q not found", id))
 		return
 	}
 	info := job.Info()
@@ -230,7 +271,7 @@ func (s *Server) handleJobResult(w http.ResponseWriter, r *http.Request) {
 	case jobs.StateFailed:
 		s.writeJobOutcome(w, job)
 	default:
-		writeJSON(w, http.StatusConflict, info)
+		writeJSON(w, http.StatusConflict, displayInfo(r, info))
 	}
 }
 
@@ -255,10 +296,8 @@ func (s *Server) recordReport(rep *algo.RunReport) {
 // response, so deduplicated and cache-served jobs report the original
 // computation.
 func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	job, ok := s.jobs.Get(id)
+	job, id, ok := s.jobForRequest(w, r)
 	if !ok {
-		writeError(w, http.StatusNotFound, fmt.Sprintf("job %q not found", id))
 		return
 	}
 	info := job.Info()
@@ -280,18 +319,22 @@ func (s *Server) handleJobReport(w http.ResponseWriter, r *http.Request) {
 	case jobs.StateFailed:
 		s.writeJobOutcome(w, job)
 	default:
-		writeJSON(w, http.StatusConflict, info)
+		writeJSON(w, http.StatusConflict, displayInfo(r, info))
 	}
 }
 
 // handleCancelJob is DELETE /jobs/{id}. Cancellation is idempotent: a
-// terminal job is returned as-is.
+// terminal job is returned as-is. Ownership is checked before the cancel
+// so one tenant cannot kill another's work by guessing ids.
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+	_, id, ok := s.jobForRequest(w, r)
+	if !ok {
+		return
+	}
 	job, err := s.jobs.Cancel(id)
 	if err != nil {
 		writeError(w, http.StatusNotFound, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Info())
+	writeJSON(w, http.StatusOK, displayInfo(r, job.Info()))
 }

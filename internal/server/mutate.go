@@ -37,20 +37,21 @@ type mutateResponse struct {
 // handleMutateGraph is POST /graphs/{name}/edges.
 func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	name := r.PathValue("name")
+	display := r.PathValue("name")
 	// Mutation batches are bulk traffic like uploads, not parameter
 	// bodies: give them the upload budget.
 	r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes)
 	var spec mutateSpec
 	if err := decodeJSONBody(r, &spec); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeBodyError(w, err)
 		return
 	}
-	res, err := s.stream.ApplyCtx(r.Context(), name, spec.Ops)
+	res, err := s.stream.ApplyCtx(r.Context(), scopeGraph(r, display), spec.Ops)
 	if err != nil {
-		writeMutateError(w, err)
+		writeMutateError(w, r, err)
 		return
 	}
+	res.Graph = display
 	writeJSON(w, http.StatusOK, mutateResponse{
 		Result:  res,
 		Seconds: time.Since(start).Seconds(),
@@ -58,21 +59,22 @@ func (s *Server) handleMutateGraph(w http.ResponseWriter, r *http.Request) {
 }
 
 // writeMutateError maps mutation failures onto HTTP statuses.
-func writeMutateError(w http.ResponseWriter, err error) {
+func writeMutateError(w http.ResponseWriter, r *http.Request, err error) {
+	msg := stripMessage(r, err.Error())
 	switch {
 	case errors.Is(err, stream.ErrBatchTooLarge):
-		writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+		writeError(w, http.StatusRequestEntityTooLarge, msg)
 	case errors.Is(err, stream.ErrBadBatch):
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, http.StatusBadRequest, msg)
 	case errors.Is(err, stream.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, err.Error())
+		writeError(w, http.StatusServiceUnavailable, msg)
 	case errors.Is(err, registry.ErrConflict):
-		writeError(w, http.StatusConflict, err.Error())
+		writeError(w, http.StatusConflict, msg)
 	case errors.Is(err, registry.ErrNotFound),
 		errors.Is(err, registry.ErrNoCapacity),
 		errors.Is(err, registry.ErrClosed):
-		writeRegistryError(w, err)
+		writeRegistryError(w, r, err)
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, http.StatusInternalServerError, msg)
 	}
 }

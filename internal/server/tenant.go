@@ -1,0 +1,134 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"lagraph/internal/jobs"
+	"lagraph/internal/tenant"
+)
+
+// Multi-tenant mode. When Options.Tenants is configured, every
+// data-plane route (/graphs*, /jobs*, /algorithms*) runs behind the
+// tenanted middleware: the bearer token resolves to a tenant, graph
+// names are namespaced `<tenant>/` before they reach the registry, jobs
+// engine, or store, and quota checks guard graph loads and job
+// submissions. The operator plane (/healthz, /stats, /metrics, /debug/*)
+// stays open — it exposes no tenant data beyond aggregate usage and must
+// keep answering when token distribution itself is what broke.
+//
+// Without Options.Tenants every helper here degrades to the identity, so
+// single-tenant deployments run the exact pre-tenancy request path.
+
+// tenanted resolves the request's bearer token; unresolved requests are
+// refused with 401 before any handler state is touched.
+func (s *Server) tenanted(h http.HandlerFunc) http.HandlerFunc {
+	if s.tenants == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		t, err := s.tenants.Resolve(r.Header.Get("Authorization"))
+		if err != nil {
+			s.tenants.Record(tenant.Unknown, tenant.OutcomeUnauthorized)
+			w.Header().Set("WWW-Authenticate", `Bearer realm="lagraphd"`)
+			writeError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+			return
+		}
+		h(w, r.WithContext(tenant.NewContext(r.Context(), t)))
+	}
+}
+
+// requestTenant is the request's resolved tenant; nil in single-tenant
+// mode (the middleware guarantees it is set whenever tenancy is on).
+func requestTenant(r *http.Request) *tenant.Tenant {
+	return tenant.FromContext(r.Context())
+}
+
+// scopeGraph maps a tenant-visible graph name to the engine-wide name.
+func scopeGraph(r *http.Request, name string) string {
+	if t := requestTenant(r); t != nil {
+		return t.Scope(name)
+	}
+	return name
+}
+
+// record counts an admission outcome for the request's tenant; a no-op
+// in single-tenant mode so the default path stays instrument-free.
+func (s *Server) record(r *http.Request, outcome string) {
+	if t := requestTenant(r); t != nil {
+		s.tenants.Record(t.Name, outcome)
+	}
+}
+
+// setRetryAfter stamps the drain-rate-derived backoff hint every 429
+// must carry.
+func (s *Server) setRetryAfter(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.jobs.RetryAfterHint()))
+}
+
+// requestClass resolves a submission's priority class: an explicit
+// request value wins, then the tenant's default, then normal.
+func requestClass(r *http.Request, explicit string) (jobs.Class, error) {
+	if explicit != "" {
+		return jobs.ParseClass(explicit)
+	}
+	if t := requestTenant(r); t != nil {
+		return t.DefaultClass, nil
+	}
+	return jobs.ClassNormal, nil
+}
+
+// displayName strips the tenant namespace off an engine-wide graph name
+// for response payloads; engine names never leak to tenants.
+func displayName(r *http.Request, scoped string) string {
+	if t := requestTenant(r); t != nil {
+		if name, ok := t.Strip(scoped); ok {
+			return name
+		}
+	}
+	return scoped
+}
+
+// stripMessage removes the tenant's namespace prefix from an error
+// message built around scoped names, so a tenant reads the graph name it
+// actually sent.
+func stripMessage(r *http.Request, msg string) string {
+	if t := requestTenant(r); t != nil {
+		return strings.ReplaceAll(msg, t.Name+"/", "")
+	}
+	return msg
+}
+
+// writeBodyError maps a request-body read failure: 413 when the body
+// blew through its MaxBytesReader cap, 400 otherwise.
+func writeBodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			"request body exceeds "+strconv.FormatInt(mbe.Limit, 10)+" bytes")
+		return
+	}
+	writeError(w, http.StatusBadRequest, err.Error())
+}
+
+// jobForRequest fetches a job by path id and enforces tenant ownership.
+// A job on another tenant's graph answers 404, indistinguishable from a
+// job that never existed — existence itself is tenant data.
+func (s *Server) jobForRequest(w http.ResponseWriter, r *http.Request) (*jobs.Job, string, bool) {
+	id := r.PathValue("id")
+	job, ok := s.jobs.Get(id)
+	if ok {
+		if t := requestTenant(r); t != nil {
+			if _, owned := t.Strip(job.Info().Graph); !owned {
+				ok = false
+			}
+		}
+	}
+	if !ok {
+		writeError(w, http.StatusNotFound, "job "+strconv.Quote(id)+" not found")
+		return nil, id, false
+	}
+	return job, id, true
+}

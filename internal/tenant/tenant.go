@@ -1,0 +1,361 @@
+// Package tenant scopes the engine behind the HTTP layer to named
+// tenants: bearer-token authentication, per-tenant graph namespacing,
+// and enforced quotas over graphs, resident bytes, and jobs.
+//
+// The facade is deliberately thin. Graph names are namespaced by
+// prefixing `<tenant>/` (tenant names may not contain '/'), so the
+// registry, jobs engine, and durable store all operate on scoped names
+// without knowing tenancy exists. Quota accounting reads the registry's
+// own entry list rather than keeping a shadow ledger, so it can never
+// drift from the source of truth; a facade-level mutex serializes
+// admission checks against concurrent loads by the same tenant.
+//
+// When no token file is configured the facade is simply absent and the
+// daemon behaves exactly as before — single tenant, no auth.
+package tenant
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"lagraph/internal/jobs"
+	"lagraph/internal/obs"
+	"lagraph/internal/registry"
+)
+
+// ErrUnauthorized is returned by Resolve when the request carries no
+// bearer token or one that matches no configured tenant.
+var ErrUnauthorized = errors.New("tenant: unauthorized")
+
+// Admission outcomes recorded in tenant_admission_total. Unauthorized
+// requests cannot be attributed to a tenant and are recorded under the
+// Unknown label.
+const (
+	OutcomeAdmitted     = "admitted"
+	OutcomeQueued       = "queued"
+	OutcomeRejected     = "rejected"
+	OutcomeUnauthorized = "unauthorized"
+	OutcomeOverQuota    = "over_quota"
+
+	// Unknown is the tenant label for requests that never resolved.
+	Unknown = "unknown"
+)
+
+// QuotaError reports which quota a graph admission exhausted; the HTTP
+// layer surfaces the quota name and numbers so operators and tenants can
+// see exactly what to raise or release.
+type QuotaError struct {
+	Tenant string
+	Quota  string // "max_graphs" or "max_resident_bytes"
+	Used   int64  // current usage before the rejected request
+	Want   int64  // usage the request would have required
+	Limit  int64
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("tenant %q over quota %s: request needs %d with %d in use (limit %d)",
+		e.Tenant, e.Quota, e.Want, e.Used, e.Limit)
+}
+
+// TenantConfig is one entry in the -auth-tokens file.
+type TenantConfig struct {
+	Name   string   `json:"name"`
+	Tokens []string `json:"tokens"`
+	// Quotas: > 0 bounds, 0 (or absent) inherits the daemon-wide default
+	// flag, -1 is explicitly unlimited regardless of the default.
+	MaxGraphs        int    `json:"max_graphs,omitempty"`
+	MaxResidentBytes int64  `json:"max_resident_bytes,omitempty"`
+	MaxRunningJobs   int    `json:"max_running_jobs,omitempty"`
+	MaxQueuedJobs    int    `json:"max_queued_jobs,omitempty"`
+	DefaultPriority  string `json:"default_priority,omitempty"`
+}
+
+// Config is the parsed -auth-tokens file.
+type Config struct {
+	Tenants []TenantConfig `json:"tenants"`
+}
+
+// Defaults carries the daemon-wide quota flags applied to tenants that
+// do not set their own bound. Zero values mean unlimited.
+type Defaults struct {
+	MaxGraphs        int
+	MaxResidentBytes int64
+	MaxRunningJobs   int
+	MaxQueuedJobs    int
+}
+
+// Load reads and validates a token file.
+func Load(path string) (*Config, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: read token file: %w", err)
+	}
+	return Parse(raw)
+}
+
+// Parse validates a token-file payload: at least one tenant, names
+// usable as namespace prefixes, tokens present and globally unique.
+func Parse(raw []byte) (*Config, error) {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var cfg Config
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("tenant: parse token file: %w", err)
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, errors.New("tenant: token file declares no tenants")
+	}
+	names := make(map[string]bool, len(cfg.Tenants))
+	tokens := make(map[string]string)
+	for i, tc := range cfg.Tenants {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("tenant: tenants[%d] has no name", i)
+		}
+		if strings.ContainsAny(tc.Name, "/ \t\r\n") {
+			return nil, fmt.Errorf("tenant: name %q may not contain '/' or whitespace", tc.Name)
+		}
+		if names[tc.Name] {
+			return nil, fmt.Errorf("tenant: duplicate tenant %q", tc.Name)
+		}
+		names[tc.Name] = true
+		if len(tc.Tokens) == 0 {
+			return nil, fmt.Errorf("tenant: tenant %q has no tokens", tc.Name)
+		}
+		for _, tok := range tc.Tokens {
+			if tok == "" {
+				return nil, fmt.Errorf("tenant: tenant %q has an empty token", tc.Name)
+			}
+			if owner, dup := tokens[tok]; dup {
+				return nil, fmt.Errorf("tenant: token shared by %q and %q", owner, tc.Name)
+			}
+			tokens[tok] = tc.Name
+		}
+		for _, q := range []int64{int64(tc.MaxGraphs), tc.MaxResidentBytes,
+			int64(tc.MaxRunningJobs), int64(tc.MaxQueuedJobs)} {
+			if q < -1 {
+				return nil, fmt.Errorf("tenant: tenant %q has quota %d; use -1 for unlimited", tc.Name, q)
+			}
+		}
+		if _, err := jobs.ParseClass(tc.DefaultPriority); err != nil {
+			return nil, fmt.Errorf("tenant: tenant %q: %w", tc.Name, err)
+		}
+	}
+	return &cfg, nil
+}
+
+// Tenant is a resolved tenant with its effective quotas; zero or
+// negative limits mean unlimited.
+type Tenant struct {
+	Name             string
+	MaxGraphs        int
+	MaxResidentBytes int64
+	MaxRunningJobs   int
+	MaxQueuedJobs    int
+	DefaultClass     jobs.Class
+}
+
+// Scope namespaces a tenant-visible graph name.
+func (t *Tenant) Scope(name string) string { return t.Name + "/" + name }
+
+// Strip maps a scoped name back to the tenant-visible name; ok reports
+// whether the scoped name belongs to this tenant.
+func (t *Tenant) Strip(scoped string) (string, bool) {
+	return strings.CutPrefix(scoped, t.Name+"/")
+}
+
+// JobCounter is the slice of the jobs engine the facade needs for
+// per-tenant queue gauges.
+type JobCounter interface {
+	TenantCounts(tenant string) (queued, running int)
+}
+
+// Facade resolves bearer tokens to tenants and enforces graph quotas.
+type Facade struct {
+	byToken map[[sha256.Size]byte]*Tenant
+	tenants []*Tenant // sorted by name
+	reg     *registry.Registry
+	jc      JobCounter
+
+	mu         sync.Mutex // serializes AdmitGraph usage scans
+	admissions *obs.CounterVec
+}
+
+// New builds a facade from a validated config. reg, jc, and o may each
+// be nil (usage scans and metrics degrade to no-ops), which keeps unit
+// tests small; the server always passes all three.
+func New(cfg *Config, def Defaults, reg *registry.Registry, jc JobCounter, o *obs.Registry) *Facade {
+	f := &Facade{
+		byToken: make(map[[sha256.Size]byte]*Tenant),
+		reg:     reg,
+		jc:      jc,
+	}
+	resolve := func(v, def int) int {
+		if v == 0 {
+			return def
+		}
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	for _, tc := range cfg.Tenants {
+		cls, _ := jobs.ParseClass(tc.DefaultPriority) // validated by Parse
+		t := &Tenant{
+			Name:             tc.Name,
+			MaxGraphs:        resolve(tc.MaxGraphs, def.MaxGraphs),
+			MaxResidentBytes: int64(resolve(int(tc.MaxResidentBytes), int(def.MaxResidentBytes))),
+			MaxRunningJobs:   resolve(tc.MaxRunningJobs, def.MaxRunningJobs),
+			MaxQueuedJobs:    resolve(tc.MaxQueuedJobs, def.MaxQueuedJobs),
+			DefaultClass:     cls,
+		}
+		f.tenants = append(f.tenants, t)
+		for _, tok := range tc.Tokens {
+			f.byToken[sha256.Sum256([]byte(tok))] = t
+		}
+	}
+	sort.Slice(f.tenants, func(i, j int) bool { return f.tenants[i].Name < f.tenants[j].Name })
+	if o != nil {
+		f.instrument(o)
+	}
+	return f
+}
+
+// instrument registers the tenant metric families and pre-creates every
+// admission series so scrapers see the families before any traffic.
+func (f *Facade) instrument(o *obs.Registry) {
+	f.admissions = o.CounterVec("tenant_admission_total",
+		"Admission decisions by tenant and outcome.", "tenant", "outcome")
+	f.admissions.With(Unknown, OutcomeUnauthorized)
+	graphs := o.GaugeVec("tenant_graphs", "Resident graphs per tenant.", "tenant")
+	bytes := o.GaugeVec("tenant_resident_bytes", "Resident graph bytes per tenant.", "tenant")
+	quotaG := o.GaugeVec("tenant_quota_graphs",
+		"Graph-count quota per tenant (0 = unlimited).", "tenant")
+	quotaB := o.GaugeVec("tenant_quota_bytes",
+		"Resident-byte quota per tenant (0 = unlimited).", "tenant")
+	queued := o.GaugeVec("tenant_jobs_queued", "Queued jobs per tenant.", "tenant")
+	running := o.GaugeVec("tenant_jobs_running", "Running jobs per tenant.", "tenant")
+	for _, t := range f.tenants {
+		for _, outcome := range []string{OutcomeAdmitted, OutcomeQueued,
+			OutcomeRejected, OutcomeOverQuota} {
+			f.admissions.With(t.Name, outcome)
+		}
+		graphs.Func(func() float64 { g, _ := f.Usage(t); return float64(g) }, t.Name)
+		bytes.Func(func() float64 { _, b := f.Usage(t); return float64(b) }, t.Name)
+		quotaG.Func(func() float64 { return float64(t.MaxGraphs) }, t.Name)
+		quotaB.Func(func() float64 { return float64(t.MaxResidentBytes) }, t.Name)
+		queued.Func(func() float64 { q, _ := f.jobCounts(t); return float64(q) }, t.Name)
+		running.Func(func() float64 { _, r := f.jobCounts(t); return float64(r) }, t.Name)
+	}
+}
+
+func (f *Facade) jobCounts(t *Tenant) (queued, running int) {
+	if f.jc == nil {
+		return 0, 0
+	}
+	return f.jc.TenantCounts(t.Name)
+}
+
+// Record counts an admission decision.
+func (f *Facade) Record(tenant, outcome string) {
+	if f.admissions != nil {
+		f.admissions.With(tenant, outcome).Inc()
+	}
+}
+
+// Resolve maps an Authorization header to a tenant.
+func (f *Facade) Resolve(authHeader string) (*Tenant, error) {
+	const scheme = "bearer "
+	h := strings.TrimSpace(authHeader)
+	if len(h) > len(scheme) && strings.EqualFold(h[:len(scheme)], scheme) {
+		tok := strings.TrimSpace(h[len(scheme):])
+		if t, ok := f.byToken[sha256.Sum256([]byte(tok))]; ok {
+			return t, nil
+		}
+	}
+	return nil, ErrUnauthorized
+}
+
+// Usage reports the tenant's current graph count and resident bytes
+// straight from the registry's entry table.
+func (f *Facade) Usage(t *Tenant) (graphs int, bytes int64) {
+	if f.reg == nil {
+		return 0, 0
+	}
+	return f.reg.UsageUnder(t.Name + "/")
+}
+
+type ctxKey struct{}
+
+// NewContext attaches the resolved tenant to a request context.
+func NewContext(ctx context.Context, t *Tenant) context.Context {
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the request's tenant, or nil in single-tenant mode.
+func FromContext(ctx context.Context) *Tenant {
+	t, _ := ctx.Value(ctxKey{}).(*Tenant)
+	return t
+}
+
+// AdmitGraph checks whether the tenant may add a graph of the given
+// estimated size. The facade mutex serializes the registry scan against
+// the caller's subsequent Add, so two concurrent loads cannot both pass
+// a last-slot check; callers hold no other admission path.
+func (f *Facade) AdmitGraph(t *Tenant, estBytes int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	graphs, bytes := f.Usage(t)
+	if t.MaxGraphs > 0 && graphs+1 > t.MaxGraphs {
+		return &QuotaError{Tenant: t.Name, Quota: "max_graphs",
+			Used: int64(graphs), Want: int64(graphs + 1), Limit: int64(t.MaxGraphs)}
+	}
+	if t.MaxResidentBytes > 0 && bytes+estBytes > t.MaxResidentBytes {
+		return &QuotaError{Tenant: t.Name, Quota: "max_resident_bytes",
+			Used: bytes, Want: bytes + estBytes, Limit: t.MaxResidentBytes}
+	}
+	return nil
+}
+
+// Stats is the per-tenant block of the /stats tenant section.
+type Stats struct {
+	Name             string `json:"name"`
+	Graphs           int    `json:"graphs"`
+	MaxGraphs        int    `json:"max_graphs,omitempty"`
+	ResidentBytes    int64  `json:"resident_bytes"`
+	MaxResidentBytes int64  `json:"max_resident_bytes,omitempty"`
+	JobsQueued       int    `json:"jobs_queued"`
+	JobsRunning      int    `json:"jobs_running"`
+	MaxQueuedJobs    int    `json:"max_queued_jobs,omitempty"`
+	MaxRunningJobs   int    `json:"max_running_jobs,omitempty"`
+	DefaultPriority  string `json:"default_priority"`
+}
+
+// StatsSnapshot reports every tenant's usage against its quotas, sorted
+// by tenant name.
+func (f *Facade) StatsSnapshot() []Stats {
+	out := make([]Stats, 0, len(f.tenants))
+	for _, t := range f.tenants {
+		g, b := f.Usage(t)
+		q, r := f.jobCounts(t)
+		out = append(out, Stats{
+			Name:             t.Name,
+			Graphs:           g,
+			MaxGraphs:        t.MaxGraphs,
+			ResidentBytes:    b,
+			MaxResidentBytes: t.MaxResidentBytes,
+			JobsQueued:       q,
+			JobsRunning:      r,
+			MaxQueuedJobs:    t.MaxQueuedJobs,
+			MaxRunningJobs:   t.MaxRunningJobs,
+			DefaultPriority:  t.DefaultClass.String(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package tenant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"lagraph/internal/gen"
+	"lagraph/internal/grb"
+	"lagraph/internal/jobs"
+	"lagraph/internal/lagraph"
+	"lagraph/internal/obs"
+	"lagraph/internal/registry"
+)
+
+func mustParse(t *testing.T, raw string) *Config {
+	t.Helper()
+	cfg, err := Parse([]byte(raw))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return cfg
+}
+
+const twoTenants = `{"tenants":[
+	{"name":"acme","tokens":["tok-acme"],"max_graphs":2,"default_priority":"interactive"},
+	{"name":"globex","tokens":["tok-globex","tok-globex-2"],"max_resident_bytes":-1}
+]}`
+
+func TestParseValidation(t *testing.T) {
+	cases := []struct {
+		name, raw, wantErr string
+	}{
+		{"empty", `{"tenants":[]}`, "no tenants"},
+		{"unnamed", `{"tenants":[{"tokens":["t"]}]}`, "no name"},
+		{"slash", `{"tenants":[{"name":"a/b","tokens":["t"]}]}`, "may not contain"},
+		{"space", `{"tenants":[{"name":"a b","tokens":["t"]}]}`, "may not contain"},
+		{"dup name", `{"tenants":[{"name":"a","tokens":["t1"]},{"name":"a","tokens":["t2"]}]}`, "duplicate"},
+		{"no tokens", `{"tenants":[{"name":"a"}]}`, "no tokens"},
+		{"empty token", `{"tenants":[{"name":"a","tokens":[""]}]}`, "empty token"},
+		{"shared token", `{"tenants":[{"name":"a","tokens":["t"]},{"name":"b","tokens":["t"]}]}`, "shared"},
+		{"bad quota", `{"tenants":[{"name":"a","tokens":["t"],"max_graphs":-2}]}`, "-1 for unlimited"},
+		{"bad priority", `{"tenants":[{"name":"a","tokens":["t"],"default_priority":"asap"}]}`, "priority"},
+		{"unknown field", `{"tenants":[{"name":"a","tokens":["t"],"max_grahps":3}]}`, "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.raw))
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Parse err = %v, want mention of %q", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := Parse([]byte(twoTenants)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestResolveAndScope(t *testing.T) {
+	f := New(mustParse(t, twoTenants), Defaults{}, nil, nil, nil)
+
+	acme, err := f.Resolve("Bearer tok-acme")
+	if err != nil || acme.Name != "acme" {
+		t.Fatalf("Resolve acme = %v, %v", acme, err)
+	}
+	if acme.DefaultClass != jobs.ClassInteractive {
+		t.Fatalf("acme default class = %v, want interactive", acme.DefaultClass)
+	}
+	// Scheme is case-insensitive; a second token resolves the same tenant.
+	if g, err := f.Resolve("bearer tok-globex-2"); err != nil || g.Name != "globex" {
+		t.Fatalf("Resolve globex-2 = %v, %v", g, err)
+	}
+	for _, bad := range []string{"", "Bearer ", "Bearer nope", "tok-acme", "Basic tok-acme"} {
+		if _, err := f.Resolve(bad); !errors.Is(err, ErrUnauthorized) {
+			t.Fatalf("Resolve(%q) err = %v, want ErrUnauthorized", bad, err)
+		}
+	}
+
+	scoped := acme.Scope("g1")
+	if scoped != "acme/g1" {
+		t.Fatalf("Scope = %q", scoped)
+	}
+	if name, ok := acme.Strip(scoped); !ok || name != "g1" {
+		t.Fatalf("Strip = %q, %v", name, ok)
+	}
+	if _, ok := acme.Strip("globex/g1"); ok {
+		t.Fatalf("acme stripped globex's graph name")
+	}
+}
+
+func smallGraph(t *testing.T) *lagraph.Graph[float64] {
+	t.Helper()
+	e := gen.Kron(5, 4, 7)
+	ptr, idx, vals := e.CSR()
+	A, err := grb.ImportCSR(e.N, e.N, ptr, idx, vals, false)
+	if err != nil {
+		t.Fatalf("ImportCSR: %v", err)
+	}
+	g, err := lagraph.New(&A, lagraph.AdjacencyUndirected)
+	if err != nil {
+		t.Fatalf("lagraph.New: %v", err)
+	}
+	return g
+}
+
+func TestAdmitGraphQuotas(t *testing.T) {
+	reg := registry.New(0)
+	f := New(mustParse(t, twoTenants), Defaults{MaxResidentBytes: 1 << 30}, reg, nil, nil)
+	acme, _ := f.Resolve("Bearer tok-acme")
+
+	g := smallGraph(t)
+	est := registry.EstimateBytes(g)
+	for i, name := range []string{"a", "b"} {
+		if err := f.AdmitGraph(acme, est); err != nil {
+			t.Fatalf("admit #%d: %v", i, err)
+		}
+		if _, err := reg.Add(acme.Scope(name), g); err != nil {
+			t.Fatalf("add #%d: %v", i, err)
+		}
+	}
+	err := f.AdmitGraph(acme, est)
+	var qe *QuotaError
+	if !errors.As(err, &qe) || qe.Quota != "max_graphs" {
+		t.Fatalf("third admit err = %v, want QuotaError{max_graphs}", err)
+	}
+	if !strings.Contains(err.Error(), "max_graphs") || !strings.Contains(err.Error(), "limit 2") {
+		t.Fatalf("quota error %q does not name quota and limit", err)
+	}
+
+	// acme's graphs never count against globex, whose byte quota is
+	// explicitly unlimited (-1 overrides the daemon default).
+	globex, _ := f.Resolve("Bearer tok-globex")
+	if gCount, b := f.Usage(globex); gCount != 0 || b != 0 {
+		t.Fatalf("globex usage = (%d,%d), want (0,0)", gCount, b)
+	}
+	if globex.MaxResidentBytes != 0 {
+		t.Fatalf("globex byte quota = %d, want 0 (unlimited)", globex.MaxResidentBytes)
+	}
+	if err := f.AdmitGraph(globex, 1<<40); err != nil {
+		t.Fatalf("unlimited tenant rejected: %v", err)
+	}
+
+	// Byte quota: a tenant bounded below one graph's estimate.
+	tiny := New(mustParse(t, `{"tenants":[{"name":"tiny","tokens":["t"],"max_resident_bytes":16}]}`),
+		Defaults{}, reg, nil, nil)
+	tt, _ := tiny.Resolve("Bearer t")
+	err = tiny.AdmitGraph(tt, est)
+	if !errors.As(err, &qe) || qe.Quota != "max_resident_bytes" {
+		t.Fatalf("byte admit err = %v, want QuotaError{max_resident_bytes}", err)
+	}
+}
+
+type fakeCounts struct{ q, r int }
+
+func (f fakeCounts) TenantCounts(string) (int, int) { return f.q, f.r }
+
+func TestMetricsAndStats(t *testing.T) {
+	reg := registry.New(0)
+	o := obs.NewRegistry()
+	f := New(mustParse(t, twoTenants), Defaults{MaxGraphs: 7}, reg, fakeCounts{q: 3, r: 1}, o)
+
+	g := smallGraph(t)
+	if _, err := reg.Add("acme/g1", g); err != nil {
+		t.Fatalf("add: %v", err)
+	}
+	f.Record(Unknown, OutcomeUnauthorized)
+	f.Record("acme", OutcomeAdmitted)
+
+	var sb strings.Builder
+	if err := o.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	expo := sb.String()
+	// Families exist with pre-seeded series even for untouched outcomes,
+	// and gauges reflect live registry/jobs state.
+	for _, want := range []string{
+		`tenant_admission_total{tenant="acme",outcome="admitted"} 1`,
+		`tenant_admission_total{tenant="acme",outcome="over_quota"} 0`,
+		`tenant_admission_total{tenant="globex",outcome="rejected"} 0`,
+		`tenant_admission_total{tenant="unknown",outcome="unauthorized"} 1`,
+		`tenant_graphs{tenant="acme"} 1`,
+		`tenant_graphs{tenant="globex"} 0`,
+		`tenant_quota_graphs{tenant="acme"} 2`,
+		`tenant_quota_graphs{tenant="globex"} 7`,
+		`tenant_jobs_queued{tenant="acme"} 3`,
+		`tenant_jobs_running{tenant="acme"} 1`,
+		`tenant_quota_bytes{tenant="globex"} 0`,
+	} {
+		if !strings.Contains(expo, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, expo)
+		}
+	}
+	if _, err := obs.ValidateExposition(strings.NewReader(expo)); err != nil {
+		t.Fatalf("exposition invalid: %v", err)
+	}
+
+	stats := f.StatsSnapshot()
+	if len(stats) != 2 || stats[0].Name != "acme" || stats[1].Name != "globex" {
+		t.Fatalf("stats order = %+v", stats)
+	}
+	if stats[0].Graphs != 1 || stats[0].MaxGraphs != 2 || stats[0].JobsQueued != 3 {
+		t.Fatalf("acme stats = %+v", stats[0])
+	}
+	if stats[1].MaxGraphs != 7 || stats[1].DefaultPriority != "normal" {
+		t.Fatalf("globex stats = %+v", stats[1])
+	}
+}
