@@ -59,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"lagraph/internal/cluster"
 	"lagraph/internal/obs"
 	"lagraph/internal/parallel"
 	"lagraph/internal/registry"
@@ -129,6 +130,12 @@ func main() {
 		fsyncAlert       = flag.Duration("fsync-alert", 0, "capture a wal_fsync_stall incident when one WAL append+fsync is at least this slow (0 disables; with -data-dir)")
 		heapAlertBytes   = flag.Int64("heap-alert-bytes", 0, "capture a heap_watermark incident when the heap high watermark crosses this many bytes (0 disables)")
 
+		role        = flag.String("role", "", "cluster role: leader|follower (empty = single-node, no clustering)")
+		advertise   = flag.String("advertise", "", "this node's advertised host:port, how peers reach it (required with -role)")
+		leaderAddr  = flag.String("leader", "", "leader's host:port (required on followers)")
+		peers       = flag.String("peers", "", "comma-separated static cluster membership (host:port each); self and leader are always included")
+		replicaPoll = flag.Duration("replica-poll", 250*time.Millisecond, "follower replication poll interval")
+
 		authTokens       = flag.String("auth-tokens", "", "tenant token file (JSON); enables multi-tenant mode with bearer auth, per-tenant namespaces and quotas (empty = single-tenant, no auth)")
 		tenantMaxGraphs  = flag.Int("tenant-max-graphs", 0, "default per-tenant resident-graph quota for tenants without their own (0 = unlimited; with -auth-tokens)")
 		tenantMaxBytes   = flag.Int64("tenant-max-bytes", 0, "default per-tenant resident-byte quota (0 = unlimited; with -auth-tokens)")
@@ -159,6 +166,20 @@ func main() {
 		if err != nil {
 			fatal("loading tenant tokens", "file", *authTokens, "error", err)
 		}
+	}
+
+	clusterCfg := cluster.Config{
+		Role:   cluster.Role(*role),
+		Self:   *advertise,
+		Leader: *leaderAddr,
+		Peers:  cluster.ParsePeers(*peers),
+		Poll:   *replicaPoll,
+	}
+	if err := clusterCfg.Validate(); err != nil {
+		fatal("cluster config", "error", err)
+	}
+	if clusterCfg.Role == cluster.RoleLeader && *dataDir == "" {
+		fatal("cluster config", "error", "a leader needs -data-dir: the WAL is the replication log")
 	}
 
 	var st *store.Store
@@ -203,7 +224,12 @@ func main() {
 			MaxRunningJobs:   *tenantMaxRunning,
 			MaxQueuedJobs:    *tenantMaxQueued,
 		},
+		Cluster: clusterCfg,
 	})
+	if clusterCfg.Role != cluster.RoleNone {
+		logger.Info("cluster mode", "role", string(clusterCfg.Role),
+			"self", clusterCfg.Self, "leader", clusterCfg.Leader, "peers", clusterCfg.Peers)
+	}
 	if tenants != nil {
 		logger.Info("multi-tenant mode", "tenants", len(tenants.Tenants), "file", *authTokens)
 	}

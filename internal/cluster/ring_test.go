@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossPeerOrder(t *testing.T) {
+	a := NewRing([]string{"n1:9090", "n2:9090", "n3:9090"})
+	b := NewRing([]string{"n3:9090", "n1:9090", "n2:9090"})
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("graph-%d", i)
+		if a.Owner(name) != b.Owner(name) {
+			t.Fatalf("peer order changed placement of %s: %s vs %s",
+				name, a.Owner(name), b.Owner(name))
+		}
+	}
+}
+
+func TestRingOwnershipSpread(t *testing.T) {
+	peers := []string{"a:1", "b:1", "c:1", "d:1"}
+	r := NewRing(peers)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		owner := r.Owner(fmt.Sprintf("g%05d", i))
+		counts[owner]++
+	}
+	for _, p := range peers {
+		got := counts[p]
+		// Uniform would be n/4 = 1000; 64 vnodes keeps every peer within a
+		// loose factor of two of that.
+		if got < n/8 || got > n/2 {
+			t.Errorf("peer %s owns %d of %d names — placement badly skewed: %v",
+				p, got, n, counts)
+		}
+	}
+}
+
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	before := NewRing([]string{"a:1", "b:1", "c:1"})
+	after := NewRing([]string{"a:1", "b:1", "c:1", "d:1"})
+	moved := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("g%05d", i)
+		if before.Owner(name) != after.Owner(name) {
+			moved++
+		}
+	}
+	// Consistent hashing: adding one of four peers should move roughly a
+	// quarter of the keys, and certainly not most of them.
+	if moved > n/2 {
+		t.Fatalf("adding one peer moved %d of %d names", moved, n)
+	}
+	// And everything that moved must have moved to the new peer.
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("g%05d", i)
+		if b, a := before.Owner(name), after.Owner(name); b != a && a != "d:1" {
+			t.Fatalf("%s moved %s → %s, not to the added peer", name, b, a)
+		}
+	}
+}
+
+func TestRingSingleAndEmpty(t *testing.T) {
+	if got := NewRing(nil).Owner("g"); got != "" {
+		t.Fatalf("empty ring owner = %q, want empty", got)
+	}
+	one := NewRing([]string{"solo:1"})
+	for i := 0; i < 50; i++ {
+		if got := one.Owner(fmt.Sprintf("g%d", i)); got != "solo:1" {
+			t.Fatalf("single-peer ring owner = %q", got)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	// Leader defaults Leader to Self and folds both into Peers.
+	c := Config{Role: RoleLeader, Self: "l:1", Peers: []string{"f:1", " f:1 ", ""}}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Leader != "l:1" {
+		t.Fatalf("leader default = %q", c.Leader)
+	}
+	if len(c.Peers) != 2 || c.Peers[0] != "f:1" || c.Peers[1] != "l:1" {
+		t.Fatalf("peers = %v, want deduped sorted [f:1 l:1]", c.Peers)
+	}
+	if c.Poll <= 0 {
+		t.Fatal("poll default not applied")
+	}
+
+	// Followers must name a leader; every role needs a self address.
+	if err := (&Config{Role: RoleFollower, Self: "f:1"}).Validate(); err == nil {
+		t.Fatal("follower without -leader validated")
+	}
+	if err := (&Config{Role: RoleLeader}).Validate(); err == nil {
+		t.Fatal("leader without -advertise validated")
+	}
+	if err := (&Config{Role: "observer", Self: "x:1"}).Validate(); err == nil {
+		t.Fatal("unknown role validated")
+	}
+	if err := (&Config{Role: RoleLeader, Self: "a:1", Leader: "b:1"}).Validate(); err == nil {
+		t.Fatal("leader disagreeing with -leader validated")
+	}
+
+	// RoleNone stays inert — single-node daemons never see cluster errors.
+	if err := (&Config{}).Validate(); err != nil {
+		t.Fatalf("RoleNone: %v", err)
+	}
+}
+
+func TestParsePeers(t *testing.T) {
+	got := ParsePeers(" a:1, ,b:2,")
+	if len(got) != 2 || got[0] != "a:1" || got[1] != "b:2" {
+		t.Fatalf("ParsePeers = %v", got)
+	}
+	if got := ParsePeers(""); got != nil {
+		t.Fatalf("ParsePeers(\"\") = %v, want nil", got)
+	}
+}
+
+func TestBaseURL(t *testing.T) {
+	if got := BaseURL("host:9090"); got != "http://host:9090" {
+		t.Fatalf("BaseURL = %q", got)
+	}
+	if got := BaseURL("https://host:9090"); got != "https://host:9090" {
+		t.Fatalf("BaseURL kept scheme: %q", got)
+	}
+}

@@ -1,0 +1,331 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"lagraph/internal/cluster"
+	"lagraph/internal/obs"
+)
+
+// Cluster mode. With Options.Cluster.Role set, the node joins a static
+// leader/follower cluster:
+//
+//   - The leader additionally serves the replication surface —
+//     GET /replication/graphs, .../checkpoint, .../wal — straight off the
+//     durable store's files (checkpoint bytes verbatim, WAL records
+//     CRC-verified on every read).
+//   - A follower runs a cluster.Replicator that keeps the local registry
+//     a version-exact copy of the leader's graphs, and answers every
+//     write (graph create/delete, edge mutations) with 421 Misdirected
+//     Request naming the leader.
+//   - Both roles route graph-scoped reads by consistent hash: a request
+//     for a graph owned by another peer is forwarded there once (the
+//     X-Lagraph-Routed header is the loop guard), so read traffic fans
+//     out across the membership without a balancer that understands
+//     graph names. Job polls route by the "@node" suffix minted into
+//     cluster job ids.
+//
+// With Role unset every wrapper below degrades to the identity and no
+// cluster route is registered: the single-node wire behavior is exactly
+// the pre-cluster one.
+
+// clusterState is the node's cluster runtime.
+type clusterState struct {
+	cfg  cluster.Config
+	ring *cluster.Ring
+	repl *cluster.Replicator // followers only
+
+	proxies map[string]*httputil.ReverseProxy // keyed by peer address
+
+	proxied     *obs.Counter // reads forwarded to their owning peer
+	misdirected *obs.Counter // writes refused with 421
+	ships       *obs.Counter // leader: checkpoints shipped
+	tailReqs    *obs.Counter // leader: tail polls answered
+	tailBatches *obs.Counter // leader: WAL batches served
+}
+
+// initCluster wires the cluster runtime. Called from New after the
+// store/stream/jobs wiring (a follower's replicator applies batches
+// through them) and before route registration.
+func (s *Server) initCluster() {
+	cfg := s.opts.Cluster
+	c := &clusterState{
+		cfg:     cfg,
+		ring:    cluster.NewRing(cfg.Peers),
+		proxies: make(map[string]*httputil.ReverseProxy, len(cfg.Peers)),
+	}
+	for _, p := range cfg.Peers {
+		if p == cfg.Self {
+			continue
+		}
+		target, err := url.Parse(cluster.BaseURL(p))
+		if err != nil {
+			continue
+		}
+		rp := httputil.NewSingleHostReverseProxy(target)
+		inner := rp.Director
+		rp.Director = func(req *http.Request) {
+			inner(req)
+			req.Header.Set(cluster.HeaderRouted, cfg.Self)
+		}
+		c.proxies[p] = rp
+	}
+
+	o := s.obs
+	role := string(cfg.Role)
+	o.GaugeVec("replication_role", "This node's cluster role (constant 1).", "role").With(role).Set(1)
+	o.Gauge("replication_peers", "Static cluster membership size.").Set(float64(len(cfg.Peers)))
+	c.proxied = o.Counter("cluster_requests_proxied_total", "Graph reads forwarded to their ring-owning peer.")
+	c.misdirected = o.Counter("cluster_writes_misdirected_total", "Writes refused with 421 on a read replica.")
+	if cfg.Role == cluster.RoleLeader {
+		c.ships = o.Counter("replication_checkpoint_ships_total", "Checkpoint snapshots shipped to followers.")
+		c.tailReqs = o.Counter("replication_tail_requests_total", "WAL tail polls answered.")
+		c.tailBatches = o.Counter("replication_wal_batches_served_total", "WAL batches served to followers.")
+	}
+	if cfg.Role == cluster.RoleFollower {
+		c.repl = cluster.NewReplicator(cluster.ReplicatorOptions{
+			Config:   cfg,
+			Registry: s.reg,
+			Stream:   s.stream,
+			Store:    s.store,
+			Obs:      o,
+			Logger:   s.opts.Logger,
+			OnRemove: func(name string) { s.jobs.InvalidateGraph(name) },
+		})
+	}
+	s.cluster = c
+}
+
+// registerClusterRoutes adds the leader's replication surface. Like
+// /metrics and /debug/*, it lives on the operator plane: outside the
+// instrumented middleware and the tenant facade (followers authenticate
+// by network reachability, exactly like a Prometheus scraper; the data
+// it serves is the same bytes the data directory holds).
+func (s *Server) registerClusterRoutes() {
+	if s.cluster == nil || s.cluster.cfg.Role != cluster.RoleLeader {
+		return
+	}
+	s.mux.HandleFunc("GET /replication/graphs", s.handleReplicationList)
+	s.mux.HandleFunc("GET /replication/graphs/{name}/checkpoint", s.handleReplicationCheckpoint)
+	s.mux.HandleFunc("GET /replication/graphs/{name}/wal", s.handleReplicationTail)
+}
+
+// handleReplicationList is GET /replication/graphs: every durable graph
+// with its checkpoint version and incarnation epoch.
+func (s *Server) handleReplicationList(w http.ResponseWriter, _ *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable, "replication requires a durable store (-data-dir)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.store.ListDurable())
+}
+
+// handleReplicationCheckpoint is GET /replication/graphs/{name}/checkpoint:
+// the raw checkpoint bytes, with version/epoch/kind as headers.
+func (s *Server) handleReplicationCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable, "replication requires a durable store (-data-dir)")
+		return
+	}
+	name := r.PathValue("name")
+	ck, err := s.store.ReadCheckpoint(name)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	s.cluster.ships.Inc()
+	w.Header().Set(cluster.HeaderVersion, strconv.FormatUint(ck.Version, 10))
+	w.Header().Set(cluster.HeaderEpoch, ck.Epoch)
+	w.Header().Set(cluster.HeaderKind, ck.Kind)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(ck.Data)))
+	_, _ = w.Write(ck.Data)
+}
+
+// handleReplicationTail is GET /replication/graphs/{name}/wal?after=V:
+// the WAL records published after V, re-verified against their CRCs at
+// read time.
+func (s *Server) handleReplicationTail(w http.ResponseWriter, r *http.Request) {
+	if s.store == nil {
+		writeError(w, http.StatusServiceUnavailable, "replication requires a durable store (-data-dir)")
+		return
+	}
+	name := r.PathValue("name")
+	after, err := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "after must be a version number")
+		return
+	}
+	t, terr := s.store.TailSince(name, after)
+	if terr != nil {
+		writeError(w, http.StatusNotFound, terr.Error())
+		return
+	}
+	s.cluster.tailReqs.Inc()
+	s.cluster.tailBatches.Add(float64(len(t.Batches)))
+	writeJSON(w, http.StatusOK, t)
+}
+
+// leaderWrite guards a mutating handler: on a follower the write is
+// refused with 421 Misdirected Request naming the leader (RFC 9110: the
+// request was directed at a server unwilling to produce an authoritative
+// response — exactly a read replica's position). The guard sits inside
+// the tenant middleware, so an unauthorized request is still 401 before
+// it learns anything about cluster topology.
+func (s *Server) leaderWrite(h http.HandlerFunc) http.HandlerFunc {
+	c := s.cluster
+	if c == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if c.cfg.Role == cluster.RoleFollower {
+			c.misdirected.Inc()
+			w.Header().Set("Location", cluster.BaseURL(c.cfg.Leader)+r.URL.RequestURI())
+			writeError(w, http.StatusMisdirectedRequest,
+				"this node is a read replica; send writes to the leader at "+c.cfg.Leader)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// routedRead wraps a graph-scoped read handler: the consistent-hash ring
+// places each graph name on one owning peer, and a request landing
+// elsewhere is forwarded there — once, enforced by the routed header. A
+// follower that owns a graph it has not finished replicating falls back
+// to the leader instead of answering 404 for a graph the cluster does
+// hold.
+func (s *Server) routedRead(h http.HandlerFunc) http.HandlerFunc {
+	c := s.cluster
+	if c == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(cluster.HeaderRouted) != "" {
+			h(w, r)
+			return
+		}
+		name := scopeGraph(r, r.PathValue("name"))
+		owner := c.ring.Owner(name)
+		if owner != c.cfg.Self {
+			s.proxyTo(owner, w, r)
+			return
+		}
+		if c.cfg.Role == cluster.RoleFollower && !s.hasGraph(name) {
+			s.proxyTo(c.cfg.Leader, w, r)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// routedJob wraps a job-scoped handler: cluster job ids carry the
+// owning node's address as an "@node" suffix, and a poll arriving at any
+// other node is forwarded to it.
+func (s *Server) routedJob(h http.HandlerFunc) http.HandlerFunc {
+	c := s.cluster
+	if c == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Header.Get(cluster.HeaderRouted) != "" {
+			h(w, r)
+			return
+		}
+		id := r.PathValue("id")
+		if at := strings.LastIndexByte(id, '@'); at >= 0 {
+			if node := id[at+1:]; node != c.cfg.Self {
+				s.proxyTo(node, w, r)
+				return
+			}
+		}
+		h(w, r)
+	}
+}
+
+// proxyTo forwards the request to a peer (one hop).
+func (s *Server) proxyTo(peer string, w http.ResponseWriter, r *http.Request) {
+	c := s.cluster
+	rp := c.proxies[peer]
+	if rp == nil {
+		writeError(w, http.StatusBadGateway, "no route to cluster peer "+peer)
+		return
+	}
+	c.proxied.Inc()
+	rp.ServeHTTP(w, r)
+}
+
+// hasGraph reports whether the registry currently holds name.
+func (s *Server) hasGraph(name string) bool {
+	lease, err := s.reg.Acquire(name)
+	if err != nil {
+		return false
+	}
+	lease.Release()
+	return true
+}
+
+// clusterStats is the /stats and debug-bundle cluster section.
+type clusterStats struct {
+	Role        string   `json:"role"`
+	Self        string   `json:"self"`
+	Leader      string   `json:"leader"`
+	Peers       []string `json:"peers"`
+	Proxied     int64    `json:"proxied_requests"`
+	Misdirected int64    `json:"misdirected_writes"`
+
+	// Leader-side replication service counters.
+	CheckpointShips  int64 `json:"checkpoint_ships,omitempty"`
+	TailRequests     int64 `json:"tail_requests,omitempty"`
+	WALBatchesServed int64 `json:"wal_batches_served,omitempty"`
+
+	// Follower-side replication progress (per-graph versions and lag).
+	Replication *cluster.Status `json:"replication,omitempty"`
+}
+
+// clusterStatsSnapshot builds the cluster section; nil single-node.
+func (s *Server) clusterStatsSnapshot() *clusterStats {
+	c := s.cluster
+	if c == nil {
+		return nil
+	}
+	cs := &clusterStats{
+		Role:        string(c.cfg.Role),
+		Self:        c.cfg.Self,
+		Leader:      c.cfg.Leader,
+		Peers:       c.cfg.Peers,
+		Proxied:     c.proxied.Int(),
+		Misdirected: c.misdirected.Int(),
+	}
+	if c.ships != nil {
+		cs.CheckpointShips = c.ships.Int()
+		cs.TailRequests = c.tailReqs.Int()
+		cs.WALBatchesServed = c.tailBatches.Int()
+	}
+	if c.repl != nil {
+		st := c.repl.StatusSnapshot()
+		cs.Replication = &st
+	}
+	return cs
+}
+
+// Replicator exposes the follower's replication engine (nil otherwise).
+func (s *Server) Replicator() *cluster.Replicator {
+	if s.cluster == nil {
+		return nil
+	}
+	return s.cluster.repl
+}
+
+// startCluster launches the follower's replicator (no-op otherwise).
+// Separate from initCluster so tests can build a server without racing
+// its first poll.
+func (s *Server) startCluster() {
+	if s.cluster != nil && s.cluster.repl != nil {
+		s.cluster.repl.Start()
+	}
+}
